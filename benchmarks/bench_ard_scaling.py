@@ -1,0 +1,66 @@
+"""Sec. III claim: ARD(T) in linear time.
+
+The paper's second contribution: the augmented RC-diameter is computable in
+O(n) by one DFS after two capacitance passes — "it is unnecessary to
+perform multiple single source computations".  This benchmark sweeps net
+sizes and times the Fig. 2 algorithm against the per-source brute force.
+
+Expected shape: near-linear growth for Fig. 2, near-quadratic for the brute
+force, with the ratio growing roughly linearly in the terminal count.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis import Table, save_text
+from repro.core.ard import compute_ard
+from repro.netgen import paper_instance, paper_technology
+from repro.rctree import ElmoreAnalyzer
+
+SIZES = (25, 50, 100, 200, 400)
+
+
+def _best_of(fn, repeat=3):
+    best = float("inf")
+    value = None
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, value
+
+
+def test_ard_scaling(benchmark):
+    tech = paper_technology()
+    table = Table(
+        "ARD scaling: Fig. 2 linear-time vs per-source brute force",
+        ["terminals", "nodes", "linear (ms)", "brute (ms)", "ratio"],
+    )
+    rows = []
+    for n in SIZES:
+        tree = paper_instance(seed=2, n_pins=n, spacing=None)
+        analyzer = ElmoreAnalyzer(tree, tech)
+        t_lin, v_lin = _best_of(lambda: compute_ard(analyzer).value)
+        t_bru, v_bru = _best_of(lambda: analyzer.ard_bruteforce(), repeat=1)
+        assert v_lin == pytest.approx(v_bru, rel=1e-9)
+        rows.append((n, len(tree), t_lin, t_bru))
+        table.add_row(n, len(tree), t_lin * 1000, t_bru * 1000, f"{t_bru / t_lin:.1f}x")
+
+    # shape: the advantage grows superlinearly across the sweep
+    first_ratio = rows[0][3] / rows[0][2]
+    last_ratio = rows[-1][3] / rows[-1][2]
+    assert last_ratio > 4 * first_ratio
+
+    # shape: the linear algorithm's per-node time stays roughly flat
+    per_node_first = rows[0][2] / rows[0][1]
+    per_node_last = rows[-1][2] / rows[-1][1]
+    assert per_node_last < 5 * per_node_first
+
+    out = table.render()
+    print("\n" + out)
+    save_text("ard_scaling.txt", out)
+
+    largest = paper_instance(seed=2, n_pins=SIZES[-1], spacing=None)
+    analyzer = ElmoreAnalyzer(largest, tech)
+    benchmark(lambda: compute_ard(analyzer).value)

@@ -1,0 +1,55 @@
+"""Sensitivity bench: the companion-capacitance modelling knob.
+
+The paper's Fig. 8 repeater model lets the driving buffer ignore its
+anti-parallel companion's input capacitance (the companion is tri-stated
+but its gate still physically loads the node).  The Elmore engine carries
+an ``include_companion_cap`` switch; this bench quantifies how much that
+modelling choice moves the reported diameters on real solutions.
+
+Expected shape: a small constant-per-repeater delay increase — the
+companion load ``r * c_companion`` per crossing — i.e. a few percent, which
+is why the paper's simplification is benign.
+"""
+
+import pytest
+
+from repro.analysis import Table, save_text
+from repro.core.ard import ard
+from repro.core.driver_sizing import apply_option_to_tree
+from repro.core.msri import insert_repeaters
+from repro.netgen import (
+    fixed_1x_option,
+    paper_instance,
+    paper_technology,
+    repeater_insertion_options,
+)
+from repro.tech import Repeater
+
+
+def test_companion_cap_sensitivity(benchmark):
+    tech = paper_technology()
+    table = Table(
+        "companion-capacitance sensitivity (fastest solutions)",
+        ["seed", "repeaters", "diam paper model", "diam with companion", "delta %"],
+    )
+    for seed in range(3):
+        tree = paper_instance(seed, 8)
+        dressed = apply_option_to_tree(tree, fixed_1x_option())
+        suite = insert_repeaters(tree, tech, repeater_insertion_options())
+        best = suite.min_ard()
+        reps = {k: v for k, v in best.assignment().items()
+                if isinstance(v, Repeater)}
+        base = ard(dressed, tech, reps).value
+        comp = ard(dressed, tech, reps, include_companion_cap=True).value
+        assert comp >= base  # extra load can only slow the net
+        delta = comp / base - 1.0
+        assert delta < 0.10, "companion load should be a small correction"
+        table.add_row(seed, len(reps), base, comp, f"{100 * delta:.2f}")
+
+    out = table.render()
+    print("\n" + out)
+    save_text("companion_cap.txt", out)
+
+    tree = paper_instance(0, 8)
+    dressed = apply_option_to_tree(tree, fixed_1x_option())
+    benchmark(lambda: ard(dressed, tech, include_companion_cap=True).value)

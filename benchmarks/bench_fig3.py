@@ -1,0 +1,83 @@
+"""Fig. 3: arrival-time functions of the external capacitance at a merge.
+
+Reconstructs the paper's motivational example in abstract units: two
+sources ``u`` and ``w`` whose bottom-up accumulated resistances to the
+merge vertex ``v`` are 7 and 12.  The joined solution's arrival function
+must be piece-wise linear with exactly those slopes, and the *critical
+source flips* at a computable crossover capacitance — small external loads
+are dominated by the far/slow source, large ones by the steep
+(high-resistance) path (Fig. 3(c)).  The internal-path construction of
+Fig. 3(d) — adding scalar sink delays to the arrival intercepts — is also
+checked, including the paper's remark that one internal path can dominate
+for *all* values of ``c_E``.
+
+Numbers used (abstract units, see the derivation in the test):
+
+* u: driver resistance 3, pin cap 1, arrival time 30; wire to v: R=4, C=2
+  -> ``arr_u(c_E) = 43 + 7 c_E`` before the join.
+* w: driver resistance 2, pin cap 0.5; wire to v: R=10, C=1
+  -> ``arr_w(c_E) = 8 + 12 c_E``.
+* joined at v (each side sees the other's capacitance):
+  ``max(53.5 + 7 c_E, 44 + 12 c_E)`` with the crossover at c_E = 1.9.
+"""
+
+import pytest
+
+from repro.analysis import Table, save_text
+from repro.core.solution import augment_wire, join, leaf_solution
+from repro.tech import Terminal
+
+C_MAX = 50.0
+
+
+def build_sides():
+    u = leaf_solution(
+        Terminal("u", 0, 0, arrival_time=30.0, capacitance=1.0, resistance=3.0),
+        C_MAX,
+    )
+    u = augment_wire(u, resistance=4.0, capacitance=2.0, c_max=C_MAX)
+    w = leaf_solution(
+        Terminal("w", 0, 0, downstream_delay=300.0, capacitance=0.5, resistance=2.0),
+        C_MAX,
+    )
+    w = augment_wire(w, resistance=10.0, capacitance=1.0, c_max=C_MAX)
+    return u, w
+
+
+def test_fig3(benchmark):
+    u, w = build_sides()
+    # pre-join functions carry the accumulated path resistances as slopes
+    assert u.arr.segments[0].slope == pytest.approx(7.0)
+    assert w.arr.segments[0].slope == pytest.approx(12.0)
+
+    joined = benchmark(join, u, w, C_MAX)
+
+    # Fig. 3(c): the max of the two shifted lines, crossover at c_E = 1.9
+    slopes = sorted(s.slope for s in joined.arr.segments)
+    assert slopes == pytest.approx([7.0, 12.0])
+    crossover = joined.arr.breakpoints()[1]
+    assert crossover == pytest.approx(1.9)
+    assert joined.arr.evaluate(0.0) == pytest.approx(53.5)   # far source u wins
+    assert joined.arr.evaluate(10.0) == pytest.approx(164.0)  # steep path w wins
+
+    # Fig. 3(d): internal paths add scalar sink delays to the intercepts;
+    # with w's slow receive path (beta = 300 -> q_w = 310 after the wire)
+    # the u -> (sink at w) path dominates for ALL c_E here, reproducing the
+    # paper's closing remark on the example
+    assert joined.diam is not None
+    assert all(s.slope == pytest.approx(7.0) for s in joined.diam.segments)
+    assert joined.diam.evaluate(0.0) == pytest.approx(53.5 + 310.0)
+
+    table = Table(
+        "Fig. 3: piecewise-linear arrival at the merge vertex v",
+        ["c_E", "arr(c_E)", "critical source"],
+    )
+    for x in (0.0, 1.0, 1.9, 3.0, 5.0):
+        val = joined.arr.evaluate(x)
+        critical = "u" if val == pytest.approx(53.5 + 7 * x) else "w"
+        table.add_row(x, val, critical)
+    table.add_note("slopes 7 and 12 = accumulated path resistances (paper units)")
+    table.add_note("crossover at c_E = 1.9: the critical source flips")
+    out = table.render()
+    print("\n" + out)
+    save_text("fig3.txt", out)

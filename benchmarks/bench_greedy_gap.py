@@ -1,0 +1,60 @@
+"""Ablation: greedy iterative insertion vs the optimal DP.
+
+Quantifies what the paper's exact algorithm buys over the obvious
+heuristic: insert one best repeater at a time until no insertion helps.
+For each net we report the greedy endpoint and the optimal diameter at the
+same cost, plus the cost the optimal algorithm needs to match the greedy
+diameter.
+
+Expected shape: greedy is never better (the DP is exact); on some nets it
+is strictly worse or overspends.
+"""
+
+from repro.analysis import Table, save_text
+from repro.baselines import greedy_insertion
+from repro.core.driver_sizing import apply_option_to_tree
+from repro.core.msri import insert_repeaters
+from repro.netgen import (
+    fixed_1x_option,
+    paper_instance,
+    paper_repeater_library,
+    paper_technology,
+    repeater_insertion_options,
+)
+
+
+def test_greedy_gap(benchmark):
+    tech = paper_technology()
+    lib = paper_repeater_library()
+    table = Table(
+        "greedy vs optimal repeater insertion (10-pin nets)",
+        ["seed", "greedy diam", "greedy cost", "optimal diam @cost", "gap %"],
+    )
+    gaps = []
+    for seed in range(3):
+        tree = paper_instance(seed, 10)
+        dressed = apply_option_to_tree(tree, fixed_1x_option())
+        optimal = insert_repeaters(tree, tech, repeater_insertion_options())
+        steps = greedy_insertion(dressed, tech, lib)
+        final = steps[-1]
+        # greedy cost excludes terminal dressing; optimal includes it (2/pin)
+        base_cost = 2.0 * 10
+        best_at_cost = min(
+            s.ard
+            for s in optimal.solutions
+            if s.cost <= final.cost + base_cost + 1e-9
+        )
+        gap = final.ard / best_at_cost - 1.0
+        gaps.append(gap)
+        assert final.ard >= best_at_cost - 1e-6
+        table.add_row(seed, final.ard, final.cost + base_cost, best_at_cost,
+                      f"{100 * gap:.1f}")
+
+    out = table.render()
+    print("\n" + out)
+    save_text("greedy_gap.txt", out)
+
+    tree = apply_option_to_tree(paper_instance(0, 10), fixed_1x_option())
+    benchmark.pedantic(
+        greedy_insertion, args=(tree, tech, lib), rounds=1, iterations=1
+    )

@@ -1,0 +1,54 @@
+"""Ablation A1: divide-and-conquer MFS (Fig. 4) vs naive pairwise pruning.
+
+The paper motivates the divide-and-conquer pruner by the hope that
+"many of the suboptimal solutions will be discarded at relatively deep
+levels of the recursion and thus we can avoid pair-wise comparisons at
+higher levels".  Both pruners are exact (the MSRI tests assert identical
+frontiers); this benchmark quantifies the runtime difference on a full
+10-pin optimization.
+"""
+
+import time
+
+from repro.analysis import Table, save_text
+from repro.core.msri import insert_repeaters
+from repro.netgen import (
+    paper_instance,
+    paper_technology,
+    repeater_insertion_options,
+)
+
+
+def _run(tree, tech, use_dnc):
+    return insert_repeaters(
+        tree, tech, repeater_insertion_options(use_divide_and_conquer=use_dnc)
+    )
+
+
+def test_mfs_ablation(benchmark):
+    tech = paper_technology()
+    table = Table(
+        "MFS ablation: Fig. 4 divide-and-conquer vs naive pairwise",
+        ["seed", "D&C (s)", "pairwise (s)", "frontier size", "same frontier"],
+    )
+    for seed in range(3):
+        tree = paper_instance(seed, 10)
+        t0 = time.perf_counter()
+        dnc = _run(tree, tech, True)
+        t_dnc = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        pair = _run(tree, tech, False)
+        t_pair = time.perf_counter() - t0
+        same = all(
+            abs(a[0] - b[0]) < 1e-6 and abs(a[1] - b[1]) < 1e-6
+            for a, b in zip(dnc.tradeoff(), pair.tradeoff())
+        ) and len(dnc.solutions) == len(pair.solutions)
+        assert same, "both pruners must produce the identical optimal frontier"
+        table.add_row(seed, t_dnc, t_pair, len(dnc.solutions), "yes")
+
+    out = table.render()
+    print("\n" + out)
+    save_text("mfs_ablation.txt", out)
+
+    tree = paper_instance(0, 10)
+    benchmark.pedantic(_run, args=(tree, tech, True), rounds=1, iterations=1)

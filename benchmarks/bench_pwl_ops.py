@@ -1,0 +1,77 @@
+"""Microbenchmarks for the Eq. (3) PWL primitives.
+
+The paper requires every primitive to run in time linear in the number of
+participating segments; these benchmarks record the constants behind that
+bound for the operations the DP performs millions of times.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pwl import PWL, maximum_all
+
+
+def random_pwl(rng, pieces, x_max=100.0):
+    xs = np.sort(rng.uniform(0.0, x_max, size=pieces - 1))
+    xs = [0.0] + [float(x) for x in xs] + [x_max]
+    ys = [float(rng.uniform(0.0, 500.0)) for _ in xs]
+    return PWL.from_breakpoints(xs, ys)
+
+
+@pytest.fixture(scope="module")
+def pwls():
+    rng = np.random.default_rng(0)
+    return [random_pwl(rng, pieces=8) for _ in range(64)]
+
+
+def test_bench_maximum(benchmark, pwls):
+    f, g = pwls[0], pwls[1]
+    out = benchmark(f.maximum, g)
+    assert not out.is_empty
+
+
+def test_bench_maximum_all(benchmark, pwls):
+    out = benchmark(maximum_all, pwls)
+    assert not out.is_empty
+
+
+def test_bench_shift(benchmark, pwls):
+    out = benchmark(pwls[0].shift, 7.5)
+    assert not out.is_empty
+
+
+def test_bench_add_linear(benchmark, pwls):
+    out = benchmark(pwls[0].add_linear, 3.0, 2.0)
+    assert not out.is_empty
+
+
+def test_bench_region_leq(benchmark, pwls):
+    region = benchmark(pwls[0].region_leq, pwls[1])
+    assert region is not None
+
+
+def test_bench_evaluate(benchmark, pwls):
+    val = benchmark(pwls[0].evaluate, 42.0)
+    assert np.isfinite(val)
+
+
+def test_maximum_scales_linearly(benchmark):
+    """Sanity on the linear-time claim: 10x the segments ~ 10x the time."""
+    import time
+
+    rng = np.random.default_rng(1)
+    small = [random_pwl(rng, 16) for _ in range(2)]
+    large = [random_pwl(rng, 160) for _ in range(2)]
+
+    def best_of(fn, n=50):
+        best = float("inf")
+        for _ in range(n):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    t_small = best_of(lambda: small[0].maximum(small[1]))
+    t_large = best_of(lambda: large[0].maximum(large[1]))
+    assert t_large < 40 * t_small  # linear-ish, generous CI margin
+    benchmark(lambda: large[0].maximum(large[1]))

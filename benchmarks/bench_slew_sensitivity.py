@@ -1,0 +1,73 @@
+"""Sensitivity bench: do Elmore-optimal solutions survive a slew-aware model?
+
+The paper optimizes under basic Elmore + intrinsic-delay models but cites
+[15] for a generalized model with signal slew.  This bench re-evaluates the
+optimizer's Table II-style solutions under the slew-aware analyzer
+(`repro.rctree.slew`): for each net, the unbuffered solution and the
+fastest repeater solution are scored under both models.
+
+Expected shapes: the slew model adds delay everywhere, but *less* (in
+relative terms) to buffered solutions — repeaters regenerate edges — so the
+optimizer's ranking is preserved and its relative advantage grows.
+"""
+
+from repro.analysis import Table, save_text
+from repro.core.driver_sizing import apply_option_to_tree
+from repro.core.msri import insert_repeaters
+from repro.netgen import (
+    fixed_1x_option,
+    paper_instance,
+    paper_technology,
+    repeater_insertion_options,
+)
+from repro.rctree import ElmoreAnalyzer
+from repro.rctree.slew import SlewAnalyzer
+from repro.tech import Repeater
+
+
+def test_slew_sensitivity(benchmark):
+    tech = paper_technology()
+    table = Table(
+        "slew-aware re-evaluation of Elmore-optimal solutions",
+        [
+            "seed",
+            "unbuf elmore",
+            "unbuf slew",
+            "buf elmore",
+            "buf slew",
+            "gain elmore",
+            "gain slew",
+        ],
+    )
+    for seed in range(3):
+        tree = paper_instance(seed, 8)
+        dressed = apply_option_to_tree(tree, fixed_1x_option())
+        suite = insert_repeaters(tree, tech, repeater_insertion_options())
+        best = suite.min_ard()
+        reps = {k: v for k, v in best.assignment().items()
+                if isinstance(v, Repeater)}
+
+        unbuf_el = ElmoreAnalyzer(dressed, tech).ard_bruteforce()
+        buf_el = ElmoreAnalyzer(dressed, tech, reps).ard_bruteforce()
+        unbuf_sl = SlewAnalyzer(dressed, tech).ard()[0]
+        buf_sl = SlewAnalyzer(dressed, tech, reps).ard()[0]
+
+        # ranking preserved; relative repeater gain grows under slew
+        assert unbuf_sl > unbuf_el and buf_sl > buf_el
+        assert buf_sl < unbuf_sl
+        gain_el = buf_el / unbuf_el
+        gain_sl = buf_sl / unbuf_sl
+        assert gain_sl <= gain_el + 0.02  # repeaters never look worse
+        table.add_row(
+            seed, unbuf_el, unbuf_sl, buf_el, buf_sl,
+            f"{gain_el:.3f}", f"{gain_sl:.3f}",
+        )
+    table.add_note("gain = buffered/unbuffered diameter; lower is better.")
+
+    out = table.render()
+    print("\n" + out)
+    save_text("slew_sensitivity.txt", out)
+
+    tree = paper_instance(0, 8)
+    dressed = apply_option_to_tree(tree, fixed_1x_option())
+    benchmark(lambda: SlewAnalyzer(dressed, tech).ard()[0])

@@ -1,0 +1,58 @@
+"""Ablation A2: insertion-point spacing (paper Sec. VI, footnote 15).
+
+The paper notes that experiments with closer insertion-point spacing
+("higher complexity") yielded only small quality improvements over the
+800 um spacing while costing more runtime — results "typically obtained
+within a few minutes ... (e.g., 20 pins, 300 um average insertion point
+spacing)".  This ablation reruns one net at 800/450/300 um caps.
+
+Expected shape: the minimum diameter improves only marginally below 800 um
+while the candidate count and runtime grow substantially.
+"""
+
+import time
+
+from repro.analysis import Table, save_text
+from repro.core.msri import insert_repeaters
+from repro.netgen import (
+    paper_instance,
+    paper_technology,
+    repeater_insertion_options,
+)
+
+SPACINGS = (800.0, 450.0, 300.0)
+
+
+def test_spacing_ablation(benchmark):
+    tech = paper_technology()
+    table = Table(
+        "insertion-point spacing ablation (10-pin net, seed 0)",
+        ["spacing (um)", "ins. points", "min diameter (ps)", "runtime (s)"],
+    )
+    diameters = {}
+    for spacing in SPACINGS:
+        tree = paper_instance(0, 10, spacing=spacing)
+        t0 = time.perf_counter()
+        res = insert_repeaters(tree, tech, repeater_insertion_options())
+        dt = time.perf_counter() - t0
+        diameters[spacing] = res.min_ard().ard
+        table.add_row(spacing, len(tree.insertion_indices()), res.min_ard().ard, dt)
+
+    # denser candidates can only help, and only a little (paper footnote 15)
+    assert diameters[300.0] <= diameters[800.0] + 1e-9
+    improvement = 1.0 - diameters[300.0] / diameters[800.0]
+    assert improvement < 0.15, (
+        f"improvement from dense spacing should be small, got {improvement:.1%}"
+    )
+
+    out = table.render()
+    print("\n" + out)
+    save_text("spacing_ablation.txt", out)
+
+    tree = paper_instance(0, 10, spacing=800.0)
+    benchmark.pedantic(
+        insert_repeaters,
+        args=(tree, tech, repeater_insertion_options()),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,17 @@
+"""Table I: the technology parameters in force.
+
+Static configuration rather than a measurement; regenerated here so the
+results directory carries the exact constants every other table used, and
+the benchmark measures the (trivial) cost of assembling the report.
+"""
+
+from repro.analysis import save_text, table1
+
+
+def test_table1(benchmark):
+    table = benchmark(table1)
+    out = table.render()
+    print("\n" + out)
+    save_text("table1.txt", out)
+    assert "wire resistance" in out
+    assert "1X buffer input capacitance" in out

@@ -1,0 +1,54 @@
+"""Table II: driver sizing vs optimal repeater insertion, normalized.
+
+Protocol (paper Sec. VI): seeded random nets of 10 and 20 terminals on a
+1 cm grid, Steiner topologies, insertion points at <= 800 um; all terminals
+are bidirectional with zero boundary arrival/downstream times; the repeater
+is a pair of 1X buffers; the driver library pairs kX drivers/receivers.
+
+Reported, per cardinality, normalized to the min-cost solution:
+the minimum diameter achievable by sizing and its cost; the cheapest
+repeater solution matching that diameter; and the minimum-diameter repeater
+solution with its cost.
+
+Paper reference shape (10 pins): sizing diameter ratio 0.73, repeater 0.55,
+and the repeater solution matching the sizing diameter is far cheaper than
+the sized solution.  The benchmark timing covers one representative 10-pin
+repeater-insertion run.
+"""
+
+from repro.analysis import save_text, table2
+from repro.core.msri import insert_repeaters
+from repro.netgen import (
+    paper_instance,
+    paper_technology,
+    repeater_insertion_options,
+)
+
+
+def test_table2(benchmark, instance_results):
+    table = table2(instance_results)
+    out = table.render()
+    print("\n" + out)
+    save_text("table2.txt", out)
+
+    # shape assertions against the paper
+    for r in instance_results:
+        assert r.rep_min_ard <= r.sizing_min_ard + 1e-9, (
+            "repeater insertion must reach at least the sizing diameter"
+        )
+        assert r.sizing_min_ard <= r.base_ard + 1e-9
+        if r.rep_cost_at_sizing_ard is not None:
+            assert r.rep_cost_at_sizing_ard <= r.sizing_min_ard_cost + 1e-9, (
+                "matching the sizing diameter by repeaters should not cost "
+                "more than the sizing itself (paper Sec. VI)"
+            )
+
+    # representative timed run
+    tree = paper_instance(0, 10)
+    tech = paper_technology()
+    benchmark.pedantic(
+        insert_repeaters,
+        args=(tree, tech, repeater_insertion_options()),
+        rounds=1,
+        iterations=1,
+    )

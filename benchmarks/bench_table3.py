@@ -1,0 +1,28 @@
+"""Table III: fastest driver-sizing vs repeater-insertion solutions.
+
+Six sample topologies (the first three seeds of each cardinality), reporting
+the highest-performance solution of each approach with its cost in
+equivalent 1X buffers — the paper's per-net view behind Table II's averages.
+Expected shape: on every net the repeater solution's diameter is at or
+below the sizing solution's.
+"""
+
+from repro.analysis import save_text, table3
+
+
+def test_table3(benchmark, instance_results):
+    by_size = {}
+    for r in instance_results:
+        by_size.setdefault(r.n_pins, []).append(r)
+    samples = []
+    for n_pins in sorted(by_size):
+        samples.extend(by_size[n_pins][:3])
+
+    table = benchmark(table3, samples)
+    out = table.render()
+    print("\n" + out)
+    save_text("table3.txt", out)
+
+    for r in samples:
+        assert r.rep_min_ard <= r.sizing_min_ard + 1e-9
+        assert r.rep_min_ard_cost > 2 * r.n_pins  # repeaters actually used

@@ -1,0 +1,45 @@
+"""Table IV: average optimizer CPU seconds per net size and mode.
+
+The paper argues tractability empirically ("empirical evidence is the best
+way to judge the tractability of algorithms such as those proposed here")
+and reports seconds-scale averages on a SPARC 10.  We report the same
+statistic on this machine; the benchmark fixture additionally times one
+20-pin repeater run end to end so pytest-benchmark's output carries the
+headline number.
+
+Expected shape: seconds-scale runs, growing with pin count, with driver
+sizing much cheaper than repeater insertion.
+"""
+
+from repro.analysis import save_text, table4
+from repro.core.msri import insert_repeaters
+from repro.netgen import (
+    paper_instance,
+    paper_technology,
+    repeater_insertion_options,
+)
+
+
+def test_table4(benchmark, instance_results):
+    table = table4(instance_results)
+    out = table.render()
+    print("\n" + out)
+    save_text("table4.txt", out)
+
+    by_size = {}
+    for r in instance_results:
+        by_size.setdefault(r.n_pins, []).append(r)
+    avg = {
+        n: sum(r.rep_runtime_s for r in rs) / len(rs) for n, rs in by_size.items()
+    }
+    # growth with size, and everything finishes in tractable time
+    assert avg[20] > avg[10]
+    assert all(a < 600.0 for a in avg.values())
+
+    tree = paper_instance(0, 20)
+    benchmark.pedantic(
+        insert_repeaters,
+        args=(tree, paper_technology(), repeater_insertion_options()),
+        rounds=1,
+        iterations=1,
+    )

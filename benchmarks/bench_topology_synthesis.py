@@ -1,0 +1,74 @@
+"""Extension bench: ARD-driven topology synthesis.
+
+The paper closes by observing that its results enable "a multisource
+version of the P-Tree timing-driven Steiner router".  This bench measures
+what the ARD objective buys at topology-construction time: for seeded
+terminal sets, it compares the MST-based topology's unaugmented RC-diameter
+against the local-search topology of
+:func:`repro.steiner.synthesize_topology`.
+
+Expected shape: a consistent single-digit-percent diameter improvement, at
+a modest wirelength premium that a positive wirelength weight can cap.
+"""
+
+from repro.analysis import Table, save_text
+from repro.core.ard import ard
+from repro.netgen import paper_net_spec, paper_technology, random_points
+from repro.steiner import (
+    rectilinear_mst,
+    synthesize_topology,
+    tree_from_terminal_edges,
+)
+from repro.tech import Terminal
+
+
+def make_terms(seed, n):
+    spec = paper_net_spec()
+    return [
+        Terminal(
+            f"p{i}",
+            x,
+            y,
+            capacitance=spec.capacitance,
+            resistance=spec.resistance,
+            intrinsic_delay=spec.intrinsic_delay,
+        )
+        for i, (x, y) in enumerate(random_points(seed, n))
+    ]
+
+
+def test_topology_synthesis(benchmark):
+    tech = paper_technology()
+    table = Table(
+        "ARD-driven topology synthesis vs MST topology (8-pin nets)",
+        ["seed", "MST diam", "synth diam", "gain %", "MST WL", "synth WL"],
+    )
+    gains = []
+    for seed in range(6):
+        terms = make_terms(seed, 8)
+        mst_tree = tree_from_terminal_edges(
+            terms, rectilinear_mst([(t.x, t.y) for t in terms])
+        )
+        mst_ard = ard(mst_tree, tech).value
+        res = synthesize_topology(terms, tech)
+        gain = 1.0 - res.ard / mst_ard
+        gains.append(gain)
+        assert res.ard <= mst_ard + 1e-9
+        table.add_row(
+            seed,
+            mst_ard,
+            res.ard,
+            f"{100 * gain:.1f}",
+            mst_tree.total_wire_length(),
+            res.wirelength,
+        )
+
+    assert sum(gains) / len(gains) > 0.02  # consistent average improvement
+    out = table.render()
+    print("\n" + out)
+    save_text("topology_synthesis.txt", out)
+
+    terms = make_terms(0, 8)
+    benchmark.pedantic(
+        synthesize_topology, args=(terms, tech), rounds=1, iterations=1
+    )

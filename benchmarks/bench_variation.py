@@ -1,0 +1,82 @@
+"""Robustness bench: optimized solutions under process variation.
+
+Monte-Carlo corner analysis of the Table II-style solutions: do the
+optimizer's repeater assignments keep their advantage across die-to-die
+parameter spread, and does buffering tighten or widen the diameter
+distribution?
+
+Expected shapes: the buffered solution beats the unbuffered net in every
+sampled corner (same corners via a shared seed), and its *relative* spread
+(std/mean) is no larger — repeaters break long paths into fewer, smaller RC
+products.
+"""
+
+from repro.analysis import Table, save_text
+from repro.analysis.variation import monte_carlo_ard
+from repro.core.driver_sizing import apply_option_to_tree
+from repro.core.msri import insert_repeaters
+from repro.netgen import (
+    fixed_1x_option,
+    paper_instance,
+    paper_technology,
+    repeater_insertion_options,
+)
+from repro.tech import Repeater
+
+SAMPLES = 80
+
+
+def test_variation(benchmark):
+    tech = paper_technology()
+    table = Table(
+        f"process-variation Monte Carlo ({SAMPLES} corners per cell)",
+        [
+            "seed",
+            "unbuf nominal",
+            "unbuf p95",
+            "unbuf spread",
+            "buf nominal",
+            "buf p95",
+            "buf spread",
+        ],
+    )
+    for seed in range(3):
+        tree = paper_instance(seed, 8)
+        dressed = apply_option_to_tree(tree, fixed_1x_option())
+        suite = insert_repeaters(tree, tech, repeater_insertion_options())
+        best = suite.min_ard()
+        reps = {k: v for k, v in best.assignment().items()
+                if isinstance(v, Repeater)}
+
+        unbuf = monte_carlo_ard(dressed, tech, samples=SAMPLES, seed=seed)
+        buf = monte_carlo_ard(dressed, tech, reps, samples=SAMPLES, seed=seed)
+
+        assert all(b < u for b, u in zip(buf.samples, unbuf.samples)), (
+            "the optimized solution must win in every sampled corner"
+        )
+        assert buf.relative_spread <= unbuf.relative_spread + 0.02
+
+        table.add_row(
+            seed,
+            unbuf.nominal,
+            unbuf.p95,
+            f"{100 * unbuf.relative_spread:.1f}%",
+            buf.nominal,
+            buf.p95,
+            f"{100 * buf.relative_spread:.1f}%",
+        )
+    table.add_note("spread = std/mean of the sampled ARD distribution.")
+
+    out = table.render()
+    print("\n" + out)
+    save_text("variation.txt", out)
+
+    tree = paper_instance(0, 8)
+    dressed = apply_option_to_tree(tree, fixed_1x_option())
+    benchmark.pedantic(
+        monte_carlo_ard,
+        args=(dressed, tech),
+        kwargs={"samples": SAMPLES},
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,62 @@
+"""The paper's Fig. 11 scenario: progressive buffering of an 8-pin bus.
+
+All eight pins can drive or receive.  The example shows the unoptimized
+topology, then the two-repeater and five-repeater solutions from the
+optimal suite, each rendered in ASCII with its RC-diameter and the critical
+source/sink pair — reproducing how "performance is improved with added
+buffering resources and ... the critical input-to-output path changes as
+the algorithm carefully balances the requirements of all paths".
+
+Run:  python examples/bus_optimization.py
+"""
+
+from repro import (
+    Repeater,
+    ard,
+    insert_repeaters,
+    paper_instance,
+    paper_technology,
+    render_tree,
+    repeater_insertion_options,
+)
+from repro.core.driver_sizing import apply_option_to_tree
+from repro.netgen import find_fig11_seed, fixed_1x_option
+
+
+def describe(tree, tech, assignment, label):
+    # evaluate with the same 1X terminal dressing the optimizer used
+    dressed = apply_option_to_tree(tree, fixed_1x_option())
+    result = ard(dressed, tech, assignment)
+    src = tree.node(result.source).terminal.name
+    snk = tree.node(result.sink).terminal.name
+    print(f"\n=== {label} ===")
+    print(f"RC-diameter: {result.value:.0f} ps   critical: {src} -> {snk}   "
+          f"repeaters: {len(assignment)}")
+    print(render_tree(tree, assignment, width=64, height=22))
+
+
+def main() -> None:
+    tech = paper_technology()
+    seed = find_fig11_seed()  # 8-pin instance with ~19.6 kum of wire
+    tree = paper_instance(seed, n_pins=8)
+    print(f"eight-pin bus, total wire length "
+          f"{tree.total_wire_length() / 1000:.1f} kum (paper: 19.6 kum)")
+
+    suite = insert_repeaters(tree, tech, repeater_insertion_options())
+
+    describe(tree, tech, {}, "(a) unoptimized topology")
+    for count, label in [(2, "(b) two-repeater solution"),
+                         (5, "(c) five-repeater solution")]:
+        sol = suite.with_repeater_count(count)
+        if sol is None:
+            print(f"\n(no {count}-repeater solution on the optimal frontier; "
+                  "frontier repeater counts: "
+                  f"{[s.repeater_count() for s in suite.solutions]})")
+            continue
+        reps = {k: v for k, v in sol.assignment().items()
+                if isinstance(v, Repeater)}
+        describe(tree, tech, reps, label)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Driver sizing versus repeater insertion on the same bus.
+
+Reproduces the comparison at the heart of the paper's Table II on a single
+net: how far can sizing the terminal drivers/receivers (1X–4X) push the
+RC-diameter, versus inserting bidirectional repeaters along the wires — and
+what does each approach cost?  The punchline (paper Sec. VI): repeaters
+reach substantially smaller diameters, and matching the best *sized*
+diameter by repeaters is much cheaper than the sizing itself.
+
+Run:  python examples/driver_sizing_tradeoff.py
+"""
+
+from repro import (
+    Table,
+    driver_sizing_options,
+    insert_repeaters,
+    paper_instance,
+    paper_technology,
+    repeater_insertion_options,
+)
+
+
+def main() -> None:
+    tech = paper_technology()
+    tree = paper_instance(seed=3, n_pins=10)
+    print(f"net: 10 pins, {len(tree.insertion_indices())} insertion points, "
+          f"{tree.total_wire_length() / 1000:.1f} mm of wire\n")
+
+    sizing = insert_repeaters(tree, tech, driver_sizing_options())
+    repeater = insert_repeaters(tree, tech, repeater_insertion_options())
+
+    base = repeater.min_cost()  # all-1X terminals, no repeaters
+
+    t = Table(
+        "cost / diameter suites (normalized to the min-cost solution)",
+        ["approach", "cost", "cost ratio", "diameter (ps)", "diam ratio"],
+    )
+    for s in sizing.solutions:
+        t.add_row("sizing", s.cost, s.cost / base.cost, s.ard, s.ard / base.ard)
+    for s in repeater.solutions:
+        t.add_row("repeater", s.cost, s.cost / base.cost, s.ard, s.ard / base.ard)
+    print(t)
+
+    best_sized = sizing.min_ard()
+    match = repeater.min_cost_meeting(best_sized.ard)
+    print(f"\nbest sizing diameter: {best_sized.ard:.0f} ps "
+          f"at cost {best_sized.cost:.0f}")
+    if match is not None:
+        print(f"repeaters reach the same diameter at cost {match.cost:.0f} "
+              f"({match.repeater_count()} repeaters) — "
+              f"{best_sized.cost / match.cost:.2f}x cheaper")
+    print(f"best repeater diameter: {repeater.min_ard().ard:.0f} ps "
+          f"({repeater.min_ard().ard / best_sized.ard:.2f}x the sizing optimum)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+"""A realistic asymmetric scenario: a controller with four memory devices.
+
+The paper's introduction motivates multisource optimization with buses; this
+example models one: a memory controller on the left edge of a 1 cm die and
+four devices spread across it, all sharing a bidirectional data bus.
+
+The asymmetry matters:
+
+* the controller's data arrives late (deep logic before the bus) but its
+  received data feeds fast paths -> large alpha, small beta;
+* the devices respond quickly but their received data crosses slow I/O
+  logic -> small alpha, large beta;
+* the controller has a strong driver, the devices weak ones.
+
+The optimizer must balance controller->device write paths against
+device->controller read paths; the example shows the chosen repeater
+orientations and how the critical pair shifts along the trade-off suite.
+
+Run:  python examples/memory_bus.py
+"""
+
+from repro import (
+    MSRIOptions,
+    Repeater,
+    Terminal,
+    TreeBuilder,
+    ard,
+    default_repeater_library,
+    insert_repeaters,
+    paper_technology,
+    render_tree,
+)
+from repro.steiner import add_insertion_points
+
+
+def build_bus():
+    """Controller at the left edge, devices along a horizontal trunk."""
+    controller = Terminal(
+        "ctl", 0, 5000,
+        arrival_time=900.0,       # deep datapath before the bus
+        downstream_delay=100.0,   # received data lands in fast logic
+        capacitance=0.10,
+        resistance=120.0,         # strong pad driver
+        intrinsic_delay=60.0,
+    )
+    devices = [
+        Terminal(
+            f"dm{i}", 2500 * (i + 1), 5000 + (1500 if i % 2 else -1500),
+            arrival_time=150.0,      # devices respond promptly
+            downstream_delay=650.0,  # slow receive path inside the device
+            capacitance=0.06,
+            resistance=450.0,        # weak device driver
+            intrinsic_delay=80.0,
+        )
+        for i in range(4)
+    ]
+
+    b = TreeBuilder()
+    hc = b.add_terminal(controller)
+    taps = []
+    for i, dev in enumerate(devices):
+        taps.append(b.add_steiner(2500 * (i + 1), 5000))
+    prev = hc
+    for tap in taps:
+        b.connect(prev, tap)
+        prev = tap
+    for tap, dev in zip(taps, devices):
+        b.connect(tap, b.add_terminal(dev))
+    tree = b.build(root=hc)
+    return add_insertion_points(tree, spacing=800.0)
+
+
+def main() -> None:
+    tech = paper_technology()
+    tree = build_bus()
+    base = ard(tree, tech)
+    src = tree.node(base.source).terminal.name
+    snk = tree.node(base.sink).terminal.name
+    print(f"memory bus: {len(tree.insertion_indices())} insertion points, "
+          f"{tree.total_wire_length() / 1000:.1f} mm of trunk+stub wire")
+    print(f"unbuffered worst path: {base.value:.0f} ps ({src} -> {snk})\n")
+
+    suite = insert_repeaters(
+        tree, tech, MSRIOptions(library=default_repeater_library())
+    )
+    print("  cost   diameter(ps)   reps   critical path")
+    for s in suite.solutions:
+        reps = {k: v for k, v in s.assignment().items() if isinstance(v, Repeater)}
+        check = ard(tree, tech, reps)
+        pair = (
+            f"{tree.node(check.source).terminal.name} -> "
+            f"{tree.node(check.sink).terminal.name}"
+        )
+        print(f"  {s.cost:4.0f}   {s.ard:12.0f}   {len(reps):4d}   {pair}")
+
+    fastest = suite.min_ard()
+    reps = {k: v for k, v in fastest.assignment().items()
+            if isinstance(v, Repeater)}
+    print("\nfastest solution layout:")
+    print(render_tree(tree, reps, width=72, height=18))
+
+
+if __name__ == "__main__":
+    main()

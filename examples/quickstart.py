@@ -1,0 +1,56 @@
+"""Quickstart: optimize a random multisource net end to end.
+
+Builds a seeded 10-pin net with the paper's Sec. VI methodology, measures
+its unoptimized augmented RC-diameter, runs the optimal repeater-insertion
+algorithm, and prints the full cost-versus-diameter trade-off suite.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ard,
+    insert_repeaters,
+    paper_instance,
+    paper_technology,
+    repeater_insertion_options,
+)
+
+
+def main() -> None:
+    tech = paper_technology()
+    tree = paper_instance(seed=7, n_pins=10)
+    print(
+        f"net: {len(tree.terminal_indices())} terminals, "
+        f"{len(tree.insertion_indices())} candidate insertion points, "
+        f"{tree.total_wire_length() / 1000:.1f} mm of wire"
+    )
+
+    # 1. the ARD of the bare topology (every pin both drives and listens)
+    base = ard(tree, tech)
+    src = tree.node(base.source).terminal.name
+    snk = tree.node(base.sink).terminal.name
+    print(f"unoptimized RC-diameter: {base.value:.0f} ps "
+          f"(critical pair {src} -> {snk})")
+
+    # 2. optimal repeater insertion: the whole cost/performance suite
+    suite = insert_repeaters(tree, tech, repeater_insertion_options())
+    print(f"\noptimizer: {suite.stats.runtime_seconds:.2f}s, "
+          f"{suite.stats.solutions_generated} candidate solutions generated")
+    print("\n  cost (1X eq.)   diameter (ps)   repeaters")
+    for s in suite.solutions:
+        print(f"  {s.cost:12.1f}   {s.ard:13.1f}   {s.repeater_count():9d}")
+
+    # 3. Problem 2.1: cheapest solution meeting a timing spec
+    spec = 0.6 * suite.min_cost().ard
+    chosen = suite.min_cost_meeting(spec)
+    if chosen is None:
+        print(f"\nspec {spec:.0f} ps unachievable; fastest possible is "
+              f"{suite.min_ard().ard:.0f} ps")
+    else:
+        print(f"\nspec {spec:.0f} ps met at cost {chosen.cost:.0f} with "
+              f"{chosen.repeater_count()} repeaters "
+              f"(diameter {chosen.ard:.0f} ps)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,139 @@
+"""Experiment campaigns: parameter sweeps with persistent JSON artifacts.
+
+Wraps :func:`repro.analysis.experiments.run_instance` into a declarative
+sweep (seeds × net sizes × insertion spacings), records provenance
+(configuration, package version, wall-clock), and serializes everything so
+a full experimental record can be archived, diffed, and re-summarized
+without re-running the optimizer.
+
+Used by the CLI's ``campaign`` subcommand and handy for custom studies:
+
+>>> from repro.analysis.campaign import CampaignConfig, run_campaign
+>>> campaign = run_campaign(CampaignConfig(seeds=(0, 1), sizes=(10,)))
+... # doctest: +SKIP
+>>> print(campaign.summary().render())
+... # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .experiments import InstanceResult, run_instance, table2, table4
+from .report import Table
+
+__all__ = ["CampaignConfig", "Campaign", "run_campaign", "load_campaign"]
+
+CAMPAIGN_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """What to sweep."""
+
+    seeds: Tuple[int, ...] = (0, 1, 2)
+    sizes: Tuple[int, ...] = (10, 20)
+    spacing: float = 800.0
+    label: str = "default"
+
+    def __post_init__(self) -> None:
+        if not self.seeds or not self.sizes:
+            raise ValueError("campaign needs at least one seed and one size")
+        if self.spacing <= 0.0:
+            raise ValueError("spacing must be positive")
+
+    def jobs(self) -> List[Tuple[int, int]]:
+        """The (seed, size) grid in execution order."""
+        return [(seed, size) for size in self.sizes for seed in self.seeds]
+
+
+@dataclass
+class Campaign:
+    """A completed (or partially completed) sweep."""
+
+    config: CampaignConfig
+    results: List[InstanceResult] = field(default_factory=list)
+    started_at: float = 0.0
+    elapsed_seconds: float = 0.0
+    version: str = ""
+
+    def summary(self) -> Table:
+        """The Table II-style normalized summary for this campaign."""
+        return table2(self.results)
+
+    def runtime_summary(self) -> Table:
+        return table4(self.results)
+
+    def result_for(self, seed: int, size: int) -> Optional[InstanceResult]:
+        for r in self.results:
+            if r.seed == seed and r.n_pins == size:
+                return r
+        return None
+
+    # -- persistence -------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        return {
+            "schema": CAMPAIGN_SCHEMA,
+            "config": dataclasses.asdict(self.config),
+            "results": [dataclasses.asdict(r) for r in self.results],
+            "started_at": self.started_at,
+            "elapsed_seconds": self.elapsed_seconds,
+            "version": self.version,
+        }
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=2)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "Campaign":
+        if data.get("schema") != CAMPAIGN_SCHEMA:
+            raise ValueError(f"unsupported campaign schema: {data.get('schema')!r}")
+        cfg = data["config"]
+        config = CampaignConfig(
+            seeds=tuple(cfg["seeds"]),
+            sizes=tuple(cfg["sizes"]),
+            spacing=float(cfg["spacing"]),
+            label=cfg.get("label", "default"),
+        )
+        results = [InstanceResult(**r) for r in data["results"]]
+        return cls(
+            config=config,
+            results=results,
+            started_at=float(data.get("started_at", 0.0)),
+            elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
+            version=data.get("version", ""),
+        )
+
+
+def run_campaign(
+    config: CampaignConfig,
+    *,
+    progress: Optional[callable] = None,
+) -> Campaign:
+    """Execute every job in the grid; ``progress(done, total, result)`` is
+    invoked after each instance when given."""
+    from .. import __version__
+
+    campaign = Campaign(
+        config=config, started_at=time.time(), version=__version__
+    )
+    jobs = config.jobs()
+    t0 = time.perf_counter()
+    for k, (seed, size) in enumerate(jobs, start=1):
+        result = run_instance(seed, size, config.spacing)
+        campaign.results.append(result)
+        if progress is not None:
+            progress(k, len(jobs), result)
+    campaign.elapsed_seconds = time.perf_counter() - t0
+    return campaign
+
+
+def load_campaign(path: str) -> Campaign:
+    with open(path) as fh:
+        return Campaign.from_dict(json.load(fh))

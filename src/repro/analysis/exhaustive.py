@@ -1,0 +1,191 @@
+"""Exhaustive-enumeration optimizer — correctness oracle for MSRI.
+
+Enumerates every assignment of oriented repeaters to insertion points (and,
+optionally, every driver-sizing choice per terminal), evaluates each with
+the independently implemented linear-time ARD algorithm, and returns the
+exact (cost, ARD) Pareto frontier.  Exponential, so only usable on small
+nets — which is exactly its job: the dynamic program must reproduce this
+frontier bit-for-bit on every instance small enough to enumerate
+(paper Theorem 4.1).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.ard import compute_ard
+from ..core.driver_sizing import DriverOption
+from ..rctree.elmore import ElmoreAnalyzer
+from ..rctree.topology import NodeKind, RoutingTree
+from ..tech.buffers import Repeater, RepeaterLibrary
+from ..tech.parameters import Technology
+
+__all__ = [
+    "ExhaustivePoint",
+    "enumerate_assignments",
+    "exhaustive_frontier",
+    "pareto_2d",
+    "is_parity_feasible",
+]
+
+#: Refuse to enumerate beyond this many assignments.
+MAX_ASSIGNMENTS = 2_000_000
+
+
+@dataclass(frozen=True)
+class ExhaustivePoint:
+    """One fully evaluated assignment."""
+
+    cost: float
+    ard: float
+    repeaters: Dict[int, Repeater]
+    drivers: Dict[int, DriverOption]
+
+
+def enumerate_assignments(
+    tree: RoutingTree,
+    tech: Technology,
+    library: Optional[RepeaterLibrary] = None,
+    driver_options: Optional[Sequence[DriverOption]] = None,
+    wire_library: Optional[Sequence[object]] = None,
+) -> List[ExhaustivePoint]:
+    """Evaluate every repeater/driver/wire-width assignment on the tree."""
+    insertion = tree.insertion_indices() if library is not None else []
+    rep_choices: List[Optional[Repeater]] = [None]
+    if library is not None:
+        rep_choices.extend(library.oriented_options())
+
+    terminals = tree.terminal_indices() if driver_options is not None else []
+    drv_choices: Sequence[Optional[DriverOption]] = (
+        list(driver_options) if driver_options is not None else [None]
+    )
+
+    edges: List[int] = []
+    if wire_library is not None:
+        edges = [
+            v
+            for v in range(len(tree))
+            if tree.parent(v) is not None and tree.edge_length(v) > 0.0
+        ]
+    wire_choices: Sequence[Optional[object]] = (
+        list(wire_library) if wire_library is not None else [None]
+    )
+
+    count = (
+        len(rep_choices) ** len(insertion)
+        * (len(drv_choices) ** len(terminals) if terminals else 1)
+        * (len(wire_choices) ** len(edges) if edges else 1)
+    )
+    if count > MAX_ASSIGNMENTS:
+        raise ValueError(
+            f"{count} assignments exceed the exhaustive-search cap "
+            f"({MAX_ASSIGNMENTS}); shrink the instance"
+        )
+
+    points: List[ExhaustivePoint] = []
+    for reps in itertools.product(rep_choices, repeat=len(insertion)):
+        assignment = {
+            idx: rep for idx, rep in zip(insertion, reps) if rep is not None
+        }
+        if not is_parity_feasible(tree, assignment):
+            continue  # some terminal would receive inverted data
+        rep_cost = sum(r.cost for r in assignment.values())
+        for drvs in itertools.product(drv_choices, repeat=max(len(terminals), 1)):
+            if terminals:
+                sized = dict(zip(terminals, drvs))
+                work_tree = _with_sized_terminals(tree, sized)
+                drv_cost = sum(d.cost for d in drvs)
+            else:
+                sized = {}
+                work_tree = tree
+                drv_cost = 0.0
+            for wires in itertools.product(wire_choices, repeat=max(len(edges), 1)):
+                if edges:
+                    widths = {e: wc.width for e, wc in zip(edges, wires)}
+                    wire_cost = sum(
+                        wc.cost(tree.edge_length(e))
+                        for e, wc in zip(edges, wires)
+                    )
+                else:
+                    widths = {}
+                    wire_cost = 0.0
+                analyzer = ElmoreAnalyzer(
+                    work_tree, tech, assignment, wire_widths=widths
+                )
+                ard = compute_ard(analyzer).value
+                points.append(
+                    ExhaustivePoint(
+                        cost=rep_cost + drv_cost + wire_cost,
+                        ard=ard,
+                        repeaters=dict(assignment),
+                        drivers={k: v for k, v in sized.items() if v is not None},
+                    )
+                )
+    return points
+
+
+def exhaustive_frontier(
+    tree: RoutingTree,
+    tech: Technology,
+    library: Optional[RepeaterLibrary] = None,
+    driver_options: Optional[Sequence[DriverOption]] = None,
+    wire_library: Optional[Sequence[object]] = None,
+) -> List[Tuple[float, float]]:
+    """The exact (cost, ARD) Pareto frontier by enumeration."""
+    points = enumerate_assignments(tree, tech, library, driver_options, wire_library)
+    return pareto_2d((p.cost, p.ard) for p in points)
+
+
+def pareto_2d(points: Iterable[Tuple[float, float]]) -> List[Tuple[float, float]]:
+    """Minima of (cost, ARD) pairs, sorted by cost ascending."""
+    ordered = sorted(points)
+    out: List[Tuple[float, float]] = []
+    best = math.inf
+    for cost, ard in ordered:
+        if ard < best - 1e-12:
+            out.append((cost, ard))
+            best = ard
+    return out
+
+
+def is_parity_feasible(tree: RoutingTree, assignment: Dict[int, Repeater]) -> bool:
+    """True when every source-sink path crosses an even number of inverters.
+
+    On a tree, the inversion count of the path (u, v) is
+    ``parity(u) XOR parity(v)`` where ``parity(x)`` counts inverting
+    repeaters between the root and ``x`` — so feasibility is simply "all
+    terminals share one parity", and the root terminal pins it to 0.
+    """
+    if not any(rep.is_inverting for rep in assignment.values()):
+        return True
+    parity = {tree.root: 0}
+    for v in tree.dfs_preorder():
+        p = tree.parent(v)
+        if p is None:
+            continue
+        flip = 1 if (v in assignment and assignment[v].is_inverting) else 0
+        parity[v] = parity[p] ^ flip
+    return all(parity[t] == 0 for t in tree.terminal_indices())
+
+
+def _with_sized_terminals(
+    tree: RoutingTree, sized: Dict[int, Optional[DriverOption]]
+) -> RoutingTree:
+    """Copy of the tree with each terminal's parameters resized."""
+    from ..rctree.topology import Node
+
+    nodes = []
+    for n in tree.nodes:
+        opt = sized.get(n.index)
+        if n.kind is NodeKind.TERMINAL and opt is not None:
+            nodes.append(
+                Node(n.index, n.x, n.y, n.kind, opt.applied_to(n.terminal))
+            )
+        else:
+            nodes.append(n)
+    parent = [tree.parent(i) for i in range(len(tree))]
+    lengths = [tree.edge_length(i) for i in range(len(tree))]
+    return RoutingTree(nodes, parent, lengths)

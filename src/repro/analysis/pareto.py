@@ -1,0 +1,117 @@
+"""Scalar point-dominance (Pareto minima) algorithms.
+
+The paper grounds its pruning in the classic *maxima of a set of vectors*
+problem of Kung, Luccio and Preparata (Definition 4.2 cites [14]); the MFS
+generalizes it to functional coordinates.  This module provides the scalar
+building blocks:
+
+* :func:`minima_2d` — O(n log n) sort-and-scan;
+* :func:`minima_3d` — O(n log n) sweep over the first coordinate with a
+  dynamic 2-D staircase for the other two (the KLP construction);
+* :func:`minima_nd` — the O(d n^2) reference used by tests and by callers
+  with small sets in higher dimensions.
+
+All functions return the *indices* of the non-dominated points, in input
+order, keeping the first of any exact duplicates.  Minimization in every
+coordinate is assumed (costs, capacitances, delays).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Sequence, Tuple
+
+__all__ = ["minima_2d", "minima_3d", "minima_nd", "is_dominated"]
+
+
+def is_dominated(p: Sequence[float], q: Sequence[float], tol: float = 0.0) -> bool:
+    """True when ``q`` weakly dominates ``p`` in every coordinate."""
+    return all(qc <= pc + tol for pc, qc in zip(p, q))
+
+
+def minima_2d(points: Sequence[Tuple[float, float]]) -> List[int]:
+    """Indices of the 2-D Pareto minima (first of duplicates kept)."""
+    order = sorted(range(len(points)), key=lambda i: (points[i][0], points[i][1], i))
+    out: List[int] = []
+    best_y = float("inf")
+    prev = None
+    for i in order:
+        x, y = points[i]
+        if (x, y) == prev:
+            continue
+        if y < best_y:
+            out.append(i)
+            best_y = y
+            prev = (x, y)
+    return sorted(out)
+
+
+class _Staircase:
+    """Dynamic 2-D minima staircase: insert points, query dominance.
+
+    Stores a set of mutually non-dominated ``(y, z)`` pairs as parallel
+    sorted arrays with ``y`` strictly increasing and ``z`` strictly
+    decreasing.
+    """
+
+    def __init__(self) -> None:
+        self._ys: List[float] = []
+        self._zs: List[float] = []
+
+    def dominates(self, y: float, z: float) -> bool:
+        """Is (y, z) weakly dominated by a stored point?"""
+        k = bisect.bisect_right(self._ys, y)
+        return k > 0 and self._zs[k - 1] <= z
+
+    def insert(self, y: float, z: float) -> None:
+        """Insert (y, z), evicting points it dominates."""
+        if self.dominates(y, z):
+            return
+        k = bisect.bisect_left(self._ys, y)
+        # evict stored points with y' >= y and z' >= z
+        end = k
+        while end < len(self._ys) and self._zs[end] >= z:
+            end += 1
+        self._ys[k:end] = [y]
+        self._zs[k:end] = [z]
+
+
+def minima_3d(points: Sequence[Tuple[float, float, float]]) -> List[int]:
+    """Indices of the 3-D Pareto minima via the KLP sweep."""
+    order = sorted(range(len(points)), key=lambda i: (points[i], i))
+    out: List[int] = []
+    stair = _Staircase()
+    prev = None
+    for i in order:
+        x, y, z = points[i]
+        if (x, y, z) == prev:
+            continue
+        prev = (x, y, z)
+        # every previously swept point has x' <= x, so dominance reduces to
+        # the (y, z) staircase query
+        if not stair.dominates(y, z):
+            out.append(i)
+        stair.insert(y, z)
+    return sorted(out)
+
+
+def minima_nd(points: Sequence[Sequence[float]], tol: float = 0.0) -> List[int]:
+    """Indices of the Pareto minima in any dimension — O(d n^2) reference."""
+    out: List[int] = []
+    for i, p in enumerate(points):
+        dominated = False
+        for j, q in enumerate(points):
+            if i == j:
+                continue
+            if is_dominated(p, q, tol):
+                if is_dominated(q, p, tol):
+                    # exact tie: keep only the first occurrence
+                    if j < i:
+                        dominated = True
+                        break
+                else:
+                    dominated = True
+                    break
+        if not dominated:
+            out.append(i)
+    return out

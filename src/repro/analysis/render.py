@@ -1,0 +1,79 @@
+"""ASCII rendering of routing trees and repeater assignments.
+
+Used by the Fig. 11 benchmark and the examples to visualize how the
+optimizer spends its repeaters: terminals appear as letters, Steiner points
+as ``+``, free insertion points as ``.``, and placed repeaters as ``#``,
+with wires drawn along their L-shaped routes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..rctree.topology import NodeKind, RoutingTree
+
+__all__ = ["render_tree"]
+
+
+def render_tree(
+    tree: RoutingTree,
+    assignment: Optional[Dict[int, object]] = None,
+    width: int = 72,
+    height: int = 30,
+) -> str:
+    """A fixed-size ASCII picture of the tree on its bounding box."""
+    assignment = assignment or {}
+    min_x, min_y, max_x, max_y = tree.bounding_box()
+    span_x = max(max_x - min_x, 1.0)
+    span_y = max(max_y - min_y, 1.0)
+
+    def cell(x: float, y: float) -> Tuple[int, int]:
+        cx = int(round((x - min_x) / span_x * (width - 1)))
+        # invert y so larger y renders higher
+        cy = int(round((max_y - y) / span_y * (height - 1)))
+        return cx, cy
+
+    canvas: List[List[str]] = [[" "] * width for _ in range(height)]
+
+    def put(cx: int, cy: int, ch: str, *, force: bool = False) -> None:
+        if 0 <= cx < width and 0 <= cy < height:
+            if force or canvas[cy][cx] == " ":
+                canvas[cy][cx] = ch
+
+    # wires first (L-routes: horizontal then vertical)
+    for v in range(len(tree)):
+        p = tree.parent(v)
+        if p is None:
+            continue
+        pa, pb = tree.node(p), tree.node(v)
+        ax, ay = cell(pa.x, pa.y)
+        bx, by = cell(pb.x, pb.y)
+        step = 1 if bx >= ax else -1
+        for cx in range(ax, bx + step, step):
+            put(cx, ay, "-")
+        step = 1 if by >= ay else -1
+        for cy in range(ay, by + step, step):
+            put(bx, cy, "|")
+        put(bx, ay, "+", force=True)
+
+    # nodes on top of wires
+    labels: List[str] = []
+    for node in tree.nodes:
+        cx, cy = cell(node.x, node.y)
+        if node.index in assignment:
+            put(cx, cy, "#", force=True)
+        elif node.kind is NodeKind.TERMINAL:
+            ch = node.terminal.name[-1] if node.terminal.name else "T"
+            put(cx, cy, ch, force=True)
+            labels.append(f"{ch}={node.terminal.name}")
+        elif node.kind is NodeKind.STEINER:
+            put(cx, cy, "+", force=True)
+        else:
+            put(cx, cy, ".", force=True)
+
+    lines = ["".join(row).rstrip() for row in canvas]
+    legend = "terminals: " + ", ".join(labels) if labels else ""
+    footer = "legend: letter=terminal  +=branch  .=insertion point  #=repeater"
+    return "\n".join(line for line in lines if True) + "\n" + footer + (
+        "\n" + legend if legend else ""
+    )

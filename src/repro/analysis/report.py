@@ -1,0 +1,82 @@
+"""Plain-text table rendering for experiment reports.
+
+Every benchmark regenerating a paper table prints rows through this module
+so the repository's outputs have one consistent, diff-friendly format, and
+writes a copy under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Sequence
+
+__all__ = ["Table", "results_dir", "save_text"]
+
+
+class Table:
+    """A fixed-width text table with a title and optional footnotes."""
+
+    def __init__(self, title: str, headers: Sequence[str]):
+        self.title = title
+        self.headers = list(headers)
+        self.rows: List[List[str]] = []
+        self.notes: List[str] = []
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append([_fmt(c) for c in cells])
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(cells: Sequence[str]) -> str:
+            return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+        sep = "-" * (sum(widths) + 2 * (len(widths) - 1))
+        out = [self.title, "=" * len(self.title), line(self.headers), sep]
+        out.extend(line(row) for row in self.rows)
+        if self.notes:
+            out.append("")
+            out.extend(f"note: {n}" for n in self.notes)
+        return "\n".join(out)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return f"{value:.1f}"
+        if abs(value) >= 1000:
+            return f"{value:.0f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def results_dir() -> str:
+    """``benchmarks/results`` relative to the repository root, created."""
+    here = os.path.dirname(os.path.dirname(os.path.dirname(os.path.dirname(__file__))))
+    path = os.path.join(here, "benchmarks", "results")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def save_text(filename: str, content: str, directory: Optional[str] = None) -> str:
+    """Write ``content`` under the results directory; returns the path."""
+    directory = directory or results_dir()
+    path = os.path.join(directory, filename)
+    with open(path, "w") as fh:
+        fh.write(content)
+        if not content.endswith("\n"):
+            fh.write("\n")
+    return path

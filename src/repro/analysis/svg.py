@@ -1,0 +1,113 @@
+"""SVG rendering of routing trees and optimization solutions.
+
+Produces self-contained SVG documents (no external dependencies) showing
+the routed net on its die: L-shaped wires, terminals with names, Steiner
+branch points, candidate insertion points, and placed repeaters with their
+orientation.  Useful for inspecting solutions beyond the coarse ASCII view
+of :mod:`repro.analysis.render`.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List, Optional, Tuple
+
+from ..rctree.topology import NodeKind, RoutingTree
+
+__all__ = ["render_svg", "save_svg"]
+
+_STYLE = {
+    "wire": 'stroke="#4a6fa5" stroke-width="2" fill="none"',
+    "terminal": 'fill="#1f3a5f"',
+    "steiner": 'fill="#7a7a7a"',
+    "insertion": 'fill="none" stroke="#b0b0b0" stroke-width="1"',
+    "repeater": 'fill="#c0392b"',
+    "label": 'font-family="monospace" font-size="12" fill="#202020"',
+    "title": 'font-family="monospace" font-size="14" fill="#202020"',
+}
+
+
+def render_svg(
+    tree: RoutingTree,
+    assignment: Optional[Dict[int, object]] = None,
+    *,
+    width: int = 640,
+    height: int = 640,
+    margin: int = 40,
+    title: Optional[str] = None,
+) -> str:
+    """The tree as an SVG document string."""
+    assignment = assignment or {}
+    min_x, min_y, max_x, max_y = tree.bounding_box()
+    span_x = max(max_x - min_x, 1.0)
+    span_y = max(max_y - min_y, 1.0)
+    scale = min((width - 2 * margin) / span_x, (height - 2 * margin) / span_y)
+
+    def pt(x: float, y: float) -> Tuple[float, float]:
+        return (
+            margin + (x - min_x) * scale,
+            height - margin - (y - min_y) * scale,  # y up
+        )
+
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="#fdfdfb"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{margin}" y="{margin / 2 + 6}" {_STYLE["title"]}>'
+            f"{html.escape(title)}</text>"
+        )
+
+    # wires as L-routes (horizontal leg first, matching the length model)
+    for v in range(len(tree)):
+        p = tree.parent(v)
+        if p is None:
+            continue
+        a, b = tree.node(p), tree.node(v)
+        ax, ay = pt(a.x, a.y)
+        bx, by = pt(b.x, b.y)
+        parts.append(
+            f'<path d="M {ax:.1f} {ay:.1f} L {bx:.1f} {ay:.1f} '
+            f'L {bx:.1f} {by:.1f}" {_STYLE["wire"]}/>'
+        )
+
+    # nodes
+    for node in tree.nodes:
+        x, y = pt(node.x, node.y)
+        if node.index in assignment:
+            rep = assignment[node.index]
+            parts.append(
+                f'<rect x="{x - 5:.1f}" y="{y - 5:.1f}" width="10" height="10" '
+                f'{_STYLE["repeater"]}>'
+                f"<title>{html.escape(getattr(rep, 'name', 'repeater'))}"
+                f"</title></rect>"
+            )
+        elif node.kind is NodeKind.TERMINAL:
+            parts.append(f'<circle cx="{x:.1f}" cy="{y:.1f}" r="6" {_STYLE["terminal"]}/>')
+            parts.append(
+                f'<text x="{x + 8:.1f}" y="{y - 6:.1f}" {_STYLE["label"]}>'
+                f"{html.escape(node.terminal.name)}</text>"
+            )
+        elif node.kind is NodeKind.STEINER:
+            parts.append(f'<circle cx="{x:.1f}" cy="{y:.1f}" r="3" {_STYLE["steiner"]}/>')
+        else:
+            parts.append(
+                f'<circle cx="{x:.1f}" cy="{y:.1f}" r="3" {_STYLE["insertion"]}/>'
+            )
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_svg(
+    tree: RoutingTree,
+    path: str,
+    assignment: Optional[Dict[int, object]] = None,
+    **kwargs,
+) -> str:
+    """Render and write to ``path``; returns the path."""
+    with open(path, "w") as fh:
+        fh.write(render_svg(tree, assignment, **kwargs))
+    return path

@@ -1,0 +1,150 @@
+"""Process-variation robustness analysis of repeater-insertion solutions.
+
+The optimizer commits to an assignment using nominal technology constants,
+but fabricated wires and devices vary.  This module quantifies how a
+solution's augmented RC-diameter moves under random multiplicative
+perturbations of the wire constants and device parameters — a Monte-Carlo
+corner sweep over the existing Elmore engine.
+
+The headline question (answered by ``benchmarks/bench_variation.py``): do
+the optimizer's buffered solutions stay better than the unbuffered net
+across the process spread, or does their advantage evaporate at corners?
+Because a repeater decouples its subtree, buffered solutions also
+concentrate each path's delay into fewer RC products, which *reduces*
+relative spread — measurable here.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.ard import ard
+from ..rctree.topology import Node, NodeKind, RoutingTree
+from ..tech.buffers import Repeater
+from ..tech.parameters import Technology
+
+__all__ = ["VariationModel", "VariationResult", "monte_carlo_ard"]
+
+
+@dataclass(frozen=True)
+class VariationModel:
+    """Relative 3-sigma spreads of each parameter class (lognormal-ish).
+
+    Each sample draws one global multiplicative factor per parameter class
+    (die-to-die variation): wire resistance, wire capacitance, device
+    resistance, device capacitance.  Factors are
+    ``exp(N(0, sigma))`` with ``sigma = spread / 3`` so ``spread`` reads as
+    a 3-sigma relative variation.
+    """
+
+    wire_resistance_spread: float = 0.15
+    wire_capacitance_spread: float = 0.10
+    device_resistance_spread: float = 0.20
+    device_capacitance_spread: float = 0.10
+
+    def __post_init__(self) -> None:
+        for f in dataclasses.fields(self):
+            if getattr(self, f.name) < 0.0:
+                raise ValueError(f"{f.name} must be non-negative")
+
+
+@dataclass(frozen=True)
+class VariationResult:
+    """Distribution statistics of the sampled ARD."""
+
+    nominal: float
+    mean: float
+    std: float
+    p95: float
+    worst: float
+    samples: Tuple[float, ...]
+
+    @property
+    def relative_spread(self) -> float:
+        """Std/mean — the robustness figure of merit."""
+        return self.std / self.mean if self.mean else math.nan
+
+
+def monte_carlo_ard(
+    tree: RoutingTree,
+    tech: Technology,
+    assignment: Optional[Dict[int, Repeater]] = None,
+    *,
+    model: VariationModel = VariationModel(),
+    samples: int = 100,
+    seed: int = 0,
+) -> VariationResult:
+    """Sample the ARD under die-to-die parameter variation."""
+    if samples < 1:
+        raise ValueError("need at least one sample")
+    rng = np.random.default_rng(seed)
+    nominal = ard(tree, tech, assignment).value
+    values: List[float] = []
+    for _ in range(samples):
+        f_wr = _factor(rng, model.wire_resistance_spread)
+        f_wc = _factor(rng, model.wire_capacitance_spread)
+        f_dr = _factor(rng, model.device_resistance_spread)
+        f_dc = _factor(rng, model.device_capacitance_spread)
+        var_tech = Technology(
+            tech.unit_resistance * f_wr,
+            tech.unit_capacitance * f_wc,
+            name=f"{tech.name}+var",
+            extras=dict(tech.extras),
+        )
+        var_tree = _scaled_devices(tree, f_dr, f_dc)
+        var_assignment = _scaled_repeaters(assignment or {}, f_dr, f_dc)
+        values.append(ard(var_tree, var_tech, var_assignment).value)
+    arr = np.asarray(values)
+    return VariationResult(
+        nominal=nominal,
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if samples > 1 else 0.0,
+        p95=float(np.percentile(arr, 95)),
+        worst=float(arr.max()),
+        samples=tuple(values),
+    )
+
+
+def _factor(rng, spread: float) -> float:
+    if spread == 0.0:
+        return 1.0
+    return float(np.exp(rng.normal(0.0, spread / 3.0)))
+
+
+def _scaled_devices(tree: RoutingTree, f_r: float, f_c: float) -> RoutingTree:
+    nodes = []
+    for n in tree.nodes:
+        if n.kind is NodeKind.TERMINAL:
+            t = dataclasses.replace(
+                n.terminal,
+                resistance=n.terminal.resistance * f_r,
+                capacitance=n.terminal.capacitance * f_c,
+            )
+            nodes.append(Node(n.index, n.x, n.y, n.kind, t))
+        else:
+            nodes.append(n)
+    return RoutingTree(
+        nodes,
+        [tree.parent(i) for i in range(len(tree))],
+        [tree.edge_length(i) for i in range(len(tree))],
+    )
+
+
+def _scaled_repeaters(
+    assignment: Dict[int, Repeater], f_r: float, f_c: float
+) -> Dict[int, Repeater]:
+    out = {}
+    for idx, rep in assignment.items():
+        out[idx] = dataclasses.replace(
+            rep,
+            r_ab=rep.r_ab * f_r,
+            r_ba=rep.r_ba * f_r,
+            c_a=rep.c_a * f_c,
+            c_b=rep.c_b * f_c,
+        )
+    return out

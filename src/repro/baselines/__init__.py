@@ -1,0 +1,27 @@
+"""Baselines: van Ginneken insertion, greedy repeaters, pairwise constraints."""
+
+from .greedy import GreedyStep, greedy_insertion
+from .pairwise import (
+    PairwiseConstraint,
+    PairwiseSpec,
+    Violation,
+    check_constraints,
+    greedy_pairwise_repair,
+    spec_from_ard,
+    worst_slack,
+)
+from .vanginneken import VGSolution, van_ginneken
+
+__all__ = [
+    "GreedyStep",
+    "greedy_insertion",
+    "PairwiseConstraint",
+    "PairwiseSpec",
+    "Violation",
+    "check_constraints",
+    "greedy_pairwise_repair",
+    "spec_from_ard",
+    "worst_slack",
+    "VGSolution",
+    "van_ginneken",
+]

@@ -1,0 +1,185 @@
+"""Arbitrary pairwise delay constraints — the formulation the paper rejects.
+
+Sec. II of the paper contrasts the ARD objective with the "arbitrary
+pair-wise constraint" formulation of Tsai, Kao and Cheng [24], where every
+(source, sink) pair carries its own delay bound.  The paper argues the ARD
+subsumes the practical cases while admitting an exact algorithm — the
+pairwise problem "appears significantly more complex" (its footnote 10
+explains why the subtree decomposition breaks: external sinks no longer
+share one critical source).
+
+This module implements the pairwise world as a *baseline and verifier*:
+
+* :class:`PairwiseSpec` — a bag of per-pair bounds;
+* :func:`check_constraints` — exact violation report for a given repeater
+  assignment (O(K·n) path walks);
+* :func:`greedy_pairwise_repair` — a local-optimization heuristic in the
+  spirit of [24]: repeatedly insert the repeater that most improves the
+  worst violation;
+* :func:`spec_from_ard` — the bridge to the paper's formulation: the ARD
+  bound ``A`` induces the pairwise bounds
+  ``PD(u,v) <= A - alpha(u) - beta(v)``, so Problem 2.1 is the special case
+  where all bounds derive from 2n parameters (the paper's observation that
+  its implicit pairwise bounds "are not arbitrary").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..rctree.elmore import ElmoreAnalyzer
+from ..rctree.topology import RoutingTree
+from ..tech.buffers import Repeater, RepeaterLibrary
+from ..tech.parameters import Technology
+
+__all__ = [
+    "PairwiseConstraint",
+    "PairwiseSpec",
+    "Violation",
+    "spec_from_ard",
+    "check_constraints",
+    "greedy_pairwise_repair",
+]
+
+
+@dataclass(frozen=True)
+class PairwiseConstraint:
+    """``PD(source, sink) <= bound`` (raw path delay, in ps)."""
+
+    source: int
+    sink: int
+    bound: float
+
+    def __post_init__(self) -> None:
+        if self.source == self.sink:
+            raise ValueError("a pairwise constraint needs distinct endpoints")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A constraint that the assignment misses, with its slack (< 0)."""
+
+    constraint: PairwiseConstraint
+    actual: float
+
+    @property
+    def slack(self) -> float:
+        return self.constraint.bound - self.actual
+
+
+class PairwiseSpec:
+    """An immutable set of pairwise delay constraints over one tree."""
+
+    def __init__(self, tree: RoutingTree, constraints: List[PairwiseConstraint]):
+        terminals = set(tree.terminal_indices())
+        for c in constraints:
+            for end in (c.source, c.sink):
+                if end not in terminals:
+                    raise ValueError(f"constraint endpoint {end} is not a terminal")
+            if not tree.node(c.source).terminal.is_source:
+                raise ValueError(
+                    f"terminal {tree.node(c.source).terminal.name} cannot drive"
+                )
+            if not tree.node(c.sink).terminal.is_sink:
+                raise ValueError(
+                    f"terminal {tree.node(c.sink).terminal.name} cannot receive"
+                )
+        self.tree = tree
+        self.constraints: Tuple[PairwiseConstraint, ...] = tuple(constraints)
+
+    def __len__(self) -> int:
+        return len(self.constraints)
+
+    def __iter__(self):
+        return iter(self.constraints)
+
+
+def spec_from_ard(tree: RoutingTree, ard_bound: float) -> PairwiseSpec:
+    """The pairwise bounds that the ARD bound implicitly imposes.
+
+    ``alpha(u) + PD(u, v) + beta(v) <= A`` for every source/sink pair —
+    the linear-parameter special case the paper's Problem 2.1 optimizes
+    exactly.
+    """
+    constraints = []
+    for u in tree.terminal_indices():
+        tu = tree.node(u).terminal
+        if not tu.is_source:
+            continue
+        for v in tree.terminal_indices():
+            tv = tree.node(v).terminal
+            if v == u or not tv.is_sink:
+                continue
+            constraints.append(
+                PairwiseConstraint(
+                    u, v, ard_bound - tu.arrival_time - tv.downstream_delay
+                )
+            )
+    return PairwiseSpec(tree, constraints)
+
+
+def check_constraints(
+    spec: PairwiseSpec,
+    tech: Technology,
+    assignment: Optional[Dict[int, Repeater]] = None,
+) -> List[Violation]:
+    """All violated constraints under the given assignment (may be empty)."""
+    analyzer = ElmoreAnalyzer(spec.tree, tech, assignment)
+    violations = []
+    for c in spec.constraints:
+        actual = analyzer.path_delay(c.source, c.sink)
+        if actual > c.bound + 1e-9:
+            violations.append(Violation(c, actual))
+    return violations
+
+
+def worst_slack(
+    spec: PairwiseSpec,
+    tech: Technology,
+    assignment: Optional[Dict[int, Repeater]] = None,
+) -> float:
+    """Minimum ``bound - actual`` over all constraints (negative = violated)."""
+    analyzer = ElmoreAnalyzer(spec.tree, tech, assignment)
+    return min(
+        c.bound - analyzer.path_delay(c.source, c.sink) for c in spec.constraints
+    )
+
+
+def greedy_pairwise_repair(
+    spec: PairwiseSpec,
+    tech: Technology,
+    library: RepeaterLibrary,
+    *,
+    max_steps: int = 50,
+) -> Tuple[Dict[int, Repeater], float]:
+    """Local optimization toward satisfying a pairwise spec ([24]-style).
+
+    Greedily inserts the single (position, oriented repeater) that maximizes
+    the worst slack; stops when the spec is met, no move helps, or the step
+    budget runs out.  Returns the assignment and its final worst slack —
+    a heuristic: unlike the paper's ARD formulation, no optimality claim.
+    """
+    tree = spec.tree
+    assignment: Dict[int, Repeater] = {}
+    current = worst_slack(spec, tech, assignment)
+    options = library.oriented_options()
+
+    for _ in range(max_steps):
+        if current >= 0.0:
+            break
+        best: Optional[Tuple[float, int, Repeater]] = None
+        for idx in tree.insertion_indices():
+            if idx in assignment:
+                continue
+            for rep in options:
+                assignment[idx] = rep
+                slack = worst_slack(spec, tech, assignment)
+                del assignment[idx]
+                if best is None or slack > best[0]:
+                    best = (slack, idx, rep)
+        if best is None or best[0] <= current + 1e-9:
+            break
+        current, idx, rep = best
+        assignment[idx] = rep
+    return assignment, current

@@ -1,0 +1,145 @@
+"""Classic single-source buffer insertion (van Ginneken [26] / Dhar [9]).
+
+An independent implementation of the single-source dynamic program in its
+"min-cost suite" form (Lillis et al. [15]): each subtree candidate is the
+scalar triple ``(cost, cap, delay)`` where ``delay`` is the maximum
+root-of-subtree→sink delay including sink downstream delays; sets are kept
+minimal with 3-D Kung–Luccio–Preparata pruning.
+
+Its purpose in this repository is *validation*: when a multisource net
+degenerates to a single source, the paper's MSRI algorithm must reproduce
+exactly this algorithm's cost/delay frontier — the multisource machinery
+collapses onto the classic one (the ``arr``/``diam`` coordinates carry no
+information when only the root drives).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..analysis.pareto import minima_3d
+from ..rctree.topology import NodeKind, RoutingTree
+from ..tech.buffers import Buffer
+from ..tech.parameters import Technology
+from ..tech.terminals import NEVER
+
+__all__ = ["VGSolution", "van_ginneken"]
+
+
+@dataclass(frozen=True)
+class VGSolution:
+    """One single-source candidate: scalars plus the buffer placement."""
+
+    cost: float
+    cap: float
+    delay: float
+    placements: Tuple[Tuple[int, Buffer], ...] = ()
+
+
+def van_ginneken(
+    tree: RoutingTree,
+    tech: Technology,
+    buffers: Sequence[Buffer],
+) -> List[VGSolution]:
+    """The (cost, source-to-sink max delay) frontier for a single-source net.
+
+    The tree root must be the driving terminal; all other terminals are
+    sinks (their ``beta`` is folded into ``delay``).  Returns the suite
+    sorted by cost ascending, with strictly decreasing delay.
+    """
+    root = tree.root
+    root_term = tree.node(root).terminal
+    if root_term is None or not root_term.is_source:
+        raise ValueError("van Ginneken requires the root to be the source")
+    for idx in tree.terminal_indices():
+        term = tree.node(idx).terminal
+        if idx != root and term.is_source:
+            raise ValueError(
+                f"terminal {term.name} is a source; this baseline handles "
+                "single-source nets only"
+            )
+
+    sets: Dict[int, List[VGSolution]] = {}
+    for v in tree.dfs_postorder():
+        if v == root:
+            continue
+        node = tree.node(v)
+        if node.kind is NodeKind.TERMINAL:
+            term = node.terminal
+            beta = term.downstream_delay if term.is_sink else NEVER
+            sets[v] = [VGSolution(0.0, term.capacitance, beta)]
+            continue
+        child_sets = [
+            _augment(sets[u], tech, tree.edge_length(u)) for u in tree.children(v)
+        ]
+        current = child_sets[0]
+        for other in child_sets[1:]:
+            current = _prune(
+                [
+                    VGSolution(
+                        a.cost + b.cost,
+                        a.cap + b.cap,
+                        max(a.delay, b.delay),
+                        a.placements + b.placements,
+                    )
+                    for a in current
+                    for b in other
+                ]
+            )
+        if node.kind is NodeKind.INSERTION:
+            buffered = [
+                VGSolution(
+                    s.cost + b.cost,
+                    b.input_capacitance,
+                    b.delay(s.cap) + s.delay,
+                    s.placements + ((v, b),),
+                )
+                for s in current
+                for b in buffers
+            ]
+            current = _prune(current + buffered)
+        sets[v] = current
+
+    (child,) = tree.children(root)
+    final = []
+    for s in _augment(sets[child], tech, tree.edge_length(child)):
+        total = (
+            root_term.arrival_time
+            + root_term.driver_delay(root_term.capacitance + s.cap)
+            + s.delay
+        )
+        final.append(VGSolution(s.cost, s.cap, total, s.placements))
+    return _frontier_2d(final)
+
+
+def _augment(
+    solutions: Sequence[VGSolution], tech: Technology, length: float
+) -> List[VGSolution]:
+    r = tech.wire_resistance(length)
+    c = tech.wire_capacitance(length)
+    return [
+        VGSolution(
+            s.cost,
+            s.cap + c,
+            s.delay + r * (0.5 * c + s.cap),
+            s.placements,
+        )
+        for s in solutions
+    ]
+
+
+def _prune(solutions: List[VGSolution]) -> List[VGSolution]:
+    keep = minima_3d([(s.cost, s.cap, s.delay) for s in solutions])
+    return [solutions[i] for i in keep]
+
+
+def _frontier_2d(solutions: List[VGSolution]) -> List[VGSolution]:
+    ordered = sorted(solutions, key=lambda s: (s.cost, s.delay))
+    out: List[VGSolution] = []
+    best = float("inf")
+    for s in ordered:
+        if s.delay < best - 1e-12:
+            out.append(s)
+            best = s.delay
+    return out

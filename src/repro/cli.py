@@ -1,0 +1,350 @@
+"""Command-line interface: generate nets, compute ARDs, run the optimizer.
+
+Installed as ``repro-msri`` (also runnable as ``python -m repro.cli``).
+
+Subcommands
+-----------
+``generate``
+    Build a seeded random net (the Sec. VI pipeline) and write it to JSON.
+``info``
+    Summarize a net file: size, wirelength, insertion points, bounding box.
+``ard``
+    Compute the augmented RC-diameter of a net (optionally with a saved
+    repeater assignment) and report the critical source/sink pair.
+``optimize``
+    Run MSRI in repeater-insertion, driver-sizing, or combined mode; print
+    the cost/ARD trade-off suite and optionally save the assignment that
+    meets a timing spec at minimum cost.
+``render``
+    ASCII-render a net (optionally with a saved assignment), or write an
+    SVG with ``--svg``.
+``synthesize``
+    ARD-driven topology synthesis: build a timing-optimized Steiner
+    topology for a seeded point set (or one loaded from a points file) and
+    write the resulting net.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from .analysis.render import render_tree
+from .analysis.report import Table
+from .core.ard import ard
+from .core.msri import MSRIOptions, insert_repeaters
+from .io.serialize import (
+    assignment_from_dict,
+    assignment_to_dict,
+    load_tree,
+    save_tree,
+)
+from .netgen.random_nets import random_net
+from .netgen.workloads import (
+    PAPER_SPACING_UM,
+    driver_sizing_options,
+    paper_driver_options,
+    paper_net_spec,
+    paper_repeater_library,
+    paper_technology,
+    repeater_insertion_options,
+)
+from .tech.buffers import Repeater
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-msri",
+        description="Multisource net timing optimization "
+        "(Lillis & Cheng, DAC'97/TCAD'99 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("generate", help="generate a seeded random net")
+    g.add_argument("--seed", type=int, default=0)
+    g.add_argument("--pins", type=int, default=10)
+    g.add_argument(
+        "--spacing",
+        type=float,
+        default=PAPER_SPACING_UM,
+        help="max insertion-point spacing in um (0 disables insertion points)",
+    )
+    g.add_argument("--output", "-o", required=True, help="output net JSON path")
+
+    i = sub.add_parser("info", help="summarize a net file")
+    i.add_argument("net", help="net JSON path")
+
+    a = sub.add_parser("ard", help="compute the augmented RC-diameter")
+    a.add_argument("net", help="net JSON path")
+    a.add_argument("--assignment", help="repeater assignment JSON path")
+
+    o = sub.add_parser("optimize", help="run the MSRI optimizer")
+    o.add_argument("net", help="net JSON path")
+    o.add_argument(
+        "--mode",
+        choices=["repeater", "sizing", "both"],
+        default="repeater",
+    )
+    o.add_argument(
+        "--spec",
+        type=float,
+        help="timing spec (ps); report the min-cost solution meeting it",
+    )
+    o.add_argument(
+        "--save-assignment",
+        help="write the chosen solution's repeater assignment to this path "
+        "(requires --spec)",
+    )
+
+    r = sub.add_parser("render", help="render a net (ASCII or SVG)")
+    r.add_argument("net", help="net JSON path")
+    r.add_argument("--assignment", help="repeater assignment JSON path")
+    r.add_argument("--svg", help="write an SVG to this path instead of ASCII")
+
+    s = sub.add_parser(
+        "synthesize", help="ARD-driven topology synthesis for a point set"
+    )
+    s.add_argument("--seed", type=int, default=0)
+    s.add_argument("--pins", type=int, default=8)
+    s.add_argument(
+        "--points",
+        help="optional points file (one 'x y' pair per line, um) instead of "
+        "a seeded random set",
+    )
+    s.add_argument(
+        "--wirelength-weight",
+        type=float,
+        default=0.0,
+        help="ps per um of extra wire (0 = pure diameter)",
+    )
+    s.add_argument(
+        "--spacing",
+        type=float,
+        default=PAPER_SPACING_UM,
+        help="insertion-point spacing for the written net (0 disables)",
+    )
+    s.add_argument("--output", "-o", required=True, help="output net JSON path")
+
+    c = sub.add_parser(
+        "campaign", help="run a Table II-style sweep and save a JSON record"
+    )
+    c.add_argument("--seeds", type=int, default=3, help="seeds 0..N-1 per size")
+    c.add_argument(
+        "--sizes", type=int, nargs="+", default=[10, 20], help="net cardinalities"
+    )
+    c.add_argument("--spacing", type=float, default=PAPER_SPACING_UM)
+    c.add_argument("--label", default="cli")
+    c.add_argument("--output", "-o", required=True, help="campaign JSON path")
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "generate": _cmd_generate,
+        "info": _cmd_info,
+        "ard": _cmd_ard,
+        "optimize": _cmd_optimize,
+        "render": _cmd_render,
+        "synthesize": _cmd_synthesize,
+        "campaign": _cmd_campaign,
+    }[args.command]
+    return handler(args)
+
+
+def _cmd_generate(args) -> int:
+    spacing = None if args.spacing == 0 else args.spacing
+    tree = random_net(args.seed, args.pins, paper_net_spec(), spacing=spacing)
+    save_tree(tree, args.output)
+    print(
+        f"wrote {args.output}: {len(tree)} nodes, "
+        f"{len(tree.terminal_indices())} terminals, "
+        f"{len(tree.insertion_indices())} insertion points, "
+        f"{tree.total_wire_length():.0f} um wire"
+    )
+    return 0
+
+
+def _cmd_info(args) -> int:
+    tree = load_tree(args.net)
+    min_x, min_y, max_x, max_y = tree.bounding_box()
+    t = Table(f"net: {args.net}", ["property", "value"])
+    t.add_row("nodes", len(tree))
+    t.add_row("terminals", len(tree.terminal_indices()))
+    t.add_row("steiner points", len(tree.steiner_indices()))
+    t.add_row("insertion points", len(tree.insertion_indices()))
+    t.add_row("wirelength (um)", tree.total_wire_length())
+    t.add_row("bounding box (um)", f"({min_x:.0f},{min_y:.0f})-({max_x:.0f},{max_y:.0f})")
+    t.add_row("root terminal", tree.node(tree.root).terminal.name)
+    print(t)
+    return 0
+
+
+def _load_assignment(path: Optional[str]):
+    if path is None:
+        return {}
+    with open(path) as fh:
+        return assignment_from_dict(json.load(fh))
+
+
+def _cmd_ard(args) -> int:
+    tree = load_tree(args.net)
+    assignment = _load_assignment(args.assignment)
+    result = ard(tree, paper_technology(), assignment)
+    if not result.is_finite:
+        print("net has no source/sink pair; ARD is undefined")
+        return 1
+    src = tree.node(result.source).terminal.name
+    snk = tree.node(result.sink).terminal.name
+    print(f"ARD = {result.value:.1f} ps (critical pair: {src} -> {snk})")
+    return 0
+
+
+def _cmd_optimize(args) -> int:
+    tree = load_tree(args.net)
+    tech = paper_technology()
+    if args.mode == "repeater":
+        options = repeater_insertion_options()
+    elif args.mode == "sizing":
+        options = driver_sizing_options()
+    else:
+        options = MSRIOptions(
+            library=paper_repeater_library(),
+            driver_options=paper_driver_options(),
+        )
+    result = insert_repeaters(tree, tech, options)
+
+    t = Table(
+        f"cost / ARD trade-off ({args.mode} mode, "
+        f"{result.stats.runtime_seconds:.2f}s)",
+        ["cost (1X eq.)", "ARD (ps)", "repeaters"],
+    )
+    for s in result.solutions:
+        t.add_row(s.cost, s.ard, s.repeater_count())
+    print(t)
+
+    if args.spec is not None:
+        chosen = result.min_cost_meeting(args.spec)
+        if chosen is None:
+            print(f"\nspec {args.spec} ps is not achievable "
+                  f"(best ARD: {result.min_ard().ard:.1f} ps)")
+            return 1
+        print(
+            f"\nmin-cost solution meeting {args.spec} ps: "
+            f"cost {chosen.cost:.1f}, ARD {chosen.ard:.1f} ps, "
+            f"{chosen.repeater_count()} repeaters"
+        )
+        if args.save_assignment:
+            reps = {
+                k: v
+                for k, v in chosen.assignment().items()
+                if isinstance(v, Repeater)
+            }
+            with open(args.save_assignment, "w") as fh:
+                json.dump(assignment_to_dict(reps), fh, indent=2)
+            print(f"assignment written to {args.save_assignment}")
+    return 0
+
+
+def _cmd_render(args) -> int:
+    tree = load_tree(args.net)
+    assignment = _load_assignment(args.assignment)
+    if args.svg:
+        from .analysis.svg import save_svg
+
+        save_svg(tree, args.svg, assignment, title=args.net)
+        print(f"svg written to {args.svg}")
+        return 0
+    print(render_tree(tree, assignment))
+    return 0
+
+
+def _read_points(path: str):
+    points = []
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                raise ValueError(f"{path}:{lineno}: expected 'x y', got {line!r}")
+            points.append((float(parts[0]), float(parts[1])))
+    if len(points) < 2:
+        raise ValueError(f"{path}: need at least two points")
+    return points
+
+
+def _cmd_synthesize(args) -> int:
+    from .netgen.random_nets import random_points
+    from .steiner.insertion_points import add_insertion_points
+    from .steiner.topology_search import synthesize_topology
+    from .tech.terminals import Terminal
+
+    if args.points:
+        points = _read_points(args.points)
+    else:
+        points = random_points(args.seed, args.pins)
+    spec = paper_net_spec()
+    terminals = [
+        Terminal(
+            f"p{i}",
+            x,
+            y,
+            capacitance=spec.capacitance,
+            resistance=spec.resistance,
+            intrinsic_delay=spec.intrinsic_delay,
+        )
+        for i, (x, y) in enumerate(points)
+    ]
+    result = synthesize_topology(
+        terminals, paper_technology(), wirelength_weight=args.wirelength_weight
+    )
+    tree = result.tree
+    if args.spacing:
+        tree = add_insertion_points(tree, args.spacing)
+    save_tree(tree, args.output)
+    print(
+        f"synthesized topology: diameter {result.ard:.0f} ps, wirelength "
+        f"{result.wirelength:.0f} um ({result.iterations} iterations); "
+        f"wrote {args.output}"
+    )
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    from .analysis.campaign import CampaignConfig, run_campaign
+
+    config = CampaignConfig(
+        seeds=tuple(range(args.seeds)),
+        sizes=tuple(args.sizes),
+        spacing=args.spacing,
+        label=args.label,
+    )
+
+    def progress(done, total, result):
+        print(
+            f"[{done}/{total}] seed {result.seed} pins {result.n_pins}: "
+            f"RI diam {result.rep_min_ard / result.base_ard:.3f}x, "
+            f"DS diam {result.sizing_min_ard / result.base_ard:.3f}x "
+            f"({result.rep_runtime_s:.1f}s)"
+        )
+
+    campaign = run_campaign(config, progress=progress)
+    campaign.save(args.output)
+    print()
+    print(campaign.summary())
+    print()
+    print(campaign.runtime_summary())
+    print(f"\ncampaign saved to {args.output} "
+          f"({campaign.elapsed_seconds:.1f}s total)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

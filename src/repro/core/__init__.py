@@ -1,0 +1,49 @@
+"""Core algorithms: ARD computation, PWL machinery, MFS pruning, MSRI DP."""
+
+from .ard import ARDResult, SubtreeTiming, ard, compute_ard
+from .driver_sizing import DriverOption, make_driver_options
+from .intervals import Interval, IntervalSet
+from .mfs import mfs, mfs_pairwise, prune_one
+from .msri import MSRIOptions, MSRIResult, MSRIStats, insert_repeaters
+from .pwl import PWL, Segment, maximum_all
+from .solution import (
+    Placement,
+    RootSolution,
+    Solution,
+    Trace,
+    apply_repeater,
+    augment_wire,
+    evaluate_at_root,
+    join,
+    leaf_solution,
+)
+
+__all__ = [
+    "ARDResult",
+    "SubtreeTiming",
+    "ard",
+    "compute_ard",
+    "DriverOption",
+    "make_driver_options",
+    "Interval",
+    "IntervalSet",
+    "mfs",
+    "mfs_pairwise",
+    "prune_one",
+    "MSRIOptions",
+    "MSRIResult",
+    "MSRIStats",
+    "insert_repeaters",
+    "PWL",
+    "Segment",
+    "maximum_all",
+    "Placement",
+    "RootSolution",
+    "Solution",
+    "Trace",
+    "apply_repeater",
+    "augment_wire",
+    "evaluate_at_root",
+    "join",
+    "leaf_solution",
+]

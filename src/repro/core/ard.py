@@ -1,0 +1,245 @@
+"""Linear-time computation of the augmented RC-diameter (paper Sec. III).
+
+The ARD of a topology ``T`` is
+
+```
+ARD(T) = max over sources u, sinks v (u != v) of alpha(u) + PD(u, v) + beta(v)
+```
+
+Naively this takes one single-source Elmore pass per source — O(n^2).  The
+paper's Fig. 2 algorithm achieves O(n): after the two capacitance passes
+(Eqs. 1–2, done by :class:`~repro.rctree.elmore.ElmoreAnalyzer`), one
+depth-first traversal computes, for every subtree ``T_v``:
+
+* ``arrival``  (the paper's *a(v)*) — the maximum augmented arrival time at
+  ``v`` over sources inside ``T_v``, measured on the parent side of any
+  repeater at ``v``;
+* ``required`` (the paper's *d(v)*) — the maximum augmented delay from ``v``
+  down to sinks inside ``T_v``;
+* ``diameter`` (the paper's *z(v)*) — the maximum augmented source-to-sink
+  delay for pairs wholly inside ``T_v``.
+
+At a branch, paths crossing the branch combine the best upward arrival from
+one child with the best downward required time of a *different* child; a
+top-two scan keeps that O(children).  At the root (a terminal), the root's
+own source/sink roles join in and ``ARD(T) = z(root)``.
+
+The implementation also tracks the arg-max terminals, so callers get the
+*critical source/sink pair* for free — the quantity the paper's Fig. 11
+annotates on its example solutions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..rctree.elmore import ElmoreAnalyzer
+from ..rctree.topology import NodeKind, RoutingTree
+from ..tech.buffers import Repeater
+from ..tech.parameters import Technology
+from ..tech.terminals import NEVER
+
+__all__ = ["ARDResult", "SubtreeTiming", "compute_ard", "ard"]
+
+
+@dataclass(frozen=True)
+class SubtreeTiming:
+    """Per-subtree quantities of the Fig. 2 recursion, with arg-max tracking.
+
+    ``arrival``/``required``/``diameter`` are ``-inf`` when the subtree holds
+    no source / no sink / no source-sink pair respectively; the companion
+    index fields are ``None`` in those cases.
+    """
+
+    arrival: float
+    arrival_source: Optional[int]
+    required: float
+    required_sink: Optional[int]
+    diameter: float
+    diameter_pair: Optional[Tuple[int, int]]
+
+
+@dataclass(frozen=True)
+class ARDResult:
+    """Outcome of an ARD computation.
+
+    ``value`` is ``-inf`` for nets with no source/sink pair.  ``source`` and
+    ``sink`` are the node indices of the critical pair achieving the ARD.
+    ``timing`` exposes the per-subtree table for diagnostics and tests.
+    """
+
+    value: float
+    source: Optional[int]
+    sink: Optional[int]
+    timing: Dict[int, SubtreeTiming]
+
+    @property
+    def is_finite(self) -> bool:
+        return math.isfinite(self.value)
+
+
+def compute_ard(analyzer: ElmoreAnalyzer) -> ARDResult:
+    """ARD(T) for the analyzer's tree and repeater assignment — O(n)."""
+    tree = analyzer.tree
+    timing: Dict[int, SubtreeTiming] = {}
+
+    for v in tree.dfs_postorder():
+        node = tree.node(v)
+        if node.kind is NodeKind.TERMINAL and v != tree.root:
+            timing[v] = _leaf_timing(analyzer, v)
+        elif v != tree.root:
+            timing[v] = _internal_timing(analyzer, v, timing)
+    return _finish_at_root(analyzer, timing)
+
+
+def ard(
+    tree: RoutingTree,
+    tech: Technology,
+    assignment: Optional[Dict[int, Repeater]] = None,
+    *,
+    include_companion_cap: bool = False,
+    wire_widths: Optional[Dict[int, float]] = None,
+) -> ARDResult:
+    """Convenience wrapper building the analyzer and running Fig. 2."""
+    analyzer = ElmoreAnalyzer(
+        tree,
+        tech,
+        assignment,
+        include_companion_cap=include_companion_cap,
+        wire_widths=wire_widths,
+    )
+    return compute_ard(analyzer)
+
+
+# -- recursion cases ----------------------------------------------------------
+
+
+def _leaf_timing(analyzer: ElmoreAnalyzer, v: int) -> SubtreeTiming:
+    tree = analyzer.tree
+    term = tree.node(v).terminal
+    assert term is not None
+    parent = tree.parent(v)
+    assert parent is not None
+
+    arrival, arrival_source = NEVER, None
+    if term.is_source:
+        load = term.capacitance + analyzer.cap_into(v, parent)
+        arrival = term.arrival_time + term.driver_delay(load)
+        arrival_source = v
+
+    required, required_sink = NEVER, None
+    if term.is_sink:
+        required = term.downstream_delay
+        required_sink = v
+
+    return SubtreeTiming(arrival, arrival_source, required, required_sink, NEVER, None)
+
+
+def _internal_timing(
+    analyzer: ElmoreAnalyzer, v: int, timing: Dict[int, SubtreeTiming]
+) -> SubtreeTiming:
+    tree = analyzer.tree
+    parent = tree.parent(v)
+    assert parent is not None
+    children = tree.children(v)
+
+    # per-child quantities measured at v (below any repeater at v)
+    ups = []    # (arrival at v via child, source index, child)
+    downs = []  # (delay from v to sink via child, sink index, child)
+    diameter, diameter_pair = NEVER, None
+    for u in children:
+        tu = timing[u]
+        if tu.arrival != NEVER:
+            ups.append((tu.arrival + analyzer.wire_delay(u, v), tu.arrival_source, u))
+        if tu.required != NEVER:
+            downs.append((analyzer.wire_delay(v, u) + tu.required, tu.required_sink, u))
+        if tu.diameter > diameter:
+            diameter, diameter_pair = tu.diameter, tu.diameter_pair
+
+    arrival, arrival_source = _best(ups)
+    required, required_sink = _best(downs)
+
+    # cross-child paths: best up from child i + best down into child j != i
+    cross, cross_pair = _best_cross(ups, downs)
+    if cross > diameter:
+        diameter, diameter_pair = cross, cross_pair
+
+    if analyzer.has_repeater(v):
+        # measured values move to the repeater's parent (A) side
+        (child,) = children
+        if arrival != NEVER:
+            arrival += analyzer.repeater_delay_through(v, child, parent)
+        if required != NEVER:
+            required += analyzer.repeater_delay_through(v, parent, child)
+
+    return SubtreeTiming(
+        arrival, arrival_source, required, required_sink, diameter, diameter_pair
+    )
+
+
+def _finish_at_root(
+    analyzer: ElmoreAnalyzer, timing: Dict[int, SubtreeTiming]
+) -> ARDResult:
+    tree = analyzer.tree
+    root = tree.root
+    term = tree.node(root).terminal
+    assert term is not None, "trees are rooted at a terminal"
+    (child,) = tree.children(root)
+    tc = timing[child]
+
+    best, src, snk = tc.diameter, None, None
+    if tc.diameter_pair is not None:
+        src, snk = tc.diameter_pair
+
+    # root as sink: arrivals from inside the child subtree terminate here
+    if term.is_sink and tc.arrival != NEVER:
+        cand = tc.arrival + analyzer.wire_delay(child, root) + term.downstream_delay
+        if cand > best:
+            best, src, snk = cand, tc.arrival_source, root
+
+    # root as source: drive down into the child subtree
+    if term.is_source and tc.required != NEVER:
+        load = term.capacitance + analyzer.cap_into(root, child)
+        cand = (
+            term.arrival_time
+            + term.driver_delay(load)
+            + analyzer.wire_delay(root, child)
+            + tc.required
+        )
+        if cand > best:
+            best, src, snk = cand, root, tc.required_sink
+
+    timing[root] = SubtreeTiming(NEVER, None, NEVER, None, best, (src, snk))
+    return ARDResult(best, src, snk, timing)
+
+
+# -- small helpers -------------------------------------------------------------
+
+
+def _best(entries) -> Tuple[float, Optional[int]]:
+    """Max value with its arg terminal; (-inf, None) when empty."""
+    value, arg = NEVER, None
+    for val, terminal, _child in entries:
+        if val > value:
+            value, arg = val, terminal
+    return value, arg
+
+
+def _best_cross(ups, downs) -> Tuple[float, Optional[Tuple[int, int]]]:
+    """max over pairs with distinct children of up_i + down_j.
+
+    Uses the top two entries of each list so a shared-child argmax can fall
+    back to the runner-up — O(#children) overall.
+    """
+    top_ups = sorted(ups, key=lambda e: e[0], reverse=True)[:2]
+    top_downs = sorted(downs, key=lambda e: e[0], reverse=True)[:2]
+    best, pair = NEVER, None
+    for uval, usrc, uchild in top_ups:
+        for dval, dsnk, dchild in top_downs:
+            if uchild == dchild:
+                continue
+            if uval + dval > best:
+                best, pair = uval + dval, (usrc, dsnk)
+    return best, pair

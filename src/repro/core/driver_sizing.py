@@ -1,0 +1,143 @@
+"""Discrete driver sizing for multisource nets (paper Secs. V–VI).
+
+The paper observes that the MSRI algorithm "can also solve the driver sizing
+problem subject to the assumption that drivers are single input (thus
+allowing us to easily take into account the effect a source driver has on
+its preceding stage)".  The experiments build a driver library from the 1X
+buffer: a kX buffer has cost ``k``, resistance ``R/k`` and input capacitance
+``k * 0.05 pF``; each terminal independently picks an *input* (driving)
+buffer size and an *output* (receiving) buffer size — 3 sizes each gave the
+paper's "library of 9 terminal drivers (when orientation is considered)".
+
+Electrically, for a terminal with a size-``i`` driver and size-``j``
+receiver:
+
+* the net sees the receiver's input capacitance ``c_in(j)``;
+* driving, the terminal's arrival picks up ``R_prev * c_in(i)`` (loading
+  the preceding logic stage), the driver intrinsic delay, and
+  ``r(i) * (c_in(j) + c_E)`` — the driver also charges its own receiver;
+* receiving, the downstream delay picks up the receiver's intrinsic delay
+  plus ``r(j) * C_next`` into the following stage;
+* the cost is ``i + j`` equivalent 1X buffers.
+
+:class:`DriverOption` packages one such (driver, receiver) choice in the
+form the MSRI leaf constructor consumes: :meth:`DriverOption.applied_to`
+rewrites a terminal's electrical parameters accordingly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Sequence
+
+from ..tech.buffers import Buffer
+from ..tech.terminals import Terminal
+
+__all__ = ["DriverOption", "make_driver_options", "apply_option_to_tree"]
+
+
+@dataclass(frozen=True)
+class DriverOption:
+    """One sized (driver, receiver) pair a terminal may adopt."""
+
+    name: str
+    cost: float
+    net_capacitance: float      # pF; receiver input cap, seen by the net
+    driver_resistance: float    # ohm
+    driver_intrinsic: float     # ps
+    arrival_penalty: float      # ps; preceding-stage loading of the driver
+    sink_delay_extra: float     # ps; receiver driving the following stage
+
+    def __post_init__(self) -> None:
+        if self.driver_resistance <= 0.0:
+            raise ValueError("driver resistance must be positive")
+        if self.net_capacitance < 0.0 or self.cost < 0.0:
+            raise ValueError("capacitance and cost must be non-negative")
+
+    def applied_to(self, terminal: Terminal) -> Terminal:
+        """The terminal's electrical view under this sizing choice.
+
+        ``alpha``/``beta`` shift by the boundary-stage penalties; the net
+        capacitance and driving resistance are replaced outright.
+        """
+        alpha = terminal.arrival_time
+        if terminal.is_source:
+            alpha = alpha + self.arrival_penalty
+        beta = terminal.downstream_delay
+        if terminal.is_sink:
+            beta = beta + self.sink_delay_extra
+        return replace(
+            terminal,
+            arrival_time=alpha,
+            downstream_delay=beta,
+            capacitance=self.net_capacitance,
+            resistance=self.driver_resistance,
+            intrinsic_delay=self.driver_intrinsic,
+        )
+
+
+def make_driver_options(
+    base: Buffer,
+    scales: Sequence[float] = (1.0, 2.0, 3.0, 4.0),
+    *,
+    prev_stage_resistance: float = 400.0,
+    next_stage_capacitance: float = 0.2,
+) -> List[DriverOption]:
+    """The paper's experimental driver library: all (driver, receiver) pairs.
+
+    The paper derives its library from 1X/2X/3X/4X buffers (Sec. VI); every
+    (driver size, receiver size) pair becomes an option, with the all-1X
+    pair serving as the min-cost baseline.  ``prev_stage_resistance`` and
+    ``next_stage_capacitance`` are the paper's 400 Ω / 0.2 pF terminal
+    boundary conditions.
+    """
+    if prev_stage_resistance < 0.0 or next_stage_capacitance < 0.0:
+        raise ValueError("boundary-stage parameters must be non-negative")
+    return _option_grid(base, scales, prev_stage_resistance, next_stage_capacitance)
+
+
+def apply_option_to_tree(tree, option: "DriverOption"):
+    """A copy of a routing tree with every terminal dressed by ``option``.
+
+    Lets callers evaluate a fixed-sizing scenario (e.g. the all-1X baseline)
+    through the plain Elmore/ARD path without running the optimizer.
+    """
+    from ..rctree.topology import Node, NodeKind, RoutingTree
+
+    nodes = []
+    for n in tree.nodes:
+        if n.kind is NodeKind.TERMINAL:
+            nodes.append(Node(n.index, n.x, n.y, n.kind, option.applied_to(n.terminal)))
+        else:
+            nodes.append(n)
+    return RoutingTree(
+        nodes,
+        [tree.parent(i) for i in range(len(tree))],
+        [tree.edge_length(i) for i in range(len(tree))],
+    )
+
+
+def _option_grid(
+    base: Buffer,
+    scales: Sequence[float],
+    prev_stage_resistance: float,
+    next_stage_capacitance: float,
+) -> List[DriverOption]:
+    drivers = [base.scaled(k) for k in scales]
+    receivers = [base.scaled(k) for k in scales]
+    options: List[DriverOption] = []
+    for drv in drivers:
+        for rcv in receivers:
+            options.append(
+                DriverOption(
+                    name=f"drv:{drv.name}/rcv:{rcv.name}",
+                    cost=drv.cost + rcv.cost,
+                    net_capacitance=rcv.input_capacitance,
+                    driver_resistance=drv.output_resistance,
+                    driver_intrinsic=drv.intrinsic_delay,
+                    arrival_penalty=prev_stage_resistance * drv.input_capacitance,
+                    sink_delay_extra=rcv.intrinsic_delay
+                    + rcv.output_resistance * next_stage_capacitance,
+                )
+            )
+    return options

@@ -1,0 +1,283 @@
+"""Closed-interval algebra on the real line.
+
+The minimal functional subset (MFS) pruning of Lillis & Cheng (Sec. IV-D)
+repeatedly manipulates *regions of the external-capacitance domain*: the set
+of ``c_E`` values for which one candidate solution dominates another.  Those
+regions are finite unions of closed intervals.  This module provides an
+immutable :class:`IntervalSet` with the union / intersection / difference
+operations the pruner needs, plus measure and membership queries.
+
+Conventions
+-----------
+* Intervals are closed ``[lo, hi]`` with ``lo <= hi``; degenerate point
+  intervals (``lo == hi``) are permitted — a solution can be uniquely optimal
+  at a single crossover capacitance.
+* Adjacent or overlapping intervals are always coalesced, so every
+  :class:`IntervalSet` has a unique canonical form, which makes equality
+  checks meaningful in tests.
+* A small tolerance ``ATOL`` is used when coalescing so that floating-point
+  noise from PWL breakpoint arithmetic does not produce spurious slivers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+__all__ = ["Interval", "IntervalSet", "ATOL"]
+
+#: Absolute tolerance used when deciding whether two interval endpoints touch.
+ATOL = 1e-12
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A closed interval ``[lo, hi]`` on the real line."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.lo) or math.isnan(self.hi):
+            raise ValueError("interval endpoints may not be NaN")
+        if self.lo > self.hi:
+            raise ValueError(f"empty interval: lo={self.lo} > hi={self.hi}")
+
+    @property
+    def length(self) -> float:
+        """Measure of the interval (0 for a point interval)."""
+        return self.hi - self.lo
+
+    @property
+    def midpoint(self) -> float:
+        """A representative interior point of the interval."""
+        if math.isinf(self.lo) and math.isinf(self.hi):
+            return 0.0
+        if math.isinf(self.hi):
+            return self.lo + 1.0
+        if math.isinf(self.lo):
+            return self.hi - 1.0
+        return 0.5 * (self.lo + self.hi)
+
+    def contains(self, x: float, atol: float = 0.0) -> bool:
+        """Return True when ``x`` lies in ``[lo - atol, hi + atol]``."""
+        return self.lo - atol <= x <= self.hi + atol
+
+    def overlaps(self, other: "Interval", atol: float = ATOL) -> bool:
+        """Return True when the two closed intervals intersect or touch."""
+        return self.lo <= other.hi + atol and other.lo <= self.hi + atol
+
+    def intersect(self, other: "Interval") -> "Interval | None":
+        """Intersection with ``other`` or None when disjoint."""
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        if lo > hi:
+            return None
+        return Interval(lo, hi)
+
+    def shift(self, delta: float) -> "Interval":
+        """Translate the interval by ``delta``."""
+        return Interval(self.lo + delta, self.hi + delta)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"[{self.lo:g}, {self.hi:g}]"
+
+
+def _coalesce(intervals: Iterable[Interval], atol: float) -> Tuple[Interval, ...]:
+    """Sort and merge overlapping/touching intervals into canonical form."""
+    items = sorted(intervals, key=lambda iv: (iv.lo, iv.hi))
+    merged: List[Interval] = []
+    for iv in items:
+        if merged and iv.lo <= merged[-1].hi + atol:
+            last = merged[-1]
+            if iv.hi > last.hi:
+                merged[-1] = Interval(last.lo, iv.hi)
+        else:
+            merged.append(iv)
+    return tuple(merged)
+
+
+class IntervalSet:
+    """An immutable finite union of disjoint closed intervals.
+
+    Construction always canonicalizes: intervals are sorted and
+    overlapping/touching members merged, so two equal sets compare equal.
+    """
+
+    __slots__ = ("_intervals",)
+
+    def __init__(self, intervals: Iterable[Interval] = (), *, atol: float = ATOL):
+        self._intervals: Tuple[Interval, ...] = _coalesce(intervals, atol)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "IntervalSet":
+        """The empty set."""
+        return cls(())
+
+    @classmethod
+    def single(cls, lo: float, hi: float) -> "IntervalSet":
+        """The set consisting of one interval ``[lo, hi]``."""
+        return cls((Interval(lo, hi),))
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[Tuple[float, float]]) -> "IntervalSet":
+        """Build from ``(lo, hi)`` tuples."""
+        return cls(Interval(lo, hi) for lo, hi in pairs)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def intervals(self) -> Tuple[Interval, ...]:
+        """The canonical, sorted, disjoint member intervals."""
+        return self._intervals
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._intervals
+
+    @property
+    def measure(self) -> float:
+        """Total length of the set."""
+        return sum(iv.length for iv in self._intervals)
+
+    @property
+    def lo(self) -> float:
+        """Infimum of the set; raises on the empty set."""
+        if not self._intervals:
+            raise ValueError("empty IntervalSet has no infimum")
+        return self._intervals[0].lo
+
+    @property
+    def hi(self) -> float:
+        """Supremum of the set; raises on the empty set."""
+        if not self._intervals:
+            raise ValueError("empty IntervalSet has no supremum")
+        return self._intervals[-1].hi
+
+    def contains(self, x: float, atol: float = 0.0) -> bool:
+        """Membership test for the point ``x``."""
+        return any(iv.contains(x, atol) for iv in self._intervals)
+
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(self._intervals)
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def __bool__(self) -> bool:
+        return bool(self._intervals)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalSet):
+            return NotImplemented
+        return self._intervals == other._intervals
+
+    def __hash__(self) -> int:
+        return hash(self._intervals)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = " u ".join(repr(iv) for iv in self._intervals)
+        return f"IntervalSet({inner or 'empty'})"
+
+    def approx_equal(self, other: "IntervalSet", atol: float = 1e-9) -> bool:
+        """Endpoint-wise approximate equality (for float-noise tolerance)."""
+        if len(self) != len(other):
+            return False
+        for a, b in zip(self, other):
+            if not (
+                math.isclose(a.lo, b.lo, rel_tol=0.0, abs_tol=atol)
+                and math.isclose(a.hi, b.hi, rel_tol=0.0, abs_tol=atol)
+            ):
+                return False
+        return True
+
+    # -- set algebra -------------------------------------------------------
+
+    def union(self, other: "IntervalSet") -> "IntervalSet":
+        """Set union."""
+        return IntervalSet(self._intervals + other._intervals)
+
+    def intersect(self, other: "IntervalSet") -> "IntervalSet":
+        """Set intersection via a linear merge of the two sorted lists."""
+        out: List[Interval] = []
+        i = j = 0
+        a, b = self._intervals, other._intervals
+        while i < len(a) and j < len(b):
+            iv = a[i].intersect(b[j])
+            if iv is not None:
+                out.append(iv)
+            # advance whichever interval ends first
+            if a[i].hi < b[j].hi:
+                i += 1
+            else:
+                j += 1
+        return IntervalSet(out)
+
+    def difference(self, other: "IntervalSet") -> "IntervalSet":
+        """Set difference ``self \\ other``.
+
+        Because intervals are closed, removing a closed interval leaves
+        half-open gaps; we approximate by keeping the shared endpoints
+        (measure-zero effect), which is the right semantics for dominance
+        pruning: a solution that is *tied* at a single point is allowed to be
+        pruned there without affecting achievable optima.
+        """
+        if other.is_empty or self.is_empty:
+            return self
+        out: List[Interval] = []
+        for iv in self._intervals:
+            pieces = [iv]
+            for cut in other._intervals:
+                if cut.lo > iv.hi:
+                    break
+                next_pieces: List[Interval] = []
+                for piece in pieces:
+                    if cut.hi < piece.lo or cut.lo > piece.hi:
+                        next_pieces.append(piece)
+                        continue
+                    if cut.lo > piece.lo:
+                        next_pieces.append(Interval(piece.lo, cut.lo))
+                    if cut.hi < piece.hi:
+                        next_pieces.append(Interval(cut.hi, piece.hi))
+                pieces = next_pieces
+                if not pieces:
+                    break
+            out.extend(pieces)
+        return IntervalSet(out)
+
+    def shift(self, delta: float) -> "IntervalSet":
+        """Translate every interval by ``delta``."""
+        return IntervalSet(iv.shift(delta) for iv in self._intervals)
+
+    def clamp(self, lo: float, hi: float) -> "IntervalSet":
+        """Intersect with the single interval ``[lo, hi]``."""
+        if lo > hi:
+            return IntervalSet.empty()
+        return self.intersect(IntervalSet.single(lo, hi))
+
+    def sample_points(self, per_interval: int = 3) -> List[float]:
+        """Representative points: endpoints plus interior midpoints.
+
+        Used by tests and by the exhaustive dominance oracle to probe a
+        region without discretizing the whole domain.
+        """
+        pts: List[float] = []
+        for iv in self._intervals:
+            pts.append(iv.lo)
+            if iv.length > 0:
+                if per_interval > 2:
+                    step = iv.length / (per_interval - 1)
+                    pts.extend(iv.lo + k * step for k in range(1, per_interval - 1))
+                pts.append(iv.hi)
+        return pts
+
+
+def union_all(sets: Sequence[IntervalSet]) -> IntervalSet:
+    """Union of many interval sets."""
+    out = IntervalSet.empty()
+    for s in sets:
+        out = out.union(s)
+    return out

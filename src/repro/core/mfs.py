@@ -1,0 +1,216 @@
+"""Minimal functional subset (MFS) pruning — paper Sec. IV-D, Fig. 4.
+
+In scalar multidimensional dynamic programming one keeps the *minima* of the
+solution set under component-wise dominance (Definition 4.2, the classic
+point-dominance problem of Kung–Luccio–Preparata).  Here two of the five
+coordinates are *functions* of the external capacitance ``c_E``, so a
+solution may be dominated for some values of ``c_E`` and uniquely optimal
+for others.  The paper's answer (Definition 4.3) is the minimal functional
+subset: for each solution, delete the regions of the domain where some other
+solution is no worse in every coordinate, and drop solutions whose domain
+empties out.
+
+The fundamental operation — detect all ranges of ``c_E`` where ``s2``
+dominates ``s1`` and carve them from ``s1``'s domain — runs in time linear
+in the number of participating PWL segments (scalar gates first, then one
+``region_leq`` per function coordinate, then an interval intersection).
+
+Tie handling: identical solutions would annihilate each other under naive
+mutual weak pruning.  We process pruning asymmetrically — an *earlier*
+solution prunes a later one wherever it is weakly no worse, while a later
+solution prunes an earlier one only where it is *strictly* better in at
+least one coordinate.  Under this rule, for every ``c_E`` the first-listed
+optimum always survives, which is exactly what the DP's correctness needs.
+
+Two strategies are provided:
+
+* :func:`mfs_pairwise` — the straightforward O(|S|^2) incremental filter;
+* :func:`mfs` — the paper's divide-and-conquer (Fig. 4): recursively prune
+  both halves, then cross-prune.  Suboptimal solutions tend to die in deep
+  recursion levels, avoiding many comparisons at the top; the worst case
+  remains quadratic in pairwise comparisons (as the paper notes).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..tech.terminals import NEVER
+from .intervals import IntervalSet
+from .solution import Solution
+
+__all__ = ["prune_one", "mfs", "mfs_pairwise"]
+
+#: Scalar slack: coordinates within this are treated as tied.
+_SCALAR_ATOL = 1e-9
+
+
+def _scalars_weakly_dominate(by: Solution, s: Solution) -> bool:
+    """All three scalar coordinates of ``by`` are <= those of ``s``.
+
+    Solutions of different inversion parity are functionally distinct and
+    never comparable (inverter extension).
+    """
+    return (
+        by.parity == s.parity
+        and by.cost <= s.cost + _SCALAR_ATOL
+        and by.cap <= s.cap + _SCALAR_ATOL
+        and by.q <= s.q + _SCALAR_ATOL
+    )
+
+
+def _scalars_strictly_better_somewhere(by: Solution, s: Solution) -> bool:
+    return (
+        by.cost < s.cost - _SCALAR_ATOL
+        or by.cap < s.cap - _SCALAR_ATOL
+        or (by.q < s.q - _SCALAR_ATOL and not (by.q == NEVER and s.q == NEVER))
+    )
+
+
+def _function_leq_region(by_f, s_f, common: IntervalSet) -> IntervalSet:
+    """Region of ``common`` where coordinate ``by_f`` is <= ``s_f``.
+
+    ``None`` encodes the function being identically ``-inf`` (no source /
+    no internal pair): ``-inf`` is <= anything, and nothing finite is
+    <= ``-inf``.
+    """
+    if by_f is None:
+        return common
+    if s_f is None:
+        return IntervalSet.empty()
+    return by_f.region_leq(s_f).intersect(common)
+
+
+def _function_lt_region(by_f, s_f, common: IntervalSet) -> IntervalSet:
+    """Region of ``common`` where ``by_f`` is strictly below ``s_f``."""
+    if s_f is None:
+        return IntervalSet.empty()
+    if by_f is None:
+        return common  # -inf < finite everywhere they are both defined
+    return by_f.region_lt(s_f).intersect(common)
+
+
+def prune_one(s: Solution, by: Solution, *, strict: bool) -> Optional[Solution]:
+    """Remove from ``s`` the domain region where ``by`` dominates it.
+
+    With ``strict=False`` dominance is weak (ties count); with
+    ``strict=True`` the challenger must additionally be strictly better in
+    at least one coordinate at the point.  Returns the surviving solution
+    (possibly ``s`` unchanged) or None when nothing survives.
+    """
+    if not _scalars_weakly_dominate(by, s):
+        return s
+    common = s.domain.intersect(by.domain)
+    if common.is_empty:
+        return s
+
+    region = _function_leq_region(by.arr, s.arr, common)
+    if region.is_empty:
+        return s
+    region = _function_leq_region(by.diam, s.diam, region)
+    if region.is_empty:
+        return s
+
+    if strict and not _scalars_strictly_better_somewhere(by, s):
+        strict_region = _function_lt_region(by.arr, s.arr, common).union(
+            _function_lt_region(by.diam, s.diam, common)
+        )
+        region = region.intersect(strict_region)
+        if region.is_empty:
+            return s
+
+    survivor = s.domain.difference(region)
+    if survivor.is_empty:
+        return None
+    if survivor == s.domain:
+        return s
+    return s.restricted(survivor)
+
+
+def mfs_pairwise(solutions: Sequence[Solution]) -> List[Solution]:
+    """Incremental O(n^2) minimal-functional-subset computation.
+
+    Earlier solutions get weak-pruning priority over later ones, so the
+    result is order-dependent in the presence of exact ties (but always a
+    valid MFS: every point of the domain keeps one of its optima).
+    """
+    kept: List[Solution] = []
+    atol = _SCALAR_ATOL
+    for cand in solutions:
+        c: Optional[Solution] = cand
+        for k in kept:
+            # inlined scalar gate (hot path): k can only prune c when all
+            # three of its scalars are no worse
+            if (k.parity == c.parity and k.cost <= c.cost + atol
+                    and k.cap <= c.cap + atol and k.q <= c.q + atol):
+                c = prune_one(c, k, strict=False)
+                if c is None:
+                    break
+        if c is None:
+            continue
+        changed = False
+        next_kept: List[Solution] = []
+        for k in kept:
+            if (c.parity == k.parity and c.cost <= k.cost + atol
+                    and c.cap <= k.cap + atol and c.q <= k.q + atol):
+                k2 = prune_one(k, c, strict=True)
+            else:
+                k2 = k
+            if k2 is not None:
+                next_kept.append(k2)
+            if k2 is not k:
+                changed = True
+        next_kept.append(c)
+        kept = next_kept if changed else kept + [c]
+    return kept
+
+
+def _merge(a: List[Solution], b: List[Solution]) -> List[Solution]:
+    """Cross-prune two internally-minimal sets (the Fig. 4 merge step)."""
+    atol = _SCALAR_ATOL
+    pruned_b: List[Solution] = []
+    for s in b:
+        cur: Optional[Solution] = s
+        for k in a:
+            if (k.parity == cur.parity and k.cost <= cur.cost + atol
+                    and k.cap <= cur.cap + atol and k.q <= cur.q + atol):
+                cur = prune_one(cur, k, strict=False)
+                if cur is None:
+                    break
+        if cur is not None:
+            pruned_b.append(cur)
+    pruned_a: List[Solution] = []
+    for s in a:
+        cur = s
+        for k in pruned_b:
+            if (k.parity == cur.parity and k.cost <= cur.cost + atol
+                    and k.cap <= cur.cap + atol and k.q <= cur.q + atol):
+                cur = prune_one(cur, k, strict=True)
+                if cur is None:
+                    break
+        if cur is not None:
+            pruned_a.append(cur)
+    return pruned_a + pruned_b
+
+
+def mfs(solutions: Sequence[Solution], *, leaf_size: int = 8) -> List[Solution]:
+    """Divide-and-conquer MFS (paper Fig. 4).
+
+    Splits the set, recursively minimizes both halves, and merges by
+    cross-pruning; suboptimal solutions are mostly eliminated deep in the
+    recursion where comparisons are cheap.  Solutions are pre-sorted by
+    their scalar coordinates (the paper's Sec. V organizational suggestion:
+    "maintaining solution sets in sorted order by cost and secondarily by
+    capacitance"), which makes weak kills land early.
+    """
+    ordered = sorted(solutions, key=lambda s: (s.parity, s.cost, s.cap, s.q, s.uid))
+    return _mfs_rec(ordered, leaf_size)
+
+
+def _mfs_rec(solutions: Sequence[Solution], leaf_size: int) -> List[Solution]:
+    if len(solutions) <= leaf_size:
+        return mfs_pairwise(solutions)
+    mid = len(solutions) // 2
+    left = _mfs_rec(solutions[:mid], leaf_size)
+    right = _mfs_rec(solutions[mid:], leaf_size)
+    return _merge(left, right)

@@ -1,0 +1,383 @@
+"""Optimal multisource repeater insertion (MSRI) — paper Sec. IV, Fig. 5.
+
+Bottom-up dynamic programming over a rooted routing tree.  For every vertex
+``v`` the algorithm computes a minimal set of candidate solutions for the
+subtree ``T_v`` (see :mod:`repro.core.solution` for the characterization and
+:mod:`repro.core.mfs` for the pruning); at the root — a terminal — every
+surviving solution collapses to a scalar ``(cost, ARD)`` pair, and the
+result is the full cost-versus-performance trade-off suite.  Per the
+paper's Theorem 4.1 the suite is exact: every achievable dominant
+``(cost, cap, q, arr(c_E), diam(c_E))`` combination is represented.
+
+The vertex dispatch mirrors the paper's Fig. 5:
+
+* leaf          → :func:`~repro.core.solution.leaf_solution` (Fig. 6), or a
+  set of sized-driver leaf solutions in driver-sizing mode;
+* branch vertex → pairwise :func:`~repro.core.solution.join` of the children
+  (Fig. 7);
+* insertion pt  → unbuffered solutions plus one
+  :func:`~repro.core.solution.apply_repeater` per oriented library repeater
+  (Fig. 8);
+* root terminal → :func:`~repro.core.solution.evaluate_at_root` (Fig. 9);
+
+with :func:`~repro.core.solution.augment_wire` (Fig. 10) extending each set
+across the wire toward the parent.
+
+Problem 2.1 queries (min cost subject to ``ARD <= spec``) and the
+cost-oblivious min-ARD query are answered from the returned suite.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..rctree.topology import NodeKind, RoutingTree
+from ..tech.buffers import RepeaterLibrary
+from ..tech.parameters import Technology
+from .mfs import mfs, mfs_pairwise
+from .solution import (
+    Placement,
+    RootSolution,
+    Solution,
+    Trace,
+    apply_repeater,
+    augment_wire,
+    evaluate_at_root,
+    join,
+    leaf_solution,
+)
+
+__all__ = ["MSRIOptions", "MSRIStats", "MSRIResult", "insert_repeaters"]
+
+
+@dataclass(frozen=True)
+class MSRIOptions:
+    """Knobs for the MSRI run.
+
+    ``driver_options`` switches terminals from their fixed parameters to a
+    library of sized drivers (see :mod:`repro.core.driver_sizing`); it maps
+    the optimizer onto the paper's driver-sizing experiments.  ``library``
+    may be None in pure driver-sizing mode (no repeaters offered).
+    ``wire_library`` enables the wire-sizing extension: every
+    positive-length segment independently picks one
+    :class:`~repro.tech.buffers.WireClass`, paying its area cost.
+    ``use_divide_and_conquer`` selects the Fig. 4 pruner versus the naive
+    pairwise one (ablation A1).
+    """
+
+    library: Optional[RepeaterLibrary] = None
+    driver_options: Optional[Sequence[object]] = None
+    wire_library: Optional[Sequence[object]] = None
+    use_divide_and_conquer: bool = True
+    mfs_leaf_size: int = 8
+    collect_stats: bool = True
+
+    def __post_init__(self) -> None:
+        if (
+            self.library is None
+            and self.driver_options is None
+            and self.wire_library is None
+        ):
+            raise ValueError(
+                "nothing to optimize: provide a repeater library, driver "
+                "options, a wire library, or a combination"
+            )
+        if self.wire_library is not None and not self.wire_library:
+            raise ValueError("wire_library may not be empty when given")
+
+
+@dataclass
+class MSRIStats:
+    """Run statistics (solution-set sizes, pruning effectiveness, timing)."""
+
+    nodes_processed: int = 0
+    solutions_generated: int = 0
+    solutions_after_pruning: int = 0
+    max_set_size: int = 0
+    max_segments: int = 0
+    runtime_seconds: float = 0.0
+    set_sizes: Dict[int, int] = field(default_factory=dict)
+
+    def record(self, node: int, before: int, after: List[Solution]) -> None:
+        self.nodes_processed += 1
+        self.solutions_generated += before
+        self.solutions_after_pruning += len(after)
+        self.max_set_size = max(self.max_set_size, len(after))
+        self.set_sizes[node] = len(after)
+        for s in after:
+            for f in (s.arr, s.diam):
+                if f is not None:
+                    self.max_segments = max(self.max_segments, f.num_segments)
+
+
+@dataclass(frozen=True)
+class MSRIResult:
+    """The suite of Pareto-optimal complete solutions, cheapest first."""
+
+    solutions: Tuple[RootSolution, ...]
+    stats: MSRIStats
+    tree: RoutingTree
+
+    def min_cost_meeting(self, spec: float) -> Optional[RootSolution]:
+        """Cheapest solution with ``ARD <= spec`` (Problem 2.1); None if
+        the spec is unachievable even at maximum cost."""
+        for s in self.solutions:
+            if s.ard <= spec:
+                return s
+        return None
+
+    def min_ard(self) -> RootSolution:
+        """The fastest solution regardless of cost."""
+        return min(self.solutions, key=lambda s: s.ard)
+
+    def min_cost(self) -> RootSolution:
+        """The cheapest solution regardless of ARD."""
+        return self.solutions[0]
+
+    def tradeoff(self) -> List[Tuple[float, float]]:
+        """The (cost, ARD) frontier, cheapest first."""
+        return [(s.cost, s.ard) for s in self.solutions]
+
+    def with_repeater_count(self, count: int) -> Optional[RootSolution]:
+        """Fastest solution using exactly ``count`` repeaters (Fig. 11
+        reports such fixed-budget solutions); None if no such solution is
+        on the frontier."""
+        matches = [s for s in self.solutions if s.repeater_count() == count]
+        if not matches:
+            return None
+        return min(matches, key=lambda s: s.ard)
+
+
+def insert_repeaters(
+    tree: RoutingTree,
+    tech: Technology,
+    options: MSRIOptions,
+) -> MSRIResult:
+    """Run the MSRI dynamic program and return the (cost, ARD) suite."""
+    t0 = time.perf_counter()
+    stats = MSRIStats()
+    c_max = _domain_bound(tree, tech, options)
+    prune = _make_pruner(options)
+
+    root = tree.root
+    sets: Dict[int, List[Solution]] = {}
+    for v in tree.dfs_postorder():
+        if v == root:
+            continue
+        node = tree.node(v)
+        if node.kind is NodeKind.TERMINAL:
+            raw = _leaf_set(node, v, c_max, options)
+        elif node.kind is NodeKind.STEINER:
+            raw = _branch_set(tree, tech, v, sets, c_max, prune, options)
+        else:  # insertion point
+            raw = _insertion_set(tree, tech, v, sets, c_max, options)
+        generated = len(raw)
+        pruned = prune(raw)
+        stats.record(v, generated, pruned)
+        sets[v] = pruned
+        for u in tree.children(v):
+            del sets[u]  # children fully consumed; free memory
+
+    roots = _root_set(tree, tech, sets, c_max, options)
+    stats.runtime_seconds = time.perf_counter() - t0
+    return MSRIResult(solutions=tuple(roots), stats=stats, tree=tree)
+
+
+# -- per-kind solution set construction ------------------------------------------
+
+
+def _leaf_set(node, v: int, c_max: float, options: MSRIOptions) -> List[Solution]:
+    term = node.terminal
+    assert term is not None
+    if options.driver_options is None:
+        return [leaf_solution(term, c_max)]
+    out = []
+    for opt in options.driver_options:
+        out.append(
+            leaf_solution(
+                opt.applied_to(term),
+                c_max,
+                cost=opt.cost,
+                trace=Trace().extended(Placement(v, opt)),
+            )
+        )
+    return out
+
+
+def _augment_over_edge(
+    tree: RoutingTree,
+    tech: Technology,
+    child: int,
+    solutions: List[Solution],
+    c_max: float,
+    options: MSRIOptions,
+) -> List[Solution]:
+    """Extend a child's solutions across the wire toward its parent.
+
+    Without a wire library this is one plain Fig. 10 augment per solution;
+    with one, every positive-length segment fans out over the width menu
+    (the wire-sizing extension), charging each class's area cost and
+    recording the choice against the edge's child node.
+    """
+    length = tree.edge_length(child)
+    r = tech.wire_resistance(length)
+    c = tech.wire_capacitance(length)
+    if options.wire_library is None or length <= 0.0:
+        out = []
+        for s in solutions:
+            a = augment_wire(s, r, c, c_max)
+            if a is not None:
+                out.append(a)
+        return out
+    out = []
+    for wc in options.wire_library:
+        extra = wc.cost(length)
+        placement = Placement(child, wc)
+        for s in solutions:
+            a = augment_wire(
+                s,
+                wc.resistance(r),
+                wc.capacitance(c),
+                c_max,
+                extra_cost=extra,
+                trace_placement=placement,
+            )
+            if a is not None:
+                out.append(a)
+    return out
+
+
+def _augmented_child_sets(
+    tree: RoutingTree,
+    tech: Technology,
+    v: int,
+    sets: Dict[int, List[Solution]],
+    c_max: float,
+    options: MSRIOptions,
+) -> List[List[Solution]]:
+    """Each child's solution set extended across its wire up to ``v``."""
+    return [
+        _augment_over_edge(tree, tech, u, sets[u], c_max, options)
+        for u in tree.children(v)
+    ]
+
+
+def _branch_set(
+    tree: RoutingTree,
+    tech: Technology,
+    v: int,
+    sets: Dict[int, List[Solution]],
+    c_max: float,
+    prune,
+    options: MSRIOptions,
+) -> List[Solution]:
+    child_sets = _augmented_child_sets(tree, tech, v, sets, c_max, options)
+    current = child_sets[0]
+    for other in child_sets[1:]:
+        combined = []
+        for s1 in current:
+            for s2 in other:
+                j = join(s1, s2, c_max)
+                if j is not None:
+                    combined.append(j)
+        # prune between pairwise joins: branch points are where suboptimal
+        # combinations explode (the paper notes pruning is most effective
+        # when constructing solutions at a branch point from its children)
+        current = prune(combined)
+    return current
+
+
+def _insertion_set(
+    tree: RoutingTree,
+    tech: Technology,
+    v: int,
+    sets: Dict[int, List[Solution]],
+    c_max: float,
+    options: MSRIOptions,
+) -> List[Solution]:
+    (unbuffered,) = _augmented_child_sets(tree, tech, v, sets, c_max, options)
+    out = list(unbuffered)
+    if options.library is not None:
+        for rep in options.library.oriented_options():
+            for s in unbuffered:
+                buffered = apply_repeater(s, rep, v, c_max)
+                if buffered is not None:
+                    out.append(buffered)
+    return out
+
+
+def _root_set(
+    tree: RoutingTree,
+    tech: Technology,
+    sets: Dict[int, List[Solution]],
+    c_max: float,
+    options: MSRIOptions,
+) -> List[RootSolution]:
+    root = tree.root
+    term = tree.node(root).terminal
+    assert term is not None
+    (child,) = tree.children(root)
+
+    candidates: List[RootSolution] = []
+    for a in _augment_over_edge(tree, tech, child, sets[child], c_max, options):
+        if options.driver_options is None:
+            rs = evaluate_at_root(a, root, term)
+            if rs is not None:
+                candidates.append(rs)
+        else:
+            for opt in options.driver_options:
+                sized = opt.applied_to(term)
+                rs = evaluate_at_root(
+                    a,
+                    root,
+                    sized,
+                    extra_cost=opt.cost,
+                    trace_placement=Placement(root, opt),
+                )
+                if rs is not None:
+                    candidates.append(rs)
+    return _pareto_root(candidates)
+
+
+def _pareto_root(candidates: List[RootSolution]) -> List[RootSolution]:
+    """2-D (cost, ARD) minima, sorted by cost ascending."""
+    ordered = sorted(candidates, key=lambda s: (s.cost, s.ard))
+    out: List[RootSolution] = []
+    best_ard = math.inf
+    for s in ordered:
+        if s.ard < best_ard - 1e-12:
+            out.append(s)
+            best_ard = s.ard
+    return out
+
+
+# -- helpers ---------------------------------------------------------------------
+
+
+def _domain_bound(
+    tree: RoutingTree, tech: Technology, options: MSRIOptions
+) -> float:
+    """Upper bound on any external capacitance seen during the DP."""
+    wires = sum(
+        tech.wire_capacitance(tree.edge_length(i)) for i in range(len(tree))
+    )
+    pins = sum(t.capacitance for t in tree.terminals())
+    if options.wire_library is not None:
+        wires *= max(wc.width for wc in options.wire_library)
+    extra = 0.0
+    if options.library is not None:
+        extra = max(max(r.c_a, r.c_b) for r in options.library)
+    if options.driver_options is not None:
+        extra = max(
+            extra, max(opt.net_capacitance for opt in options.driver_options)
+        )
+    return wires + pins + extra + 1.0
+
+
+def _make_pruner(options: MSRIOptions):
+    if options.use_divide_and_conquer:
+        return lambda sols: mfs(sols, leaf_size=options.mfs_leaf_size)
+    return mfs_pairwise

@@ -1,0 +1,445 @@
+"""Piece-wise linear (PWL) functions of the external capacitance ``c_E``.
+
+Section IV-C of Lillis & Cheng defines a PWL function as a set of quadruples
+``(y-intercept, slope, domain-lo, domain-hi)`` — line segments with disjoint
+domains — and lists the primitives their repeater-insertion dynamic program
+needs (paper Eq. (3)):
+
+* piece-wise **maximum** of two PWLs,
+* **adding a scalar** (shifting the y-intercepts),
+* **adding a linear function** ``a + b*x`` (e.g. accumulating a wire or
+  driver resistance ``b`` into every slope),
+* **domain substitution** ``g(x) = f(x + c)`` (when a sibling subtree or a
+  wire adds capacitance ``c`` to everything a source inside the subtree can
+  see — here called :meth:`PWL.shift`),
+* **evaluation** at a known capacitance (when a repeater decouples the
+  subtree and ``c_E`` becomes the repeater's input capacitance).
+
+All the operators run in time linear in the number of participating
+segments, as the paper requires.
+
+Domains are finite unions of closed intervals: after minimal-functional-
+subset pruning (Sec. IV-D), a solution may only remain optimal on part of
+the ``c_E`` axis, so its PWLs acquire *holes*.  Within each maximal run of
+contiguous segments the function is continuous (all our generators are
+maxima of continuous functions), but the class itself does not require it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from .intervals import ATOL, Interval, IntervalSet
+
+__all__ = ["Segment", "PWL", "maximum_all"]
+
+#: Tolerance used when merging collinear segments and comparing breakpoints.
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One line segment: ``y = intercept + slope * x`` for ``x in [lo, hi]``.
+
+    Mirrors the paper's quadruple ``(y, slope, lo, hi)`` (Definition 4.1).
+    Degenerate point segments (``lo == hi``) are allowed; they arise when
+    pruning leaves a solution optimal only at a crossover capacitance.
+    """
+
+    lo: float
+    hi: float
+    intercept: float
+    slope: float
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(f"segment domain empty: [{self.lo}, {self.hi}]")
+        if not (math.isfinite(self.lo) and math.isfinite(self.hi)):
+            raise ValueError("segment domain must be finite")
+        if not (math.isfinite(self.intercept) and math.isfinite(self.slope)):
+            raise ValueError("segment coefficients must be finite")
+
+    def value(self, x: float) -> float:
+        """Evaluate the segment's line at ``x`` (domain not checked)."""
+        return self.intercept + self.slope * x
+
+    def interval(self) -> Interval:
+        """The segment's domain as an :class:`Interval`."""
+        return Interval(self.lo, self.hi)
+
+    def same_line(self, other: "Segment", atol: float = _EPS) -> bool:
+        """True when both segments lie on (numerically) the same line."""
+        return (
+            abs(self.intercept - other.intercept) <= atol * max(1.0, abs(self.intercept))
+            and abs(self.slope - other.slope) <= atol * max(1.0, abs(self.slope))
+        )
+
+
+def _canonicalize(segments: Iterable[Segment]) -> Tuple[Segment, ...]:
+    """Sort segments, reject overlaps, and merge touching collinear runs."""
+    segs = sorted(segments, key=lambda s: (s.lo, s.hi))
+    for a, b in zip(segs, segs[1:]):
+        if b.lo < a.hi - ATOL:
+            raise ValueError(f"overlapping segment domains: {a} and {b}")
+    merged: List[Segment] = []
+    for seg in segs:
+        if (
+            merged
+            and abs(seg.lo - merged[-1].hi) <= ATOL
+            and merged[-1].same_line(seg)
+        ):
+            prev = merged[-1]
+            merged[-1] = Segment(prev.lo, seg.hi, prev.intercept, prev.slope)
+        else:
+            merged.append(seg)
+    return tuple(merged)
+
+
+class PWL:
+    """An immutable piece-wise linear function with a (possibly holey) domain."""
+
+    __slots__ = ("_segments",)
+
+    def __init__(self, segments: Iterable[Segment]):
+        self._segments = _canonicalize(segments)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def constant(cls, value: float, lo: float, hi: float) -> "PWL":
+        """The constant function ``value`` on ``[lo, hi]``."""
+        return cls((Segment(lo, hi, value, 0.0),))
+
+    @classmethod
+    def linear(cls, intercept: float, slope: float, lo: float, hi: float) -> "PWL":
+        """The line ``intercept + slope * x`` on ``[lo, hi]``."""
+        return cls((Segment(lo, hi, intercept, slope),))
+
+    @classmethod
+    def from_breakpoints(cls, xs: Sequence[float], ys: Sequence[float]) -> "PWL":
+        """Continuous PWL through the points ``(xs[i], ys[i])``.
+
+        ``xs`` must be strictly increasing.  Convenient in tests.
+        """
+        if len(xs) != len(ys) or len(xs) < 2:
+            raise ValueError("need at least two matching breakpoints")
+        segs = []
+        for (x0, y0), (x1, y1) in zip(zip(xs, ys), zip(xs[1:], ys[1:])):
+            if x1 <= x0:
+                raise ValueError("breakpoint xs must be strictly increasing")
+            slope = (y1 - y0) / (x1 - x0)
+            segs.append(Segment(x0, x1, y0 - slope * x0, slope))
+        return cls(segs)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def segments(self) -> Tuple[Segment, ...]:
+        return self._segments
+
+    @property
+    def num_segments(self) -> int:
+        return len(self._segments)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the domain is empty (the function is nowhere defined)."""
+        return not self._segments
+
+    def domain(self) -> IntervalSet:
+        """The set of ``x`` where the function is defined."""
+        return IntervalSet(seg.interval() for seg in self._segments)
+
+    def __call__(self, x: float) -> float:
+        return self.evaluate(x)
+
+    def evaluate(self, x: float, atol: float = ATOL) -> float:
+        """Value at ``x``; raises ``ValueError`` outside the domain."""
+        for seg in self._segments:
+            if seg.lo - atol <= x <= seg.hi + atol:
+                return seg.value(x)
+        raise ValueError(f"x={x} outside PWL domain {self.domain()!r}")
+
+    def evaluate_or(self, x: float, default: float, atol: float = ATOL) -> float:
+        """Value at ``x`` or ``default`` when ``x`` is outside the domain."""
+        for seg in self._segments:
+            if seg.lo - atol <= x <= seg.hi + atol:
+                return seg.value(x)
+        return default
+
+    def defined_at(self, x: float, atol: float = ATOL) -> bool:
+        return any(seg.lo - atol <= x <= seg.hi + atol for seg in self._segments)
+
+    def breakpoints(self) -> List[float]:
+        """Sorted list of all domain endpoints."""
+        pts: List[float] = []
+        for seg in self._segments:
+            pts.append(seg.lo)
+            pts.append(seg.hi)
+        return sorted(set(pts))
+
+    def min_value(self) -> Tuple[float, float]:
+        """Return ``(x*, f(x*))`` minimizing f over its domain."""
+        if self.is_empty:
+            raise ValueError("cannot minimize an empty PWL")
+        best_x, best_y = None, math.inf
+        for seg in self._segments:
+            for x in (seg.lo, seg.hi):
+                y = seg.value(x)
+                if y < best_y:
+                    best_x, best_y = x, y
+        assert best_x is not None
+        return best_x, best_y
+
+    def max_value(self) -> Tuple[float, float]:
+        """Return ``(x*, f(x*))`` maximizing f over its domain."""
+        if self.is_empty:
+            raise ValueError("cannot maximize an empty PWL")
+        best_x, best_y = None, -math.inf
+        for seg in self._segments:
+            for x in (seg.lo, seg.hi):
+                y = seg.value(x)
+                if y > best_y:
+                    best_x, best_y = x, y
+        assert best_x is not None
+        return best_x, best_y
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PWL):
+            return NotImplemented
+        return self._segments == other._segments
+
+    def __hash__(self) -> int:
+        return hash(self._segments)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(
+            f"[{s.lo:g},{s.hi:g}]: {s.intercept:g}+{s.slope:g}x" for s in self._segments
+        )
+        return f"PWL({parts or 'empty'})"
+
+    def approx_equal(self, other: "PWL", atol: float = 1e-7) -> bool:
+        """Pointwise approximate equality on the union of breakpoints.
+
+        Both functions must share (approximately) the same domain.
+        """
+        if not self.domain().approx_equal(other.domain(), atol=atol):
+            return False
+        for x in sorted(set(self.breakpoints()) | set(other.breakpoints())):
+            if self.defined_at(x, atol=atol) != other.defined_at(x, atol=atol):
+                return False
+            if self.defined_at(x, atol=atol):
+                if abs(self.evaluate(x) - other.evaluate(x)) > atol:
+                    return False
+        return True
+
+    # -- Eq. (3) primitives --------------------------------------------------
+
+    def add_scalar(self, a: float) -> "PWL":
+        """``f + a``: raise every y-intercept by ``a`` (paper's scalar add).
+
+        Used when an intrinsic buffer delay or a sink's downstream delay is
+        appended to every internal path.
+        """
+        return PWL(
+            Segment(s.lo, s.hi, s.intercept + a, s.slope) for s in self._segments
+        )
+
+    def add_linear(self, a: float, b: float) -> "PWL":
+        """``f(x) + a + b*x``.
+
+        The slope increment ``b`` is how accumulated upstream resistance
+        enters arrival-time functions: a wire or driver of resistance ``b``
+        between the subtree and the rest of the net multiplies the unknown
+        external capacitance.
+        """
+        return PWL(
+            Segment(s.lo, s.hi, s.intercept + a, s.slope + b) for s in self._segments
+        )
+
+    def shift(self, c: float) -> "PWL":
+        """Domain substitution ``g(x) = f(x + c)``.
+
+        When capacitance ``c`` (a wire or a sibling subtree) is appended
+        *outside* the current subtree, every source inside the subtree now
+        sees ``x + c`` where it previously saw ``x``; the function's domain
+        translates left by ``c``.  Any part of the domain that would become
+        negative is dropped (external capacitance cannot be negative).
+        """
+        segs = []
+        for s in self._segments:
+            lo, hi = s.lo - c, s.hi - c
+            if hi < 0.0:
+                continue
+            lo = max(lo, 0.0)
+            # g(x) = f(x + c) = intercept + slope * (x + c)
+            segs.append(Segment(lo, hi, s.intercept + s.slope * c, s.slope))
+        return PWL(segs)
+
+    def restrict(self, region: IntervalSet) -> "PWL":
+        """Restrict the domain to ``region`` (for MFS pruning)."""
+        segs: List[Segment] = []
+        for s in self._segments:
+            for iv in region:
+                lo = max(s.lo, iv.lo)
+                hi = min(s.hi, iv.hi)
+                if lo <= hi:
+                    segs.append(Segment(lo, hi, s.intercept, s.slope))
+        return PWL(segs)
+
+    def maximum(self, other: "PWL") -> "PWL":
+        """Piece-wise maximum of two PWLs on the *intersection* of domains.
+
+        The intersection semantics match the DP's use: when two child
+        solutions are joined at a branch, the combined solution only exists
+        for ``c_E`` values where both children's functions are defined.
+        """
+        return _combine(self, other, max_of=True)
+
+    def minimum(self, other: "PWL") -> "PWL":
+        """Piece-wise minimum on the intersection of domains."""
+        return _combine(self, other, max_of=False)
+
+    def region_leq(self, other: "PWL", atol: float = 0.0) -> IntervalSet:
+        """The subset of the common domain where ``self(x) <= other(x) + atol``.
+
+        This is the comparison primitive of MFS pruning: where the challenger
+        is no worse than the incumbent in one coordinate.
+        """
+        regions: List[Interval] = []
+        for lo, hi, sa, sb in _overlaps(self, other):
+            regions.extend(_line_leq_region(sa, sb, lo, hi, atol))
+        return IntervalSet(regions)
+
+    def region_lt(self, other: "PWL", atol: float = 0.0) -> IntervalSet:
+        """Subset of the common domain where ``self(x) < other(x) - atol``.
+
+        Computed as the ``<=`` region minus the (measure-zero boundary won't
+        matter for pruning) region where ``other <= self``; used for
+        strict-dominance tie-breaking.
+        """
+        leq = self.region_leq(other, atol=-atol if atol else 0.0)
+        geq = other.region_leq(self, atol=atol)
+        return leq.difference(geq)
+
+    def sample(self, xs: Iterable[float]) -> List[Tuple[float, float]]:
+        """Evaluate at many points, skipping those outside the domain."""
+        out = []
+        for x in xs:
+            if self.defined_at(x):
+                out.append((x, self.evaluate(x)))
+        return out
+
+
+# -- internal machinery -----------------------------------------------------
+
+
+def _overlaps(f: PWL, g: PWL) -> Iterable[Tuple[float, float, Segment, Segment]]:
+    """Yield ``(lo, hi, seg_f, seg_g)`` for every overlap of segment domains.
+
+    Linear merge over the two sorted segment lists.
+    """
+    i = j = 0
+    fs, gs = f.segments, g.segments
+    while i < len(fs) and j < len(gs):
+        lo = max(fs[i].lo, gs[j].lo)
+        hi = min(fs[i].hi, gs[j].hi)
+        if lo <= hi:
+            yield lo, hi, fs[i], gs[j]
+        if fs[i].hi < gs[j].hi:
+            i += 1
+        else:
+            j += 1
+
+
+def _combine(f: PWL, g: PWL, *, max_of: bool) -> PWL:
+    """Shared implementation of piece-wise max/min on the domain overlap."""
+    pick: Callable[[Segment, Segment, float], bool]
+    if max_of:
+        pick = lambda a, b, x: a.value(x) >= b.value(x)  # noqa: E731
+    else:
+        pick = lambda a, b, x: a.value(x) <= b.value(x)  # noqa: E731
+
+    out: List[Segment] = []
+    for lo, hi, sa, sb in _overlaps(f, g):
+        xc = _crossing(sa, sb, lo, hi)
+        cuts = [lo, hi] if xc is None else [lo, xc, hi]
+        for a, b in zip(cuts, cuts[1:]):
+            if b < a:
+                continue
+            mid = 0.5 * (a + b)
+            chosen = sa if pick(sa, sb, mid) else sb
+            out.append(Segment(a, b, chosen.intercept, chosen.slope))
+        if lo == hi:  # point overlap: zip above produced nothing
+            chosen = sa if pick(sa, sb, lo) else sb
+            out.append(Segment(lo, hi, chosen.intercept, chosen.slope))
+    return PWL(_dedupe_points(out))
+
+
+def _dedupe_points(segments: List[Segment]) -> List[Segment]:
+    """Drop point segments swallowed by an adjacent full segment."""
+    full = [s for s in segments if s.hi > s.lo]
+    points = [s for s in segments if s.hi == s.lo]
+    kept = list(full)
+    for p in points:
+        if not any(f.lo - ATOL <= p.lo <= f.hi + ATOL for f in full):
+            kept.append(p)
+    return kept
+
+
+def _crossing(a: Segment, b: Segment, lo: float, hi: float) -> Optional[float]:
+    """Interior crossing point of two lines within ``(lo, hi)``, if any."""
+    ds = a.slope - b.slope
+    if ds == 0.0:
+        return None
+    x = (b.intercept - a.intercept) / ds
+    if lo + _EPS < x < hi - _EPS:
+        return x
+    return None
+
+
+def _line_leq_region(
+    a: Segment, b: Segment, lo: float, hi: float, atol: float
+) -> List[Interval]:
+    """Intervals within ``[lo, hi]`` where ``a(x) <= b(x) + atol``."""
+    da_lo = a.value(lo) - b.value(lo) - atol
+    da_hi = a.value(hi) - b.value(hi) - atol
+    if da_lo <= 0.0 and da_hi <= 0.0:
+        return [Interval(lo, hi)]
+    if da_lo > 0.0 and da_hi > 0.0:
+        return []
+    ds = a.slope - b.slope
+    if ds == 0.0:
+        # parallel lines whose endpoint differences straddle zero only by
+        # floating-point noise; classify by the midpoint
+        mid = 0.5 * (lo + hi)
+        if a.value(mid) - b.value(mid) <= atol:
+            return [Interval(lo, hi)]
+        return []
+    # exactly one sign change: solve (a - b)(x) = atol
+    x = (b.intercept + atol - a.intercept) / ds
+    x = min(max(x, lo), hi)
+    if da_lo <= 0.0:
+        return [Interval(lo, x)]
+    return [Interval(x, hi)]
+
+
+def maximum_all(functions: Sequence[PWL]) -> PWL:
+    """Piece-wise maximum of many PWLs (balanced reduction).
+
+    Pairwise reduction keeps intermediate segment counts small compared to a
+    left fold when the inputs have many breakpoints.
+    """
+    items = [f for f in functions if not f.is_empty]
+    if not items:
+        raise ValueError("maximum_all needs at least one non-empty PWL")
+    while len(items) > 1:
+        nxt = []
+        for k in range(0, len(items) - 1, 2):
+            nxt.append(items[k].maximum(items[k + 1]))
+        if len(items) % 2:
+            nxt.append(items[-1])
+        items = nxt
+    return items[0]

@@ -1,0 +1,482 @@
+"""Solution characterization and combinators for multisource DP (Sec. IV).
+
+A candidate repeater assignment to a subtree ``T_v`` is characterized by
+(paper Sec. IV-B):
+
+* ``cost``  — scalar; total cost of repeaters (and sized drivers) used;
+* ``cap``   — scalar; capacitance of the subtree as seen from above;
+* ``q``     — scalar; maximum augmented delay from ``v`` to sinks in ``T_v``
+  (``-inf`` when the subtree holds no sink);
+* ``arr``   — PWL in the external capacitance ``c_E``: maximum augmented
+  arrival time at ``v`` from sources in ``T_v`` (``None`` when no source);
+* ``diam``  — PWL in ``c_E``: maximum augmented RC-diameter over
+  source/sink pairs internal to ``T_v`` (``None`` when no pair).
+
+``arr`` and ``diam`` are functions of ``c_E`` because a source inside the
+subtree drives *through* ``v`` into the unknown outside world: the external
+capacitance multiplies the accumulated path resistance (the PWL slopes), and
+the identity of the critical source can flip as ``c_E`` grows (the paper's
+Fig. 3).
+
+This module provides the five solution transformers the DP needs — leaf
+construction, wire augmentation (Fig. 10), joining at a branch (Fig. 7),
+repeater application (Fig. 8), and root evaluation (Fig. 9) — each a direct
+transcription of the paper's subroutine, implemented with the PWL
+primitives of Eq. (3).
+
+``domain`` tracks where (in ``c_E``) the solution is still potentially
+useful; minimal-functional-subset pruning (``repro.core.mfs``) carves holes
+into it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from ..tech.buffers import Repeater
+from ..tech.terminals import NEVER, Terminal
+from .intervals import IntervalSet
+from .pwl import PWL
+
+__all__ = [
+    "Placement",
+    "Trace",
+    "Solution",
+    "leaf_solution",
+    "augment_wire",
+    "join",
+    "apply_repeater",
+    "RootSolution",
+    "evaluate_at_root",
+]
+
+_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One decision recorded in a solution's provenance: ``what`` went where.
+
+    ``what`` is a :class:`~repro.tech.buffers.Repeater` (A-side facing the
+    root) for insertion points, or a driver-sizing option for terminals.
+    """
+
+    node: int
+    what: object
+
+
+class Trace:
+    """Immutable provenance DAG; reconstructs the assignment of a solution.
+
+    Solutions share trace prefixes, so recording a placement is O(1) and the
+    full assignment is only materialized for the solutions a caller keeps.
+    """
+
+    __slots__ = ("placement", "parents")
+
+    def __init__(
+        self,
+        placement: Optional[Placement] = None,
+        parents: Tuple["Trace", ...] = (),
+    ):
+        self.placement = placement
+        self.parents = parents
+
+    def collect(self) -> List[Placement]:
+        """All placements reachable from this trace node."""
+        out: List[Placement] = []
+        stack = [self]
+        seen = set()
+        while stack:
+            t = stack.pop()
+            if id(t) in seen:
+                continue
+            seen.add(id(t))
+            if t.placement is not None:
+                out.append(t.placement)
+            stack.extend(t.parents)
+        return out
+
+    def extended(self, placement: Placement) -> "Trace":
+        return Trace(placement, (self,))
+
+    @staticmethod
+    def merged(a: "Trace", b: "Trace") -> "Trace":
+        return Trace(None, (a, b))
+
+
+_EMPTY_TRACE = Trace()
+
+
+@dataclass(frozen=True)
+class Solution:
+    """One DP subsolution (see module docstring for field semantics).
+
+    ``uid`` breaks ties deterministically during pruning.  Invariants:
+    ``arr``/``diam`` are either ``None`` or defined exactly on ``domain``.
+
+    ``parity`` supports the paper's Sec. V extension ("the use of inverters
+    as repeaters is possible and straightforward"): on a bus, every
+    source-sink path must cross an even number of inverters, which on a
+    tree is equivalent to *all terminals sharing one inversion parity
+    relative to the root* — so a single bit per subtree suffices.  An
+    inverting repeater flips it; joining subtrees requires agreement; the
+    root accepts only parity 0.  Solutions of different parity are
+    incomparable during pruning.
+    """
+
+    cost: float
+    cap: float
+    q: float
+    arr: Optional[PWL]
+    diam: Optional[PWL]
+    domain: IntervalSet
+    trace: Trace = _EMPTY_TRACE
+    parity: int = 0
+    uid: int = -1
+
+    def __post_init__(self) -> None:
+        if self.uid < 0:
+            object.__setattr__(self, "uid", next(_ids))
+
+    @property
+    def has_source(self) -> bool:
+        return self.arr is not None
+
+    @property
+    def has_sink(self) -> bool:
+        return self.q != NEVER
+
+    def restricted(self, region: IntervalSet) -> Optional["Solution"]:
+        """The same solution valid only on ``region``; None if nowhere."""
+        new_domain = self.domain.intersect(region)
+        if new_domain.is_empty:
+            return None
+        if new_domain == self.domain:
+            return self
+        return replace(
+            self,
+            domain=new_domain,
+            arr=self.arr.restrict(new_domain) if self.arr is not None else None,
+            diam=self.diam.restrict(new_domain) if self.diam is not None else None,
+            uid=self.uid,
+        )
+
+    def check_invariants(self) -> None:
+        """Debug helper: verify function domains track the solution domain."""
+        for f in (self.arr, self.diam):
+            if f is not None and not f.domain().approx_equal(self.domain):
+                raise AssertionError(
+                    f"solution {self.uid}: function domain {f.domain()!r} "
+                    f"!= solution domain {self.domain!r}"
+                )
+        if self.cap < 0 or self.cost < 0:
+            raise AssertionError("negative cap or cost")
+
+    def describe(self) -> str:
+        """Compact human-readable summary."""
+        arr = f"{self.arr.num_segments}seg" if self.arr is not None else "-"
+        diam = f"{self.diam.num_segments}seg" if self.diam is not None else "-"
+        q = "-" if self.q == NEVER else f"{self.q:.1f}"
+        return (
+            f"Solution(cost={self.cost:g}, cap={self.cap:.4f}, q={q}, "
+            f"arr={arr}, diam={diam}, dom={len(self.domain)}iv)"
+        )
+
+
+# -- LeafSolutions (Fig. 6) ------------------------------------------------------
+
+
+def leaf_solution(
+    terminal: Terminal,
+    c_max: float,
+    *,
+    cost: float = 0.0,
+    trace: Trace = _EMPTY_TRACE,
+) -> Solution:
+    """The (single) solution for a leaf terminal.
+
+    The terminal presents ``c(v)`` to the net; as a source its arrival
+    function is ``alpha + intrinsic + r * (c(v) + c_E)`` — the driver sees
+    its own input capacitance plus everything external; as a sink it
+    contributes ``q = beta``.
+    """
+    arr = None
+    if terminal.is_source:
+        intercept = (
+            terminal.arrival_time
+            + terminal.intrinsic_delay
+            + terminal.resistance * terminal.capacitance
+        )
+        arr = PWL.linear(intercept, terminal.resistance, 0.0, c_max)
+    q = terminal.downstream_delay if terminal.is_sink else NEVER
+    return Solution(
+        cost=cost,
+        cap=terminal.capacitance,
+        q=q,
+        arr=arr,
+        diam=None,
+        domain=IntervalSet.single(0.0, c_max),
+        trace=trace,
+    )
+
+
+# -- Augment (Fig. 10): extend a subtree by the wire to its parent ----------------
+
+
+def augment_wire(
+    sol: Solution,
+    resistance: float,
+    capacitance: float,
+    c_max: float,
+    *,
+    extra_cost: float = 0.0,
+    trace_placement: Optional[Placement] = None,
+) -> Optional[Solution]:
+    """Solution for the subtree plus the wire ``(v, parent)``.
+
+    Downward: the wire adds ``R*(C/2 + cap)`` to every root-to-sink path.
+    Upward: sources now see the wire capacitance as part of the outside
+    world (domain shift by ``C``) plus the wire's own Elmore term
+    ``R*(C/2 + c_E)``, which adds slope ``R`` to the arrival function.
+    Internal paths only feel the extra external capacitance (pure shift).
+
+    ``extra_cost``/``trace_placement`` support the wire-sizing extension:
+    a sized segment charges its area and records the chosen width class.
+
+    Returns None when the shifted domain becomes empty (cannot happen when
+    ``c_max`` bounds the whole net's capacitance, but guarded for safety).
+    """
+    if resistance < 0.0 or capacitance < 0.0:
+        raise ValueError("wire parameters must be non-negative")
+    new_domain = sol.domain.shift(-capacitance).clamp(0.0, c_max)
+    if new_domain.is_empty:
+        return None
+    q = sol.q
+    if q != NEVER:
+        q = q + resistance * (0.5 * capacitance + sol.cap)
+    arr = None
+    if sol.arr is not None:
+        arr = sol.arr.shift(capacitance).add_linear(
+            resistance * 0.5 * capacitance, resistance
+        )
+        arr = arr.restrict(new_domain)
+        if arr.is_empty:
+            return None
+    diam = None
+    if sol.diam is not None:
+        diam = sol.diam.shift(capacitance).restrict(new_domain)
+        if diam.is_empty:
+            return None
+    trace = sol.trace
+    if trace_placement is not None:
+        trace = trace.extended(trace_placement)
+    return Solution(
+        cost=sol.cost + extra_cost,
+        cap=sol.cap + capacitance,
+        q=q,
+        arr=arr,
+        diam=diam,
+        domain=new_domain,
+        trace=trace,
+        parity=sol.parity,
+    )
+
+
+# -- JoinSets (Fig. 7): merge two child subtrees at a branch point ----------------
+
+
+def join(s1: Solution, s2: Solution, c_max: float) -> Optional[Solution]:
+    """Combine sibling solutions at their common branch vertex.
+
+    Each side's sources now additionally see the other side's capacitance
+    (domain substitution ``c_E -> c_E + cap_other``); new internal
+    source/sink pairs arise across the branch, pairing one side's arrival
+    function with the other side's ``q``.
+
+    Returns None for parity-incompatible sides (inverter extension): a
+    cross-branch path would see an odd number of inversions.
+    """
+    if s1.parity != s2.parity:
+        return None
+    domain = (
+        s1.domain.shift(-s2.cap)
+        .intersect(s2.domain.shift(-s1.cap))
+        .clamp(0.0, c_max)
+    )
+    if domain.is_empty:
+        return None
+
+    arr1 = s1.arr.shift(s2.cap).restrict(domain) if s1.arr is not None else None
+    arr2 = s2.arr.shift(s1.cap).restrict(domain) if s2.arr is not None else None
+    for a in (arr1, arr2):
+        if a is not None and a.is_empty:
+            return None
+
+    arr = _max_optional(arr1, arr2)
+
+    diam_candidates: List[PWL] = []
+    if s1.diam is not None:
+        diam_candidates.append(s1.diam.shift(s2.cap).restrict(domain))
+    if s2.diam is not None:
+        diam_candidates.append(s2.diam.shift(s1.cap).restrict(domain))
+    if arr1 is not None and s2.q != NEVER:
+        diam_candidates.append(arr1.add_scalar(s2.q))
+    if arr2 is not None and s1.q != NEVER:
+        diam_candidates.append(arr2.add_scalar(s1.q))
+    if any(c.is_empty for c in diam_candidates):
+        return None
+    diam = None
+    for c in diam_candidates:
+        diam = c if diam is None else diam.maximum(c)
+
+    return Solution(
+        cost=s1.cost + s2.cost,
+        cap=s1.cap + s2.cap,
+        q=max(s1.q, s2.q),
+        arr=arr,
+        diam=diam,
+        domain=domain,
+        trace=Trace.merged(s1.trace, s2.trace),
+        parity=s1.parity,
+    )
+
+
+def _max_optional(a: Optional[PWL], b: Optional[PWL]) -> Optional[PWL]:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return a.maximum(b)
+
+
+# -- RepeaterSolutions (Fig. 8) -----------------------------------------------------
+
+
+def apply_repeater(
+    sol: Solution, rep: Repeater, node: int, c_max: float
+) -> Optional[Solution]:
+    """Place ``rep`` at the subtree root (A-side facing the tree root).
+
+    The repeater *decouples*: the outside now sees only ``c_a``; the inside
+    sees exactly ``c_b``, so the arrival function collapses to the scalar
+    ``arr(c_b)`` and restarts as a fresh line with slope ``r_ba``; the
+    internal diameter freezes at ``diam(c_b)``; downstream delay gains the
+    A→B buffer driving the (now fixed) subtree load.
+
+    Returns None when the solution was pruned at ``c_E = c_b`` (another
+    solution dominates there and will receive this repeater instead).
+    """
+    if not sol.domain.contains(rep.c_b, atol=1e-12):
+        return None
+    full = IntervalSet.single(0.0, c_max)
+
+    q = sol.q
+    if q != NEVER:
+        q = rep.d_ab + rep.r_ab * sol.cap + sol.q
+
+    arr = None
+    if sol.arr is not None:
+        arrival_at_b = sol.arr.evaluate(rep.c_b)
+        arr = PWL.linear(arrival_at_b + rep.d_ba, rep.r_ba, 0.0, c_max)
+
+    diam = None
+    if sol.diam is not None:
+        diam = PWL.constant(sol.diam.evaluate(rep.c_b), 0.0, c_max)
+
+    return Solution(
+        cost=sol.cost + rep.cost,
+        cap=rep.c_a,
+        q=q,
+        arr=arr,
+        diam=diam,
+        domain=full,
+        trace=sol.trace.extended(Placement(node, rep)),
+        parity=sol.parity ^ (1 if rep.is_inverting else 0),
+    )
+
+
+# -- RootSolutions (Fig. 9) -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RootSolution:
+    """A complete net solution: scalar cost and ARD plus its assignment."""
+
+    cost: float
+    ard: float
+    trace: Trace
+
+    def assignment(self) -> Dict[int, object]:
+        """Node index -> placed object (repeater or driver option)."""
+        return {p.node: p.what for p in self.trace.collect()}
+
+    def repeater_count(self) -> int:
+        return sum(1 for p in self.trace.collect() if isinstance(p.what, Repeater))
+
+
+def evaluate_at_root(
+    sol: Solution,
+    root_node: int,
+    terminal: Terminal,
+    *,
+    extra_cost: float = 0.0,
+    capacitance: Optional[float] = None,
+    resistance: Optional[float] = None,
+    intrinsic: Optional[float] = None,
+    arrival_penalty: float = 0.0,
+    sink_delay_extra: float = 0.0,
+    trace_placement: Optional[Placement] = None,
+) -> Optional[RootSolution]:
+    """Close a solution at the root terminal, producing (cost, ARD).
+
+    The solution covers everything except the root terminal itself, so the
+    external capacitance finally becomes known: the root's input capacitance.
+    The keyword overrides support driver sizing at the root (a sized root
+    driver changes the capacitance/resistance and adds cost); with none
+    given, the terminal's own parameters apply.
+
+    ARD candidates (paper Fig. 9):
+
+    * internal pairs: ``diam(c_root)``;
+    * root as sink:   ``arr(c_root) + beta(root)``;
+    * root as source: ``alpha + intrinsic + r*(c_root + cap) + q``.
+
+    Returns None when the solution was pruned at ``c_E = c_root`` or offers
+    no source/sink pair at all.
+    """
+    c_root = terminal.capacitance if capacitance is None else capacitance
+    r_root = terminal.resistance if resistance is None else resistance
+    d_root = terminal.intrinsic_delay if intrinsic is None else intrinsic
+
+    if sol.parity != 0:
+        # some terminal would receive inverted data (inverter extension)
+        return None
+    if not sol.domain.contains(c_root, atol=1e-12):
+        return None
+
+    ard = NEVER
+    if sol.diam is not None:
+        ard = max(ard, sol.diam.evaluate(c_root))
+    if terminal.is_sink and sol.arr is not None:
+        ard = max(
+            ard,
+            sol.arr.evaluate(c_root) + terminal.downstream_delay + sink_delay_extra,
+        )
+    if terminal.is_source and sol.q != NEVER:
+        ard = max(
+            ard,
+            terminal.arrival_time
+            + arrival_penalty
+            + d_root
+            + r_root * (c_root + sol.cap)
+            + sol.q,
+        )
+    if ard == NEVER:
+        return None
+    trace = sol.trace
+    if trace_placement is not None:
+        trace = trace.extended(trace_placement)
+    return RootSolution(cost=sol.cost + extra_cost, ard=ard, trace=trace)

@@ -1,0 +1,29 @@
+"""JSON serialization for nets, technologies, and assignments."""
+
+from .serialize import (
+    SCHEMA_VERSION,
+    assignment_from_dict,
+    assignment_to_dict,
+    load_tree,
+    repeater_from_dict,
+    repeater_to_dict,
+    save_tree,
+    technology_from_dict,
+    technology_to_dict,
+    tree_from_dict,
+    tree_to_dict,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "assignment_from_dict",
+    "assignment_to_dict",
+    "load_tree",
+    "repeater_from_dict",
+    "repeater_to_dict",
+    "save_tree",
+    "technology_from_dict",
+    "technology_to_dict",
+    "tree_from_dict",
+    "tree_to_dict",
+]

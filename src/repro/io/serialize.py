@@ -1,0 +1,172 @@
+"""JSON serialization of nets, technologies, libraries and assignments.
+
+Keeps experiment inputs and optimizer outputs on disk in a stable,
+human-inspectable format so runs are reproducible and shareable.  The
+schema is versioned; loaders reject unknown versions rather than guess.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict
+
+from ..rctree.topology import Node, NodeKind, RoutingTree
+from ..tech.buffers import Repeater
+from ..tech.parameters import Technology
+from ..tech.terminals import Terminal
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "tree_to_dict",
+    "tree_from_dict",
+    "save_tree",
+    "load_tree",
+    "technology_to_dict",
+    "technology_from_dict",
+    "repeater_to_dict",
+    "repeater_from_dict",
+    "assignment_to_dict",
+    "assignment_from_dict",
+]
+
+SCHEMA_VERSION = 1
+
+#: JSON has no -inf literal; encode the NEVER sentinel explicitly.
+_NEVER_TOKEN = "never"
+
+
+def _num(value: float) -> Any:
+    if value == -math.inf:
+        return _NEVER_TOKEN
+    return value
+
+
+def _denum(value: Any) -> float:
+    if value == _NEVER_TOKEN:
+        return -math.inf
+    return float(value)
+
+
+def _terminal_to_dict(t: Terminal) -> Dict[str, Any]:
+    return {
+        "name": t.name,
+        "x": t.x,
+        "y": t.y,
+        "arrival_time": _num(t.arrival_time),
+        "downstream_delay": _num(t.downstream_delay),
+        "capacitance": t.capacitance,
+        "resistance": t.resistance,
+        "intrinsic_delay": t.intrinsic_delay,
+    }
+
+
+def _terminal_from_dict(d: Dict[str, Any]) -> Terminal:
+    return Terminal(
+        name=d["name"],
+        x=float(d["x"]),
+        y=float(d["y"]),
+        arrival_time=_denum(d["arrival_time"]),
+        downstream_delay=_denum(d["downstream_delay"]),
+        capacitance=float(d["capacitance"]),
+        resistance=float(d["resistance"]),
+        intrinsic_delay=float(d.get("intrinsic_delay", 0.0)),
+    )
+
+
+def tree_to_dict(tree: RoutingTree) -> Dict[str, Any]:
+    """The whole routing tree as a JSON-ready dict."""
+    nodes = []
+    for n in tree.nodes:
+        entry: Dict[str, Any] = {"kind": n.kind.value, "x": n.x, "y": n.y}
+        if n.terminal is not None:
+            entry["terminal"] = _terminal_to_dict(n.terminal)
+        nodes.append(entry)
+    return {
+        "schema": SCHEMA_VERSION,
+        "nodes": nodes,
+        "parent": [tree.parent(i) for i in range(len(tree))],
+        "edge_length": [tree.edge_length(i) for i in range(len(tree))],
+    }
+
+
+def tree_from_dict(data: Dict[str, Any]) -> RoutingTree:
+    """Inverse of :func:`tree_to_dict`; validates the schema version."""
+    version = data.get("schema")
+    if version != SCHEMA_VERSION:
+        raise ValueError(f"unsupported net schema version: {version!r}")
+    nodes = []
+    for i, entry in enumerate(data["nodes"]):
+        kind = NodeKind(entry["kind"])
+        terminal = None
+        if kind is NodeKind.TERMINAL:
+            terminal = _terminal_from_dict(entry["terminal"])
+        nodes.append(Node(i, float(entry["x"]), float(entry["y"]), kind, terminal))
+    parent = [None if p is None else int(p) for p in data["parent"]]
+    lengths = [float(x) for x in data["edge_length"]]
+    return RoutingTree(nodes, parent, lengths)
+
+
+def save_tree(tree: RoutingTree, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(tree_to_dict(tree), fh, indent=2)
+
+
+def load_tree(path: str) -> RoutingTree:
+    with open(path) as fh:
+        return tree_from_dict(json.load(fh))
+
+
+def technology_to_dict(tech: Technology) -> Dict[str, Any]:
+    return {
+        "name": tech.name,
+        "unit_resistance": tech.unit_resistance,
+        "unit_capacitance": tech.unit_capacitance,
+        "extras": dict(tech.extras),
+    }
+
+
+def technology_from_dict(d: Dict[str, Any]) -> Technology:
+    return Technology(
+        unit_resistance=float(d["unit_resistance"]),
+        unit_capacitance=float(d["unit_capacitance"]),
+        name=d.get("name", "unnamed"),
+        extras={k: float(v) for k, v in d.get("extras", {}).items()},
+    )
+
+
+def repeater_to_dict(rep: Repeater) -> Dict[str, Any]:
+    return {
+        "name": rep.name,
+        "d_ab": rep.d_ab,
+        "r_ab": rep.r_ab,
+        "c_a": rep.c_a,
+        "d_ba": rep.d_ba,
+        "r_ba": rep.r_ba,
+        "c_b": rep.c_b,
+        "cost": rep.cost,
+        "is_inverting": rep.is_inverting,
+    }
+
+
+def repeater_from_dict(d: Dict[str, Any]) -> Repeater:
+    return Repeater(
+        name=d["name"],
+        d_ab=float(d["d_ab"]),
+        r_ab=float(d["r_ab"]),
+        c_a=float(d["c_a"]),
+        d_ba=float(d["d_ba"]),
+        r_ba=float(d["r_ba"]),
+        c_b=float(d["c_b"]),
+        cost=float(d["cost"]),
+        is_inverting=bool(d.get("is_inverting", False)),
+    )
+
+
+def assignment_to_dict(assignment: Dict[int, Repeater]) -> Dict[str, Any]:
+    """Repeater assignment with full electrical parameters inline."""
+    return {str(idx): repeater_to_dict(rep) for idx, rep in assignment.items()}
+
+
+def assignment_from_dict(data: Dict[str, Any]) -> Dict[int, Repeater]:
+    return {int(idx): repeater_from_dict(d) for idx, d in data.items()}

@@ -1,0 +1,32 @@
+"""Random net generation and the paper's named experimental workloads."""
+
+from .random_nets import NetSpec, build_net, random_net, random_points
+from .workloads import (
+    PAPER_SPACING_UM,
+    driver_sizing_options,
+    find_fig11_seed,
+    fixed_1x_option,
+    paper_driver_options,
+    paper_instance,
+    paper_net_spec,
+    paper_repeater_library,
+    paper_technology,
+    repeater_insertion_options,
+)
+
+__all__ = [
+    "NetSpec",
+    "build_net",
+    "random_net",
+    "random_points",
+    "PAPER_SPACING_UM",
+    "driver_sizing_options",
+    "find_fig11_seed",
+    "fixed_1x_option",
+    "paper_driver_options",
+    "paper_instance",
+    "paper_net_spec",
+    "paper_repeater_library",
+    "paper_technology",
+    "repeater_insertion_options",
+]

@@ -1,0 +1,101 @@
+"""Seeded random net instances (paper Sec. VI methodology).
+
+The paper generates "random point sets with ten terminals on a 1 cm x 1 cm
+grid" (and likewise with twenty), builds Steiner trees over them, and adds
+insertion points at a maximum spacing.  This module reproduces that
+pipeline with a deterministic seed so every experiment in this repository
+is exactly re-runnable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..rctree.builder import TreeBuilder
+from ..rctree.topology import RoutingTree
+from ..steiner.insertion_points import add_insertion_points
+from ..steiner.steinerize import build_steiner_topology
+from ..tech.parameters import UM_PER_CM
+from ..tech.terminals import Terminal
+
+__all__ = ["NetSpec", "random_points", "build_net", "random_net"]
+
+
+@dataclass(frozen=True)
+class NetSpec:
+    """Electrical parameters applied uniformly to generated terminals."""
+
+    capacitance: float = 0.05      # pF; 1X receiver input capacitance
+    resistance: float = 400.0      # ohm; 1X driver output resistance
+    intrinsic_delay: float = 50.0  # ps; 1X driver intrinsic delay
+    arrival_time: float = 0.0      # ps
+    downstream_delay: float = 0.0  # ps
+
+
+def random_points(
+    seed: int, n: int, grid: float = UM_PER_CM
+) -> List[Tuple[float, float]]:
+    """``n`` uniform points on the ``grid x grid`` µm square, seeded."""
+    if n < 2:
+        raise ValueError("a net needs at least two terminals")
+    rng = np.random.default_rng(seed)
+    pts = rng.uniform(0.0, grid, size=(n, 2))
+    return [(float(x), float(y)) for x, y in pts]
+
+
+def build_net(
+    points: Sequence[Tuple[float, float]],
+    spec: NetSpec = NetSpec(),
+    *,
+    spacing: Optional[float] = 800.0,
+    root: int = 0,
+    names: Optional[Sequence[str]] = None,
+) -> RoutingTree:
+    """Steiner tree over the points, with insertion points threaded in.
+
+    ``spacing=None`` skips insertion-point placement (pure topology).
+    """
+    topo = build_steiner_topology(points)
+    builder = TreeBuilder()
+    handles = []
+    for i, (x, y) in enumerate(topo.points):
+        if i < topo.n_terminals:
+            name = names[i] if names is not None else f"p{i}"
+            handles.append(
+                builder.add_terminal(
+                    Terminal(
+                        name=name,
+                        x=x,
+                        y=y,
+                        arrival_time=spec.arrival_time,
+                        downstream_delay=spec.downstream_delay,
+                        capacitance=spec.capacitance,
+                        resistance=spec.resistance,
+                        intrinsic_delay=spec.intrinsic_delay,
+                    )
+                )
+            )
+        else:
+            handles.append(builder.add_steiner(x, y))
+    for a, b in topo.edges:
+        builder.connect(handles[a], handles[b])
+    tree = builder.build(root=handles[root])
+    if spacing is not None:
+        tree = add_insertion_points(tree, spacing)
+    return tree
+
+
+def random_net(
+    seed: int,
+    n_terminals: int,
+    spec: NetSpec = NetSpec(),
+    *,
+    grid: float = UM_PER_CM,
+    spacing: Optional[float] = 800.0,
+) -> RoutingTree:
+    """One seeded experiment instance: points → Steiner tree → candidates."""
+    points = random_points(seed, n_terminals, grid)
+    return build_net(points, spec, spacing=spacing)

@@ -1,0 +1,135 @@
+"""Named workloads reproducing the paper's experimental setup (Sec. VI).
+
+The Sec. VI experiments share one configuration:
+
+* random point sets on a 1 cm × 1 cm grid (10 nets each of 10 and 20 pins);
+* Steiner trees over the points, insertion points at ≤ 800 µm spacing with
+  at least one per wire;
+* every terminal acts as both source and sink with zero arrival times and
+  downstream delays — i.e. the *unaugmented* RC-diameter is optimized;
+* the repeater is a pair of the Table-I 1X buffers;
+* the driver-sizing library pairs kX driving and receiving buffers
+  (k ∈ {1..4}), accounting for a 400 Ω previous stage and a 0.2 pF
+  following stage;
+* costs are counted in equivalent 1X buffers, *including* the terminal
+  buffers, so the min-cost solution (no repeaters, all-1X terminals) costs
+  ``2 × pins``.
+
+To keep repeater-insertion and driver-sizing runs directly comparable, the
+generated terminals are *bare* (zero boundary penalties) and both modes
+dress them through :class:`~repro.core.driver_sizing.DriverOption`:
+repeater-insertion runs pin every terminal to the 1X/1X option; sizing runs
+offer the full library.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.driver_sizing import DriverOption, make_driver_options
+from ..core.msri import MSRIOptions
+from ..rctree.topology import RoutingTree
+from ..tech.buffers import DEFAULT_BUFFER, RepeaterLibrary, default_repeater_library
+from ..tech.parameters import DEFAULT_TECHNOLOGY, Technology
+from .random_nets import NetSpec, random_net
+
+__all__ = [
+    "PAPER_SPACING_UM",
+    "paper_technology",
+    "paper_net_spec",
+    "paper_repeater_library",
+    "paper_driver_options",
+    "fixed_1x_option",
+    "paper_instance",
+    "repeater_insertion_options",
+    "driver_sizing_options",
+    "find_fig11_seed",
+]
+
+#: Maximum insertion-point spacing used in the main experiments.
+PAPER_SPACING_UM = 800.0
+
+
+def paper_technology() -> Technology:
+    """Wire constants of the experiments (documented Table-I substitution)."""
+    return DEFAULT_TECHNOLOGY
+
+
+def paper_net_spec() -> NetSpec:
+    """Bare terminals: 1X electrical defaults, zero boundary penalties.
+
+    Both optimization modes re-dress these through driver options, so the
+    alpha/beta stored here stay zero (the paper's "all arrival times and
+    downstream delay times are zero").
+    """
+    return NetSpec(
+        capacitance=DEFAULT_BUFFER.input_capacitance,
+        resistance=DEFAULT_BUFFER.output_resistance,
+        intrinsic_delay=DEFAULT_BUFFER.intrinsic_delay,
+        arrival_time=0.0,
+        downstream_delay=0.0,
+    )
+
+
+def paper_repeater_library() -> RepeaterLibrary:
+    """The Table II repeater: a pair of 1X buffers (cost 2)."""
+    return default_repeater_library()
+
+
+def paper_driver_options(scales=(1.0, 2.0, 3.0, 4.0)) -> List[DriverOption]:
+    """The kX (driver, receiver) library with the paper's boundary stages."""
+    tech = paper_technology()
+    return make_driver_options(
+        DEFAULT_BUFFER,
+        scales,
+        prev_stage_resistance=tech.extras["prev_stage_resistance"],
+        next_stage_capacitance=tech.extras["next_stage_capacitance"],
+    )
+
+
+def fixed_1x_option() -> DriverOption:
+    """The 1X/1X terminal dressing used by repeater-insertion runs."""
+    return paper_driver_options(scales=(1.0,))[0]
+
+
+def paper_instance(
+    seed: int, n_pins: int, spacing: Optional[float] = PAPER_SPACING_UM
+) -> RoutingTree:
+    """One seeded Sec. VI instance: points → Steiner tree → candidates."""
+    return random_net(seed, n_pins, paper_net_spec(), spacing=spacing)
+
+
+def repeater_insertion_options(**overrides) -> MSRIOptions:
+    """MSRI options for a Table II repeater-insertion run."""
+    return MSRIOptions(
+        library=paper_repeater_library(),
+        driver_options=[fixed_1x_option()],
+        **overrides,
+    )
+
+
+def driver_sizing_options(**overrides) -> MSRIOptions:
+    """MSRI options for a Table II driver-sizing run."""
+    return MSRIOptions(library=None, driver_options=paper_driver_options(), **overrides)
+
+
+def find_fig11_seed(
+    target_wirelength: float = 19_600.0,
+    tolerance: float = 800.0,
+    n_pins: int = 8,
+    max_seed: int = 500,
+) -> int:
+    """Seed whose 8-pin instance matches Fig. 11's ~19.6 kµm wirelength.
+
+    The paper's example point set is not published; we pick the first seeded
+    instance whose Steiner wirelength lands within ``tolerance`` of the
+    paper's 19.6 kµm so the scenario is geometrically comparable.
+    """
+    for seed in range(max_seed):
+        tree = paper_instance(seed, n_pins, spacing=None)
+        if abs(tree.total_wire_length() - target_wirelength) <= tolerance:
+            return seed
+    raise RuntimeError(
+        f"no seed below {max_seed} yields wirelength within {tolerance} of "
+        f"{target_wirelength}"
+    )

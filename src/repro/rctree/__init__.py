@@ -1,0 +1,17 @@
+"""Routing-tree data structures and delay engines (Elmore + slew-aware)."""
+
+from .builder import TreeBuilder, manhattan
+from .elmore import ElmoreAnalyzer
+from .slew import SlewAnalyzer, SlewModel
+from .topology import Node, NodeKind, RoutingTree
+
+__all__ = [
+    "TreeBuilder",
+    "manhattan",
+    "ElmoreAnalyzer",
+    "SlewAnalyzer",
+    "SlewModel",
+    "Node",
+    "NodeKind",
+    "RoutingTree",
+]

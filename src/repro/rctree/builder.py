@@ -1,0 +1,168 @@
+"""Mutable construction of :class:`~repro.rctree.topology.RoutingTree`.
+
+The builder accepts an arbitrary undirected tree over terminals, Steiner
+points, and insertion points, then :meth:`TreeBuilder.build` performs the
+paper's normalizations:
+
+* **leafification** (Sec. III): any terminal with degree > 1 is split into a
+  pure connection vertex plus a zero-length pendant edge to the terminal;
+* **re-orientation**: the tree is rooted at a chosen terminal (the MSRI
+  algorithm roots at "an arbitrary terminal", Sec. IV);
+* wire lengths default to rectilinear (Manhattan) distance between the
+  endpoints, the natural metric for the paper's rectilinear Steiner trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..tech.terminals import Terminal
+from .topology import Node, NodeKind, RoutingTree
+
+__all__ = ["TreeBuilder", "manhattan"]
+
+
+def manhattan(ax: float, ay: float, bx: float, by: float) -> float:
+    """Rectilinear distance between two points."""
+    return abs(ax - bx) + abs(ay - by)
+
+
+@dataclass
+class _ProtoNode:
+    x: float
+    y: float
+    kind: NodeKind
+    terminal: Optional[Terminal] = None
+
+
+class TreeBuilder:
+    """Incrementally assemble a routing tree, then normalize and validate.
+
+    Example
+    -------
+    >>> from repro.tech import Terminal
+    >>> b = TreeBuilder()
+    >>> a = b.add_terminal(Terminal("a", 0, 0, resistance=100, capacitance=0.05))
+    >>> c = b.add_terminal(Terminal("c", 800, 0, resistance=100, capacitance=0.05))
+    >>> m = b.add_insertion_point(400, 0)
+    >>> b.connect(a, m)
+    >>> b.connect(m, c)
+    >>> tree = b.build(root=a)
+    """
+
+    def __init__(self) -> None:
+        self._nodes: List[_ProtoNode] = []
+        self._edges: List[Tuple[int, int, Optional[float]]] = []
+
+    # -- node creation -----------------------------------------------------
+
+    def add_terminal(self, terminal: Terminal) -> int:
+        """Add a terminal at its own position; returns the handle."""
+        self._nodes.append(
+            _ProtoNode(terminal.x, terminal.y, NodeKind.TERMINAL, terminal)
+        )
+        return len(self._nodes) - 1
+
+    def add_steiner(self, x: float, y: float) -> int:
+        """Add a Steiner (branch) point."""
+        self._nodes.append(_ProtoNode(x, y, NodeKind.STEINER))
+        return len(self._nodes) - 1
+
+    def add_insertion_point(self, x: float, y: float) -> int:
+        """Add a candidate repeater insertion point (must end up degree two)."""
+        self._nodes.append(_ProtoNode(x, y, NodeKind.INSERTION))
+        return len(self._nodes) - 1
+
+    # -- edges --------------------------------------------------------------
+
+    def connect(self, a: int, b: int, length: Optional[float] = None) -> None:
+        """Join two handles with a wire.
+
+        ``length`` defaults to the Manhattan distance between the endpoints;
+        pass an explicit value when the detailed route detours.
+        """
+        if a == b:
+            raise ValueError("self-loop")
+        for h in (a, b):
+            if not (0 <= h < len(self._nodes)):
+                raise ValueError(f"unknown node handle {h}")
+        if length is not None and length < 0.0:
+            raise ValueError(f"negative wire length {length}")
+        self._edges.append((a, b, length))
+
+    # -- finalization --------------------------------------------------------
+
+    def build(self, root: int) -> RoutingTree:
+        """Normalize (leafify), root at ``root``, and validate.
+
+        ``root`` must be a terminal handle — the conventions of both the ARD
+        algorithm and the DP in this library assume a terminal root.
+        """
+        if not (0 <= root < len(self._nodes)):
+            raise ValueError(f"unknown root handle {root}")
+        if self._nodes[root].kind is not NodeKind.TERMINAL:
+            raise ValueError("root must be a terminal")
+
+        nodes = list(self._nodes)
+        edges = list(self._edges)
+
+        # adjacency for degree counting
+        degree = [0] * len(nodes)
+        for a, b, _ in edges:
+            degree[a] += 1
+            degree[b] += 1
+
+        # leafification: split terminals of degree > 1 (root included when
+        # its degree exceeds one — the root terminal keeps exactly one child)
+        remap: Dict[int, int] = {}
+        for i, proto in enumerate(list(nodes)):
+            if proto.kind is NodeKind.TERMINAL and degree[i] > 1:
+                nodes[i] = _ProtoNode(proto.x, proto.y, NodeKind.STEINER)
+                nodes.append(
+                    _ProtoNode(proto.x, proto.y, NodeKind.TERMINAL, proto.terminal)
+                )
+                pendant = len(nodes) - 1
+                edges.append((i, pendant, 0.0))
+                remap[i] = pendant
+
+        if root in remap:
+            root = remap[root]
+
+        if len(edges) != len(nodes) - 1:
+            raise ValueError(
+                f"a tree over {len(nodes)} nodes needs exactly {len(nodes) - 1} "
+                f"edges, got {len(edges)} (cycle or disconnection)"
+            )
+
+        # resolve default lengths and build adjacency
+        adjacency: List[List[Tuple[int, float]]] = [[] for _ in nodes]
+        for a, b, length in edges:
+            if length is None:
+                length = manhattan(nodes[a].x, nodes[a].y, nodes[b].x, nodes[b].y)
+            adjacency[a].append((b, length))
+            adjacency[b].append((a, length))
+
+        # orient by BFS from the root
+        n = len(nodes)
+        parent: List[Optional[int]] = [None] * n
+        elen = [0.0] * n
+        seen = [False] * n
+        seen[root] = True
+        queue = [root]
+        while queue:
+            v = queue.pop()
+            for u, length in adjacency[v]:
+                if not seen[u]:
+                    seen[u] = True
+                    parent[u] = v
+                    elen[u] = length
+                    queue.append(u)
+        if not all(seen):
+            missing = [i for i, s in enumerate(seen) if not s]
+            raise ValueError(f"graph is not connected; unreachable: {missing}")
+
+        final_nodes = [
+            Node(i, p.x, p.y, p.kind, p.terminal) for i, p in enumerate(nodes)
+        ]
+        return RoutingTree(final_nodes, parent, elen)

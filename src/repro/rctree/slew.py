@@ -1,0 +1,171 @@
+"""Slew-aware delay evaluation (the generalized model of Lillis et al. [15]).
+
+The paper's own experiments use the basic Elmore + intrinsic-delay models
+(Sec. II), but it cites its companion work [15] for "a generalized buffer
+delay model incorporating signal slew".  This module provides that richer
+model as an *evaluation* layer, used for sensitivity analysis of solutions
+produced under the basic model (``benchmarks/bench_slew_sensitivity.py``):
+
+* a driving stage (terminal driver or repeater half) launches a ramp whose
+  output transition time is ``slew_gain · R_drv · C_load`` (the classic
+  ≈ ln 9 ≈ 2.2 RC estimate for 10–90% transitions);
+* travelling down the wire, the transition degrades with the Elmore delay
+  accumulated since the last regeneration — the PERI composition
+  ``S = sqrt(S_launch² + (slew_gain · d_elmore)²)``;
+* every stage's switching delay grows with the transition time arriving at
+  its input: ``d += slew_to_delay · S_in`` (first-order linear sensitivity,
+  default 0.25 — half of a half-swing ramp);
+* repeaters *regenerate* the edge: after a repeater, the accumulated wire
+  degradation restarts — which is precisely why repeaters help more under a
+  slew-aware model than plain Elmore predicts.
+
+The model collapses to the paper's when ``slew_to_delay = 0``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..tech.buffers import Repeater
+from ..tech.parameters import Technology
+from ..tech.terminals import NEVER
+from .elmore import ElmoreAnalyzer
+from .topology import RoutingTree
+
+__all__ = ["SlewModel", "SlewAnalyzer"]
+
+#: 10–90% transition of an RC step response: t = ln(9) RC.
+LN9 = math.log(9.0)
+
+
+@dataclass(frozen=True)
+class SlewModel:
+    """Coefficients of the slew extension.
+
+    ``slew_gain`` converts an RC product into a transition time;
+    ``slew_to_delay`` converts an input transition time into extra stage
+    delay; ``input_slew`` is the transition arriving at every terminal
+    driver's input.
+    """
+
+    slew_gain: float = LN9
+    slew_to_delay: float = 0.25
+    input_slew: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.slew_gain < 0.0 or self.slew_to_delay < 0.0 or self.input_slew < 0.0:
+            raise ValueError("slew model coefficients must be non-negative")
+
+
+class SlewAnalyzer:
+    """Slew-aware path delays on top of an Elmore capacitance backbone."""
+
+    def __init__(
+        self,
+        tree: RoutingTree,
+        tech: Technology,
+        assignment: Optional[Dict[int, Repeater]] = None,
+        model: SlewModel = SlewModel(),
+    ):
+        self._an = ElmoreAnalyzer(tree, tech, assignment)
+        self._model = model
+        self._tree = tree
+
+    @property
+    def elmore(self) -> ElmoreAnalyzer:
+        return self._an
+
+    def path_delay(self, src: int, dst: int) -> float:
+        """Slew-aware delay from the driver at ``src`` to terminal ``dst``.
+
+        Walks the path, carrying ``(arrival time, launch slew, elmore since
+        last regeneration)``; each repeater charges the degraded transition
+        arriving at its input and relaunches a fresh ramp.
+        """
+        tree = self._tree
+        an = self._an
+        m = self._model
+        src_t = tree.node(src).terminal
+        dst_t = tree.node(dst).terminal
+        if src_t is None or dst_t is None:
+            raise ValueError("endpoints must be terminals")
+        if src == dst:
+            raise ValueError("source and sink must differ")
+        if not src_t.is_source:
+            raise ValueError(f"terminal {src_t.name} cannot drive")
+
+        path = tree.path_between(src, dst)
+        load = src_t.capacitance + an.cap_into(src, path[1])
+        time = src_t.driver_delay(load) + m.slew_to_delay * m.input_slew
+        launch_slew = m.slew_gain * src_t.resistance * load
+        elmore_since_launch = 0.0
+
+        for k in range(1, len(path)):
+            a, b = path[k - 1], path[k]
+            elmore_since_launch += an.wire_delay(a, b)
+            time += an.wire_delay(a, b)
+            if k < len(path) - 1 and an.has_repeater(b):
+                arriving = self._degraded(launch_slew, elmore_since_launch)
+                time += an.repeater_delay_through(b, a, path[k + 1])
+                time += m.slew_to_delay * arriving
+                # regeneration: fresh ramp from the repeater's output
+                rep = an.assignment[b]
+                downward = a == tree.parent(b)
+                r_drive = rep.r_ab if downward else rep.r_ba
+                launch_slew = m.slew_gain * r_drive * an.cap_into(b, path[k + 1])
+                elmore_since_launch = 0.0
+        # the sink's receiver also switches later on a degraded edge
+        time += m.slew_to_delay * self._degraded(launch_slew, elmore_since_launch)
+        return time
+
+    def sink_slew(self, src: int, dst: int) -> float:
+        """The transition time arriving at ``dst`` when ``src`` drives."""
+        tree = self._tree
+        an = self._an
+        m = self._model
+        path = tree.path_between(src, dst)
+        src_t = tree.node(src).terminal
+        load = src_t.capacitance + an.cap_into(src, path[1])
+        launch_slew = m.slew_gain * src_t.resistance * load
+        elmore = 0.0
+        for k in range(1, len(path)):
+            a, b = path[k - 1], path[k]
+            elmore += an.wire_delay(a, b)
+            if k < len(path) - 1 and an.has_repeater(b):
+                rep = an.assignment[b]
+                downward = a == tree.parent(b)
+                r_drive = rep.r_ab if downward else rep.r_ba
+                launch_slew = m.slew_gain * r_drive * an.cap_into(b, path[k + 1])
+                elmore = 0.0
+        return self._degraded(launch_slew, elmore)
+
+    def augmented_delay(self, src: int, dst: int) -> float:
+        tree = self._tree
+        src_t = tree.node(src).terminal
+        dst_t = tree.node(dst).terminal
+        if not src_t.is_source or not dst_t.is_sink:
+            return NEVER
+        return (
+            src_t.arrival_time + self.path_delay(src, dst) + dst_t.downstream_delay
+        )
+
+    def ard(self) -> Tuple[float, Optional[int], Optional[int]]:
+        """Slew-aware ARD by pair enumeration (evaluation-only model)."""
+        best, bs, bk = NEVER, None, None
+        terminals = self._tree.terminal_indices()
+        for u in terminals:
+            if not self._tree.node(u).terminal.is_source:
+                continue
+            for v in terminals:
+                if v == u or not self._tree.node(v).terminal.is_sink:
+                    continue
+                d = self.augmented_delay(u, v)
+                if d > best:
+                    best, bs, bk = d, u, v
+        return best, bs, bk
+
+    def _degraded(self, launch_slew: float, elmore_since_launch: float) -> float:
+        """PERI composition of launch slew and wire degradation."""
+        return math.hypot(launch_slew, self._model.slew_gain * elmore_since_launch)

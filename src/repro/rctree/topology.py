@@ -1,0 +1,337 @@
+"""Rooted rectilinear routing trees for multisource nets.
+
+The paper's net-specific inputs (Sec. II) are a terminal set in the plane and
+a rectilinear Steiner tree spanning it, with prescribed *degree-two candidate
+insertion points* where repeaters may go (footnote 6: degree two avoids
+ambiguity about which side of the repeater a branch connects to).  Sec. III
+additionally assumes, w.l.o.g., that all terminals are leaves (a non-leaf
+terminal gets a zero-length pendant edge) and that the tree is re-oriented
+with respect to an arbitrary root.
+
+:class:`RoutingTree` is that object: an immutable rooted tree whose nodes are
+terminals, Steiner (branch) points, or candidate insertion points, with a
+wire length on every parent edge.  Construction is via
+:class:`~repro.rctree.builder.TreeBuilder`; this module owns the invariants.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..tech.terminals import Terminal
+
+__all__ = ["NodeKind", "Node", "RoutingTree", "RepeaterAssignment"]
+
+
+class NodeKind(enum.Enum):
+    """Role of a tree node."""
+
+    TERMINAL = "terminal"
+    STEINER = "steiner"
+    INSERTION = "insertion"
+
+
+@dataclass(frozen=True)
+class Node:
+    """One vertex of the routing tree.
+
+    ``terminal`` is populated exactly for :attr:`NodeKind.TERMINAL` nodes.
+    """
+
+    index: int
+    x: float
+    y: float
+    kind: NodeKind
+    terminal: Optional[Terminal] = None
+
+    def __post_init__(self) -> None:
+        if (self.kind is NodeKind.TERMINAL) != (self.terminal is not None):
+            raise ValueError(
+                f"node {self.index}: terminal payload must accompany exactly "
+                f"the TERMINAL kind (kind={self.kind}, terminal={self.terminal})"
+            )
+
+    @property
+    def name(self) -> str:
+        if self.terminal is not None:
+            return self.terminal.name
+        return f"{self.kind.value}{self.index}"
+
+
+#: A repeater assignment maps insertion-node index -> oriented Repeater,
+#: with the convention that the repeater's A-side faces the tree root.
+#: Unassigned insertion points carry no repeater.  (Plain dict alias; the
+#: optimizer produces these and the Elmore engine consumes them.)
+RepeaterAssignment = Dict[int, "object"]
+
+
+class RoutingTree:
+    """An immutable rooted routing tree.
+
+    Parameters
+    ----------
+    nodes:
+        Node records; ``nodes[i].index == i`` must hold.
+    parent:
+        ``parent[i]`` is the parent node index, ``None`` exactly for the root.
+    edge_length:
+        ``edge_length[i]`` is the wire length (µm) of the edge from ``i`` to
+        its parent; must be 0.0 for the root.  Zero-length edges are legal
+        (leafification pendants).
+
+    Invariants enforced at construction:
+
+    * exactly one root; parent pointers are acyclic and connect all nodes;
+    * terminals are leaves;
+    * insertion points have degree exactly two (one child, one parent) and
+      are never the root;
+    * Steiner nodes are internal (degree >= 2 including the parent edge) —
+      a leaf Steiner node would be dangling wire.
+    """
+
+    __slots__ = ("_nodes", "_parent", "_edge_length", "_children", "_root")
+
+    def __init__(
+        self,
+        nodes: Sequence[Node],
+        parent: Sequence[Optional[int]],
+        edge_length: Sequence[float],
+    ):
+        self._nodes: Tuple[Node, ...] = tuple(nodes)
+        self._parent: Tuple[Optional[int], ...] = tuple(parent)
+        self._edge_length: Tuple[float, ...] = tuple(edge_length)
+        n = len(self._nodes)
+        if not (len(self._parent) == len(self._edge_length) == n):
+            raise ValueError("nodes/parent/edge_length length mismatch")
+        if n == 0:
+            raise ValueError("routing tree may not be empty")
+        for i, node in enumerate(self._nodes):
+            if node.index != i:
+                raise ValueError(f"node at position {i} has index {node.index}")
+
+        roots = [i for i, p in enumerate(self._parent) if p is None]
+        if len(roots) != 1:
+            raise ValueError(f"expected exactly one root, found {roots}")
+        self._root = roots[0]
+        if self._edge_length[self._root] != 0.0:
+            raise ValueError("root must have zero edge length")
+
+        children: List[List[int]] = [[] for _ in range(n)]
+        for i, p in enumerate(self._parent):
+            if p is None:
+                continue
+            if not (0 <= p < n) or p == i:
+                raise ValueError(f"node {i}: invalid parent {p}")
+            if self._edge_length[i] < 0.0:
+                raise ValueError(f"node {i}: negative edge length")
+            children[p].append(i)
+        self._children: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(c) for c in children
+        )
+
+        self._check_connected()
+        self._check_kinds()
+
+    # -- invariant checks ----------------------------------------------------
+
+    def _check_connected(self) -> None:
+        seen = [False] * len(self._nodes)
+        stack = [self._root]
+        seen[self._root] = True
+        count = 1
+        while stack:
+            v = stack.pop()
+            for u in self._children[v]:
+                if seen[u]:
+                    raise ValueError("cycle detected in parent pointers")
+                seen[u] = True
+                count += 1
+                stack.append(u)
+        if count != len(self._nodes):
+            orphans = [i for i, s in enumerate(seen) if not s]
+            raise ValueError(f"tree not connected; unreachable nodes {orphans}")
+
+    def _check_kinds(self) -> None:
+        for node in self._nodes:
+            i = node.index
+            degree = len(self._children[i]) + (0 if i == self._root else 1)
+            if node.kind is NodeKind.TERMINAL:
+                if i == self._root:
+                    if len(self._children[i]) != 1:
+                        raise ValueError(
+                            f"root terminal {i} ({node.name}) must have exactly "
+                            f"one child, found {len(self._children[i])}"
+                        )
+                elif self._children[i]:
+                    raise ValueError(
+                        f"terminal node {i} ({node.name}) must be a leaf; "
+                        "leafify non-leaf terminals with a zero-length pendant"
+                    )
+            if node.kind is NodeKind.INSERTION:
+                if i == self._root or degree != 2:
+                    raise ValueError(
+                        f"insertion point {i} must have degree two and not be "
+                        f"the root (paper footnote 6); degree={degree}"
+                    )
+            if node.kind is NodeKind.STEINER and degree < 2:
+                raise ValueError(f"steiner node {i} is dangling (degree {degree})")
+
+    # -- basic accessors -------------------------------------------------------
+
+    @property
+    def nodes(self) -> Tuple[Node, ...]:
+        return self._nodes
+
+    @property
+    def root(self) -> int:
+        return self._root
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def node(self, i: int) -> Node:
+        return self._nodes[i]
+
+    def parent(self, i: int) -> Optional[int]:
+        """Parent index of ``i`` (None for the root)."""
+        return self._parent[i]
+
+    def children(self, i: int) -> Tuple[int, ...]:
+        return self._children[i]
+
+    def edge_length(self, i: int) -> float:
+        """Length (µm) of the wire from ``i`` up to its parent."""
+        return self._edge_length[i]
+
+    def neighbors(self, i: int) -> List[int]:
+        """All adjacent node indices (parent plus children)."""
+        out = list(self._children[i])
+        p = self._parent[i]
+        if p is not None:
+            out.append(p)
+        return out
+
+    def degree(self, i: int) -> int:
+        return len(self.neighbors(i))
+
+    def is_leaf(self, i: int) -> bool:
+        return not self._children[i]
+
+    # -- derived collections ---------------------------------------------------
+
+    def terminal_indices(self) -> List[int]:
+        """Indices of terminal nodes, in index order."""
+        return [n.index for n in self._nodes if n.kind is NodeKind.TERMINAL]
+
+    def terminals(self) -> List[Terminal]:
+        """The terminal payloads, in node-index order."""
+        return [n.terminal for n in self._nodes if n.terminal is not None]
+
+    def insertion_indices(self) -> List[int]:
+        """Indices of candidate repeater insertion points."""
+        return [n.index for n in self._nodes if n.kind is NodeKind.INSERTION]
+
+    def steiner_indices(self) -> List[int]:
+        return [n.index for n in self._nodes if n.kind is NodeKind.STEINER]
+
+    def terminal_by_name(self, name: str) -> int:
+        """Node index of the terminal with the given name."""
+        for n in self._nodes:
+            if n.terminal is not None and n.terminal.name == name:
+                return n.index
+        raise KeyError(name)
+
+    # -- traversal ---------------------------------------------------------------
+
+    def dfs_preorder(self) -> Iterator[int]:
+        """Root-first traversal."""
+        stack = [self._root]
+        while stack:
+            v = stack.pop()
+            yield v
+            stack.extend(reversed(self._children[v]))
+
+    def dfs_postorder(self) -> Iterator[int]:
+        """Children-before-parent traversal (the DP's processing order)."""
+        order = list(self.dfs_preorder())
+        return iter(reversed(order))
+
+    def path_between(self, a: int, b: int) -> List[int]:
+        """Node indices along the unique tree path from ``a`` to ``b``."""
+        ancestors_a = []
+        v: Optional[int] = a
+        while v is not None:
+            ancestors_a.append(v)
+            v = self._parent[v]
+        index_in_a = {node: k for k, node in enumerate(ancestors_a)}
+        ancestors_b = []
+        v = b
+        while v is not None and v not in index_in_a:
+            ancestors_b.append(v)
+            v = self._parent[v]
+        assert v is not None, "nodes in one tree always share an ancestor"
+        return ancestors_a[: index_in_a[v] + 1] + list(reversed(ancestors_b))
+
+    def depth(self, i: int) -> int:
+        """Number of edges from ``i`` up to the root."""
+        d = 0
+        v = self._parent[i]
+        while v is not None:
+            d += 1
+            v = self._parent[v]
+        return d
+
+    # -- metrics ---------------------------------------------------------------
+
+    def total_wire_length(self) -> float:
+        """Sum of all edge lengths (µm)."""
+        return sum(self._edge_length)
+
+    def max_edge_length(self) -> float:
+        return max(self._edge_length)
+
+    def bounding_box(self) -> Tuple[float, float, float, float]:
+        """``(min_x, min_y, max_x, max_y)`` over all node positions."""
+        xs = [n.x for n in self._nodes]
+        ys = [n.y for n in self._nodes]
+        return (min(xs), min(ys), max(xs), max(ys))
+
+    # -- restructuring -----------------------------------------------------------
+
+    def rerooted(self, new_root: int) -> "RoutingTree":
+        """The same tree re-oriented so ``new_root`` becomes the root.
+
+        The paper re-orients topologies with respect to an arbitrary root
+        vertex (Sec. III); both the ARD algorithm and the DP accept any
+        rooting, and tests use this to confirm root-independence.
+        """
+        if not (0 <= new_root < len(self._nodes)):
+            raise ValueError(f"invalid root {new_root}")
+        n = len(self._nodes)
+        parent: List[Optional[int]] = [None] * n
+        length = [0.0] * n
+        # walk from new_root flipping edges along the old root path
+        visited = [False] * n
+        stack = [(new_root, None, 0.0)]
+        while stack:
+            v, par, plen = stack.pop()
+            visited[v] = True
+            parent[v] = par
+            length[v] = plen
+            for u in self.neighbors(v):
+                if not visited[u]:
+                    if self._parent[u] == v:
+                        elen = self._edge_length[u]
+                    else:
+                        elen = self._edge_length[v]
+                    stack.append((u, v, elen))
+        return RoutingTree(self._nodes, parent, length)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RoutingTree(n={len(self)}, terminals="
+            f"{len(self.terminal_indices())}, insertion="
+            f"{len(self.insertion_indices())}, wl={self.total_wire_length():.0f}um)"
+        )

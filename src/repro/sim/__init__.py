@@ -1,0 +1,17 @@
+"""Event-driven functional simulation of bus transactions."""
+
+from .propagation import (
+    SinkEvent,
+    TransactionResult,
+    simulate_all,
+    simulate_transaction,
+    simulated_ard,
+)
+
+__all__ = [
+    "SinkEvent",
+    "TransactionResult",
+    "simulate_all",
+    "simulate_transaction",
+    "simulated_ard",
+]

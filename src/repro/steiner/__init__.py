@@ -1,0 +1,23 @@
+"""Rectilinear Steiner topology generation, insertion points, synthesis."""
+
+from .insertion_points import add_insertion_points, l_route_point
+from .mst import rectilinear_mst, total_length
+from .steinerize import SteinerTopology, build_steiner_topology, steinerize
+from .topology_search import (
+    SynthesisResult,
+    synthesize_topology,
+    tree_from_terminal_edges,
+)
+
+__all__ = [
+    "add_insertion_points",
+    "l_route_point",
+    "rectilinear_mst",
+    "total_length",
+    "SteinerTopology",
+    "build_steiner_topology",
+    "steinerize",
+    "SynthesisResult",
+    "synthesize_topology",
+    "tree_from_terminal_edges",
+]

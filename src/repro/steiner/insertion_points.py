@@ -1,0 +1,90 @@
+"""Candidate repeater insertion points along tree wires (paper Sec. VI).
+
+The paper's experiments add degree-two insertion points so that consecutive
+candidates sit no more than ~800 µm apart, while ensuring every (non-trivial)
+wire segment carries at least one — which drives the *average* spacing well
+below the cap (~450 µm in the paper's footnote 14).
+
+A wire of length ``L`` therefore receives ``k = max(1, ceil(L / spacing))``
+evenly spaced insertion points, splitting it into ``k + 1`` sub-wires of
+length ``L / (k + 1) < spacing``.  Zero-length pendant edges (leafification
+artifacts) carry no wire and get no insertion points.
+
+Coordinates of the new points are interpolated along the edge's L-shaped
+(horizontal-then-vertical) route, so renderings stay truthful; electrically
+only the lengths matter.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from ..rctree.builder import TreeBuilder
+from ..rctree.topology import NodeKind, RoutingTree
+
+__all__ = ["add_insertion_points", "l_route_point"]
+
+
+def l_route_point(
+    ax: float, ay: float, bx: float, by: float, fraction: float
+) -> Tuple[float, float]:
+    """Point a given arc-length fraction along the L-route from a to b.
+
+    The route runs horizontally from ``(ax, ay)`` to ``(bx, ay)``, then
+    vertically to ``(bx, by)``.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction {fraction} outside [0, 1]")
+    dx, dy = abs(bx - ax), abs(by - ay)
+    total = dx + dy
+    if total == 0.0:
+        return (ax, ay)
+    run = fraction * total
+    if run <= dx:
+        return (ax + math.copysign(run, bx - ax), ay)
+    return (bx, ay + math.copysign(run - dx, by - ay))
+
+
+def add_insertion_points(tree: RoutingTree, spacing: float) -> RoutingTree:
+    """A new tree with candidate insertion points threaded into every wire.
+
+    ``spacing`` is the maximum distance between consecutive candidates
+    (the paper used 800 µm; its footnote 15 also reports 300 µm runs).
+    """
+    if spacing <= 0.0:
+        raise ValueError("spacing must be positive")
+
+    builder = TreeBuilder()
+    handle: List[int] = []
+    for node in tree.nodes:
+        if node.kind is NodeKind.TERMINAL:
+            handle.append(builder.add_terminal(node.terminal))
+        elif node.kind is NodeKind.STEINER:
+            handle.append(builder.add_steiner(node.x, node.y))
+        else:
+            handle.append(builder.add_insertion_point(node.x, node.y))
+
+    for v in range(len(tree)):
+        p = tree.parent(v)
+        if p is None:
+            continue
+        length = tree.edge_length(v)
+        if length <= 0.0:
+            builder.connect(handle[p], handle[v], length=0.0)
+            continue
+        k = max(1, math.ceil(length / spacing))
+        sub = length / (k + 1)
+        pn, vn = tree.node(p), tree.node(v)
+        prev = handle[p]
+        for i in range(1, k + 1):
+            x, y = l_route_point(pn.x, pn.y, vn.x, vn.y, i / (k + 1))
+            m = builder.add_insertion_point(x, y)
+            builder.connect(prev, m, length=sub)
+            prev = m
+        builder.connect(prev, handle[v], length=sub)
+
+    root_term = tree.node(tree.root)
+    built = builder.build(root=handle[tree.root])
+    assert built.node(built.root).terminal.name == root_term.terminal.name
+    return built

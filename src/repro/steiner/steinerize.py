@@ -1,0 +1,115 @@
+"""Greedy Hanan-point steinerization of a rectilinear spanning tree.
+
+Classic wirelength refinement: wherever a vertex ``u`` has two tree
+neighbors ``v`` and ``w``, the three L-shaped routes can share track.  The
+optimal meeting point for three terminals under the L1 metric is the
+component-wise **median**; if routing ``u``, ``v``, ``w`` through that
+median point is shorter than the two direct edges, we insert a Steiner
+point there.  Iterating to a fixed point converts an MST into a decent
+rectilinear Steiner tree (typically 8–11% shorter, approaching the classic
+Hwang bound of the MST/SMT ratio from above).
+
+This stands in for the paper's P-Tree topology generator — see DESIGN.md §5
+for why the substitution is behaviour-preserving for the experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from .mst import rectilinear_mst, total_length
+
+__all__ = ["steinerize", "SteinerTopology", "build_steiner_topology"]
+
+Point = Tuple[float, float]
+Edge = Tuple[int, int]
+
+
+def _median3(a: float, b: float, c: float) -> float:
+    return sorted((a, b, c))[1]
+
+
+def _dist(a: Point, b: Point) -> float:
+    return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+
+class SteinerTopology:
+    """A point-indexed tree: original terminals plus added Steiner points.
+
+    ``points[:n_terminals]`` are the input terminals in input order; any
+    further points are Steiner points introduced by refinement.
+    """
+
+    def __init__(self, points: List[Point], edges: List[Edge], n_terminals: int):
+        self.points = points
+        self.edges = edges
+        self.n_terminals = n_terminals
+
+    def wirelength(self) -> float:
+        return total_length(self.points, self.edges)
+
+    def steiner_points(self) -> List[Point]:
+        return self.points[self.n_terminals:]
+
+
+def steinerize(
+    points: Sequence[Point], edges: Sequence[Edge], max_rounds: int = 20
+) -> SteinerTopology:
+    """Greedy median-point refinement until no move helps (or round cap)."""
+    pts: List[Point] = list(points)
+    n_terminals = len(pts)
+    adj: Dict[int, Set[int]] = {i: set() for i in range(len(pts))}
+    for a, b in edges:
+        adj[a].add(b)
+        adj[b].add(a)
+
+    improved = True
+    rounds = 0
+    while improved and rounds < max_rounds:
+        improved = False
+        rounds += 1
+        for u in list(adj.keys()):
+            neighbors = list(adj[u])
+            if len(neighbors) < 2:
+                continue
+            best = None  # (gain, v, w, steiner point)
+            for i in range(len(neighbors)):
+                for j in range(i + 1, len(neighbors)):
+                    v, w = neighbors[i], neighbors[j]
+                    sx = _median3(pts[u][0], pts[v][0], pts[w][0])
+                    sy = _median3(pts[u][1], pts[v][1], pts[w][1])
+                    s = (sx, sy)
+                    old = _dist(pts[u], pts[v]) + _dist(pts[u], pts[w])
+                    new = _dist(pts[u], s) + _dist(s, pts[v]) + _dist(s, pts[w])
+                    gain = old - new
+                    if gain > 1e-9 and (best is None or gain > best[0]):
+                        best = (gain, v, w, s)
+            if best is None:
+                continue
+            _, v, w, s = best
+            if s == pts[u]:
+                continue  # the median is u itself; no new point needed
+            s_idx = len(pts)
+            pts.append(s)
+            adj[s_idx] = set()
+            for x in (v, w):
+                adj[u].discard(x)
+                adj[x].discard(u)
+                adj[s_idx].add(x)
+                adj[x].add(s_idx)
+            adj[u].add(s_idx)
+            adj[s_idx].add(u)
+            improved = True
+
+    out_edges = []
+    for a in adj:
+        for b in adj[a]:
+            if a < b:
+                out_edges.append((a, b))
+    return SteinerTopology(pts, out_edges, n_terminals)
+
+
+def build_steiner_topology(points: Sequence[Point]) -> SteinerTopology:
+    """MST construction followed by steinerization."""
+    mst_edges = rectilinear_mst(points)
+    return steinerize(points, mst_edges)

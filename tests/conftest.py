@@ -1,0 +1,118 @@
+"""Shared fixtures and net constructors used across the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rctree import TreeBuilder
+from repro.tech import Buffer, Repeater, Technology, Terminal
+
+
+@pytest.fixture
+def tech():
+    """Round-number technology so hand computations stay exact."""
+    return Technology(unit_resistance=0.1, unit_capacitance=0.01, name="test")
+
+
+@pytest.fixture
+def simple_buffer():
+    return Buffer(
+        name="buf",
+        intrinsic_delay=20.0,
+        output_resistance=50.0,
+        input_capacitance=0.25,
+        cost=1.0,
+    )
+
+
+@pytest.fixture
+def simple_repeater(simple_buffer):
+    return Repeater.from_buffer_pair(simple_buffer, name="rep")
+
+
+def make_terminal(name, x, y, alpha=0.0, beta=0.0, cap=0.5, res=100.0):
+    """Terminal with compact defaults used by most topology tests."""
+    return Terminal(
+        name=name,
+        x=x,
+        y=y,
+        arrival_time=alpha,
+        downstream_delay=beta,
+        capacitance=cap,
+        resistance=res,
+    )
+
+
+def y_net():
+    """Three terminals joined at a Steiner point, rooted at ``a``.
+
+    Geometry: a(0,0) -- s(100,0) -- b(200,0), with c(100,100) also on s.
+    All wire lengths are 100 um.
+    """
+    b = TreeBuilder()
+    a = b.add_terminal(make_terminal("a", 0, 0))
+    t_b = b.add_terminal(make_terminal("b", 200, 0))
+    t_c = b.add_terminal(make_terminal("c", 100, 100))
+    s = b.add_steiner(100, 0)
+    b.connect(a, s)
+    b.connect(s, t_b)
+    b.connect(s, t_c)
+    return b.build(root=a)
+
+
+def random_topology(rng, n_terminals=5, p_insertion=0.5, grid=2000.0):
+    """Random tree over random terminals, by random attachment.
+
+    Terminals get randomized timing parameters; roughly one in four is a
+    pure source and one in four a pure sink, the rest are bidirectional —
+    always keeping at least one source and one sink.  Insertion points are
+    sprinkled mid-edge with probability ``p_insertion``.
+    """
+    from repro.tech import NEVER
+
+    b = TreeBuilder()
+    handles = []
+    for i in range(n_terminals):
+        role = rng.random()
+        alpha = float(rng.uniform(0.0, 200.0))
+        beta = float(rng.uniform(0.0, 200.0))
+        if i >= 2:  # terminals 0 and 1 stay bidirectional
+            if role < 0.25:
+                beta = NEVER
+            elif role < 0.5:
+                alpha = NEVER
+        term = Terminal(
+            name=f"t{i}",
+            x=float(rng.uniform(0.0, grid)),
+            y=float(rng.uniform(0.0, grid)),
+            arrival_time=alpha,
+            downstream_delay=beta,
+            capacitance=float(rng.uniform(0.01, 0.5)),
+            resistance=float(rng.uniform(50.0, 400.0)),
+        )
+        h = b.add_terminal(term)
+        if handles:
+            target = handles[int(rng.integers(0, len(handles)))]
+            if rng.random() < p_insertion:
+                tx, ty = term.x, term.y
+                m = b.add_insertion_point((tx + 1.0) / 2.0, ty)
+                b.connect(target, m)
+                b.connect(m, h)
+            else:
+                b.connect(target, h)
+        handles.append(h)
+    return b.build(root=handles[0])
+
+
+def two_pin_net(length=1000.0, with_insertion=True):
+    """Two terminals on a straight wire, optionally with one insertion point."""
+    b = TreeBuilder()
+    a = b.add_terminal(make_terminal("a", 0, 0))
+    z = b.add_terminal(make_terminal("z", length, 0))
+    if with_insertion:
+        m = b.add_insertion_point(length / 2, 0)
+        b.connect(a, m)
+        b.connect(m, z)
+    else:
+        b.connect(a, z)
+    return b.build(root=a)

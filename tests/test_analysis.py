@@ -1,0 +1,126 @@
+"""Tests for reporting, rendering, and the experiment harness."""
+
+import math
+import os
+
+import pytest
+
+from repro.analysis import (
+    Table,
+    render_tree,
+    run_instance,
+    save_text,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+from repro.analysis.experiments import InstanceResult
+from repro.core.msri import insert_repeaters
+from repro.netgen import (
+    paper_instance,
+    paper_technology,
+    repeater_insertion_options,
+)
+from repro.tech import Repeater
+
+from .conftest import y_net
+
+
+class TestTable:
+    def test_render_contains_everything(self):
+        t = Table("demo", ["a", "bee"])
+        t.add_row(1, 2.5)
+        t.add_row("xy", 1000.0)
+        t.add_note("a note")
+        out = t.render()
+        assert "demo" in out
+        assert "bee" in out
+        assert "2.500" in out
+        assert "note: a note" in out
+
+    def test_row_width_checked(self):
+        t = Table("demo", ["a"])
+        with pytest.raises(ValueError):
+            t.add_row(1, 2)
+
+    def test_float_formats(self):
+        t = Table("demo", ["x"])
+        t.add_row(3.0)
+        t.add_row(1234.5678)
+        t.add_row(0.123456)
+        out = t.render()
+        assert "3.0" in out
+        assert "1235" in out
+        assert "0.123" in out
+
+    def test_save_text(self, tmp_path):
+        path = save_text("t.txt", "hello", directory=str(tmp_path))
+        with open(path) as fh:
+            assert fh.read() == "hello\n"
+
+
+class TestRender:
+    def test_contains_terminals_and_legend(self):
+        out = render_tree(y_net())
+        assert "legend:" in out
+        for ch in "abc":
+            assert ch in out
+
+    def test_repeater_marker(self):
+        from repro.netgen import paper_technology
+
+        tree = paper_instance(0, 4)
+        res = insert_repeaters(
+            tree, paper_technology(), repeater_insertion_options()
+        )
+        best = res.min_ard()
+        reps = {
+            k: v for k, v in best.assignment().items() if isinstance(v, Repeater)
+        }
+        if reps:  # the fastest solution on this instance uses repeaters
+            out = render_tree(tree, reps)
+            assert "#" in out
+
+    def test_dimensions(self):
+        out = render_tree(y_net(), width=40, height=10)
+        lines = out.splitlines()
+        assert all(len(line) <= 40 for line in lines[:10])
+
+
+class TestExperimentHarness:
+    @pytest.fixture(scope="class")
+    def small_result(self):
+        # 4-pin instance keeps the harness test fast
+        return run_instance(seed=0, n_pins=4)
+
+    def test_instance_result_fields(self, small_result):
+        r = small_result
+        assert r.n_pins == 4
+        assert r.base_cost == pytest.approx(8.0)  # 2 per pin
+        assert r.base_ard > 0
+        assert r.sizing_min_ard <= r.base_ard + 1e-9
+        assert r.rep_min_ard <= r.base_ard + 1e-9
+        assert r.rep_runtime_s > 0 and r.sizing_runtime_s > 0
+
+    def test_repeaters_beat_sizing_on_diameter(self, small_result):
+        # the paper's headline qualitative result
+        assert small_result.rep_min_ard <= small_result.sizing_min_ard + 1e-9
+
+    def test_matching_cost_defined(self, small_result):
+        r = small_result
+        assert r.rep_cost_at_sizing_ard is not None
+        assert r.rep_cost_at_sizing_ard <= r.rep_min_ard_cost + 1e-9
+
+    def test_tables_render(self, small_result):
+        rows = [small_result]
+        for table in (table2(rows), table3(rows), table4(rows)):
+            out = table.render()
+            assert "4" in out
+        t1 = table1().render()
+        assert "ohm/um" in t1
+
+    def test_table2_normalization(self, small_result):
+        out = table2([small_result]).render()
+        # normalized diameters are < 1 for any net where optimization helps
+        assert "Table II" in out

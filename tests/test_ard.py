@@ -1,0 +1,207 @@
+"""Tests for the linear-time ARD algorithm (paper Fig. 2).
+
+The central property: on any topology, with any repeater assignment, the
+O(n) algorithm must agree exactly with the O(n^2) brute force that runs one
+source-to-sink Elmore walk per pair.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ard import ard, compute_ard
+from repro.rctree import ElmoreAnalyzer, TreeBuilder
+from repro.tech import Buffer, Repeater, Technology, Terminal
+
+from .conftest import make_terminal, random_topology, two_pin_net, y_net
+
+TECH = Technology(unit_resistance=0.1, unit_capacitance=0.01, name="test")
+REP = Repeater.from_buffer_pair(
+    Buffer("b", intrinsic_delay=20.0, output_resistance=50.0, input_capacitance=0.25),
+    name="rep",
+)
+ASYM_REP = Repeater.from_buffer_pair(
+    Buffer("f", intrinsic_delay=10.0, output_resistance=80.0, input_capacitance=0.1),
+    Buffer("g", intrinsic_delay=30.0, output_resistance=40.0, input_capacitance=0.3),
+    name="asym",
+)
+
+
+def random_assignment(rng, tree, p=0.5):
+    """Random repeater assignment with random orientations."""
+    out = {}
+    for idx in tree.insertion_indices():
+        roll = rng.random()
+        if roll < p / 2:
+            out[idx] = ASYM_REP
+        elif roll < p:
+            out[idx] = ASYM_REP.reversed()
+    return out
+
+
+class TestAgainstBruteForce:
+    def test_y_net(self):
+        t = y_net()
+        an = ElmoreAnalyzer(t, TECH)
+        assert compute_ard(an).value == pytest.approx(an.ard_bruteforce())
+
+    def test_two_pin_with_repeater(self):
+        t = two_pin_net()
+        m = t.insertion_indices()[0]
+        an = ElmoreAnalyzer(t, TECH, {m: REP})
+        res = compute_ard(an)
+        assert res.value == pytest.approx(an.ard_bruteforce())
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_topologies(self, seed):
+        rng = np.random.default_rng(seed)
+        t = random_topology(rng, n_terminals=int(rng.integers(2, 9)))
+        assignment = random_assignment(rng, t)
+        an = ElmoreAnalyzer(t, TECH, assignment)
+        res = compute_ard(an)
+        brute = an.ard_bruteforce()
+        assert res.value == pytest.approx(brute, rel=1e-9)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_with_companion_cap(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        t = random_topology(rng, n_terminals=6)
+        assignment = random_assignment(rng, t, p=0.8)
+        an = ElmoreAnalyzer(t, TECH, assignment, include_companion_cap=True)
+        assert compute_ard(an).value == pytest.approx(an.ard_bruteforce(), rel=1e-9)
+
+    def test_critical_pair_matches_bruteforce(self):
+        rng = np.random.default_rng(42)
+        for _ in range(10):
+            t = random_topology(rng, n_terminals=7)
+            an = ElmoreAnalyzer(t, TECH, random_assignment(rng, t))
+            res = compute_ard(an)
+            bu, bv, bd = an.critical_pair()
+            assert res.value == pytest.approx(bd)
+            # the argmax pair must actually achieve the ARD (pair itself may
+            # differ under exact ties)
+            assert an.augmented_delay(res.source, res.sink) == pytest.approx(bd)
+
+
+class TestRootIndependence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_any_terminal_root_gives_same_ard(self, seed):
+        rng = np.random.default_rng(200 + seed)
+        t = random_topology(rng, n_terminals=6, p_insertion=0.0)
+        reference = ard(t, TECH).value
+        for idx in t.terminal_indices():
+            res = ard(t.rerooted(idx), TECH)
+            assert res.value == pytest.approx(reference, rel=1e-9)
+
+
+class TestRolesAndDegenerateNets:
+    def test_single_source_net(self):
+        b = TreeBuilder()
+        s = b.add_terminal(make_terminal("s", 0, 0).as_source_only())
+        k1 = b.add_terminal(make_terminal("k1", 500, 0).as_sink_only())
+        k2 = b.add_terminal(make_terminal("k2", 0, 500).as_sink_only())
+        j = b.add_steiner(0, 0)
+        b.connect(s, j)
+        b.connect(j, k1)
+        b.connect(j, k2)
+        t = b.build(root=s)
+        an = ElmoreAnalyzer(t, TECH)
+        res = compute_ard(an)
+        assert res.value == pytest.approx(an.ard_bruteforce())
+        assert res.source == t.terminal_by_name("s")
+
+    def test_no_source_gives_minus_inf(self):
+        b = TreeBuilder()
+        k1 = b.add_terminal(make_terminal("k1", 0, 0).as_sink_only())
+        k2 = b.add_terminal(make_terminal("k2", 500, 0).as_sink_only())
+        b.connect(k1, k2)
+        t = b.build(root=k1)
+        res = ard(t, TECH)
+        assert res.value == -math.inf
+        assert not res.is_finite
+
+    def test_no_sink_gives_minus_inf(self):
+        b = TreeBuilder()
+        s1 = b.add_terminal(make_terminal("s1", 0, 0).as_source_only())
+        s2 = b.add_terminal(make_terminal("s2", 500, 0).as_source_only())
+        b.connect(s1, s2)
+        t = b.build(root=s1)
+        assert not ard(t, TECH).is_finite
+
+    def test_alpha_beta_shift_ard(self):
+        """Raising one source's arrival time by D raises ARD by <= D, with
+        equality when that source is critical."""
+        t = y_net()
+        base = ard(t, TECH)
+        crit_name = t.node(base.source).terminal.name
+
+        b = TreeBuilder()
+        for name, x, y in [("a", 0, 0), ("b", 200, 0), ("c", 100, 100)]:
+            alpha = 500.0 if name == crit_name else 0.0
+            b.add_terminal(make_terminal(name, x, y, alpha=alpha))
+        s = b.add_steiner(100, 0)
+        b.connect(0, s)
+        b.connect(s, 1)
+        b.connect(s, 2)
+        t2 = b.build(root=0)
+        assert ard(t2, TECH).value == pytest.approx(base.value + 500.0)
+
+
+class TestRepeaterOrientationMatters:
+    def test_asymmetric_repeater_orientation_changes_ard(self):
+        t = two_pin_net(length=4000.0)
+        m = t.insertion_indices()[0]
+        # make one terminal source-only so the two orientations differ
+        fwd = ard(t, TECH, {m: ASYM_REP}).value
+        rev = ard(t, TECH, {m: ASYM_REP.reversed()}).value
+        # both must match brute force regardless
+        an_f = ElmoreAnalyzer(t, TECH, {m: ASYM_REP})
+        an_r = ElmoreAnalyzer(t, TECH, {m: ASYM_REP.reversed()})
+        assert fwd == pytest.approx(an_f.ard_bruteforce())
+        assert rev == pytest.approx(an_r.ard_bruteforce())
+
+    def test_symmetric_repeater_orientation_irrelevant(self):
+        t = two_pin_net(length=4000.0)
+        m = t.insertion_indices()[0]
+        assert ard(t, TECH, {m: REP}).value == pytest.approx(
+            ard(t, TECH, {m: REP.reversed()}).value
+        )
+
+
+class TestTimingTable:
+    def test_leaf_timing_entries(self):
+        t = y_net()
+        an = ElmoreAnalyzer(t, TECH)
+        res = compute_ard(an)
+        b_idx = t.terminal_by_name("b")
+        tb = res.timing[b_idx]
+        assert tb.required == 0.0  # beta = 0
+        assert tb.required_sink == b_idx
+        assert tb.diameter == -math.inf
+        # leaf arrival includes the driver delay into the whole net
+        assert tb.arrival == pytest.approx(100.0 * 4.5)
+
+    def test_root_diameter_is_ard(self):
+        t = y_net()
+        res = compute_ard(ElmoreAnalyzer(t, TECH))
+        assert res.timing[t.root].diameter == res.value
+
+
+# -- hypothesis: the linear/quadratic agreement under many shapes -------------
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n=st.integers(min_value=2, max_value=10),
+    p_ins=st.floats(min_value=0.0, max_value=1.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_linear_equals_bruteforce(seed, n, p_ins):
+    rng = np.random.default_rng(seed)
+    t = random_topology(rng, n_terminals=n, p_insertion=p_ins)
+    assignment = random_assignment(rng, t, p=0.6)
+    an = ElmoreAnalyzer(t, TECH, assignment)
+    assert compute_ard(an).value == pytest.approx(an.ard_bruteforce(), rel=1e-9)

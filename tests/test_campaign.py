@@ -1,0 +1,83 @@
+"""Tests for the campaign sweep runner and its persistence."""
+
+import json
+
+import pytest
+
+from repro.analysis.campaign import (
+    Campaign,
+    CampaignConfig,
+    load_campaign,
+    run_campaign,
+)
+
+
+class TestConfig:
+    def test_jobs_grid(self):
+        cfg = CampaignConfig(seeds=(0, 1), sizes=(4, 5))
+        assert cfg.jobs() == [(0, 4), (1, 4), (0, 5), (1, 5)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CampaignConfig(seeds=())
+        with pytest.raises(ValueError):
+            CampaignConfig(sizes=())
+        with pytest.raises(ValueError):
+            CampaignConfig(spacing=0.0)
+
+
+@pytest.fixture(scope="module")
+def small_campaign():
+    # two tiny instances keep this fast while exercising the whole pipeline
+    return run_campaign(CampaignConfig(seeds=(0, 1), sizes=(4,), label="test"))
+
+
+class TestRun:
+    def test_all_jobs_completed(self, small_campaign):
+        assert len(small_campaign.results) == 2
+        assert small_campaign.elapsed_seconds > 0
+        assert small_campaign.version
+
+    def test_progress_callback(self):
+        calls = []
+        run_campaign(
+            CampaignConfig(seeds=(0,), sizes=(4,)),
+            progress=lambda done, total, r: calls.append((done, total, r.seed)),
+        )
+        assert calls == [(1, 1, 0)]
+
+    def test_result_lookup(self, small_campaign):
+        assert small_campaign.result_for(1, 4).seed == 1
+        assert small_campaign.result_for(9, 4) is None
+
+    def test_summaries_render(self, small_campaign):
+        assert "Table II" in small_campaign.summary().render()
+        assert "run times" in small_campaign.runtime_summary().render()
+
+
+class TestPersistence:
+    def test_roundtrip(self, small_campaign, tmp_path):
+        path = str(tmp_path / "campaign.json")
+        small_campaign.save(path)
+        loaded = load_campaign(path)
+        assert loaded.config == small_campaign.config
+        assert loaded.results == small_campaign.results
+        assert loaded.version == small_campaign.version
+
+    def test_json_is_plain(self, small_campaign, tmp_path):
+        path = str(tmp_path / "campaign.json")
+        small_campaign.save(path)
+        with open(path) as fh:
+            data = json.load(fh)
+        assert data["schema"] == 1
+        assert len(data["results"]) == 2
+
+    def test_schema_check(self):
+        with pytest.raises(ValueError, match="schema"):
+            Campaign.from_dict({"schema": 99})
+
+    def test_summary_from_loaded(self, small_campaign, tmp_path):
+        path = str(tmp_path / "campaign.json")
+        small_campaign.save(path)
+        loaded = load_campaign(path)
+        assert loaded.summary().render() == small_campaign.summary().render()

@@ -1,0 +1,165 @@
+"""End-to-end tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def net_path(tmp_path):
+    path = str(tmp_path / "net.json")
+    assert main(["generate", "--seed", "3", "--pins", "5", "-o", path]) == 0
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bogus"])
+
+
+class TestGenerate:
+    def test_creates_valid_json(self, net_path):
+        with open(net_path) as fh:
+            data = json.load(fh)
+        assert data["schema"] == 1
+        kinds = [n["kind"] for n in data["nodes"]]
+        assert kinds.count("terminal") == 5
+
+    def test_spacing_zero_disables_insertion(self, tmp_path, capsys):
+        path = str(tmp_path / "plain.json")
+        main(["generate", "--seed", "1", "--pins", "4", "--spacing", "0", "-o", path])
+        out = capsys.readouterr().out
+        assert "0 insertion points" in out
+
+
+class TestInfo:
+    def test_info(self, net_path, capsys):
+        assert main(["info", net_path]) == 0
+        out = capsys.readouterr().out
+        assert "terminals" in out
+        assert "wirelength" in out
+
+
+class TestArd:
+    def test_plain(self, net_path, capsys):
+        assert main(["ard", net_path]) == 0
+        out = capsys.readouterr().out
+        assert "ARD =" in out
+        assert "critical pair" in out
+
+    def test_with_assignment(self, net_path, tmp_path, capsys):
+        asg = str(tmp_path / "asg.json")
+        main(["optimize", net_path, "--spec", "1", "--save-assignment", asg])
+        # spec of 1 ps is unachievable -> no assignment file written
+        capsys.readouterr()
+        assert main(["ard", net_path]) == 0
+
+
+class TestOptimize:
+    def test_frontier_printed(self, net_path, capsys):
+        assert main(["optimize", net_path]) == 0
+        out = capsys.readouterr().out
+        assert "trade-off" in out
+        assert "repeaters" in out
+
+    def test_sizing_mode(self, net_path, capsys):
+        assert main(["optimize", net_path, "--mode", "sizing"]) == 0
+        out = capsys.readouterr().out
+        assert "sizing mode" in out
+
+    def test_both_mode(self, net_path, capsys):
+        assert main(["optimize", net_path, "--mode", "both"]) == 0
+
+    def test_spec_achievable_saves_assignment(self, net_path, tmp_path, capsys):
+        asg = str(tmp_path / "asg.json")
+        rc = main(
+            ["optimize", net_path, "--spec", "1e9", "--save-assignment", asg]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "min-cost solution meeting" in out
+        with open(asg) as fh:
+            json.load(fh)  # valid JSON
+
+    def test_spec_unachievable_exits_nonzero(self, net_path, capsys):
+        assert main(["optimize", net_path, "--spec", "1"]) == 1
+        out = capsys.readouterr().out
+        assert "not achievable" in out
+
+    def test_roundtrip_assignment_improves_ard(self, net_path, tmp_path, capsys):
+        asg = str(tmp_path / "asg.json")
+        main(["optimize", net_path, "--spec", "1e9", "--save-assignment", asg])
+        capsys.readouterr()
+        assert main(["ard", net_path, "--assignment", asg]) == 0
+
+
+class TestRender:
+    def test_render(self, net_path, capsys):
+        assert main(["render", net_path]) == 0
+        out = capsys.readouterr().out
+        assert "legend:" in out
+
+    def test_render_svg(self, net_path, tmp_path, capsys):
+        import xml.etree.ElementTree as ET
+
+        svg = str(tmp_path / "net.svg")
+        assert main(["render", net_path, "--svg", svg]) == 0
+        assert ET.parse(svg).getroot().tag.endswith("svg")
+
+
+class TestSynthesize:
+    def test_seeded_synthesis(self, tmp_path, capsys):
+        out_path = str(tmp_path / "synth.json")
+        rc = main(["synthesize", "--seed", "1", "--pins", "5", "-o", out_path])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "synthesized topology" in out
+        assert main(["info", out_path]) == 0
+
+    def test_points_file(self, tmp_path, capsys):
+        pts = tmp_path / "pts.txt"
+        pts.write_text("0 0\n5000 0  # right edge\n\n2500 4000\n")
+        out_path = str(tmp_path / "synth.json")
+        rc = main(
+            ["synthesize", "--points", str(pts), "--spacing", "0", "-o", out_path]
+        )
+        assert rc == 0
+        with open(out_path) as fh:
+            data = json.load(fh)
+        kinds = [n["kind"] for n in data["nodes"]]
+        assert kinds.count("terminal") == 3
+        assert kinds.count("insertion") == 0
+
+    def test_points_file_validation(self, tmp_path):
+        pts = tmp_path / "bad.txt"
+        pts.write_text("1 2 3\n")
+        with pytest.raises(ValueError, match="expected 'x y'"):
+            main(["synthesize", "--points", str(pts), "-o", str(tmp_path / "o.json")])
+
+    def test_points_file_too_few(self, tmp_path):
+        pts = tmp_path / "one.txt"
+        pts.write_text("1 2\n")
+        with pytest.raises(ValueError, match="two points"):
+            main(["synthesize", "--points", str(pts), "-o", str(tmp_path / "o.json")])
+
+
+class TestCampaign:
+    def test_tiny_campaign(self, tmp_path, capsys):
+        out_path = str(tmp_path / "campaign.json")
+        rc = main(
+            ["campaign", "--seeds", "1", "--sizes", "4", "-o", out_path]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "campaign saved" in out
+        assert "Table II" in out
+        with open(out_path) as fh:
+            data = json.load(fh)
+        assert len(data["results"]) == 1

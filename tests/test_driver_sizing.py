@@ -1,0 +1,70 @@
+"""Unit tests for the driver-sizing option model."""
+
+import pytest
+
+from repro.core.driver_sizing import DriverOption, make_driver_options
+from repro.tech import Buffer, Terminal
+
+BASE = Buffer("1x", intrinsic_delay=50.0, output_resistance=400.0,
+              input_capacitance=0.05)
+
+
+class TestDriverOption:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DriverOption("bad", 1.0, 0.05, 0.0, 0.0, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            DriverOption("bad", -1.0, 0.05, 100.0, 0.0, 0.0, 0.0)
+
+    def test_applied_to_replaces_electricals(self):
+        opt = DriverOption("o", 3.0, 0.1, 200.0, 25.0, 20.0, 130.0)
+        term = Terminal("t", 0, 0, arrival_time=5.0, downstream_delay=7.0,
+                        capacitance=0.9, resistance=999.0)
+        sized = opt.applied_to(term)
+        assert sized.capacitance == 0.1
+        assert sized.resistance == 200.0
+        assert sized.intrinsic_delay == 25.0
+        assert sized.arrival_time == pytest.approx(25.0)   # 5 + 20
+        assert sized.downstream_delay == pytest.approx(137.0)  # 7 + 130
+
+    def test_applied_to_respects_roles(self):
+        opt = DriverOption("o", 3.0, 0.1, 200.0, 25.0, 20.0, 130.0)
+        src = Terminal("s", 0, 0).as_source_only()
+        sized = opt.applied_to(src)
+        # beta stays NEVER: adding a penalty to -inf would corrupt the role
+        assert not sized.is_sink
+        snk = Terminal("k", 0, 0).as_sink_only()
+        assert not opt.applied_to(snk).is_source
+
+
+class TestMakeDriverOptions:
+    def test_grid_size(self):
+        assert len(make_driver_options(BASE, scales=(1.0, 2.0))) == 4
+        assert len(make_driver_options(BASE)) == 16
+
+    def test_option_parameters_follow_scaling(self):
+        opts = make_driver_options(
+            BASE, scales=(1.0, 2.0),
+            prev_stage_resistance=400.0, next_stage_capacitance=0.2,
+        )
+        by_name = {o.name: o for o in opts}
+        o12 = by_name["drv:1x@1x/rcv:1x@2x"]
+        # driver 1X: resistance 400, prev-stage penalty 400*0.05 = 20
+        assert o12.driver_resistance == 400.0
+        assert o12.arrival_penalty == pytest.approx(20.0)
+        # receiver 2X: cap 0.1, next-stage 50 + 200*0.2 = 90
+        assert o12.net_capacitance == pytest.approx(0.1)
+        assert o12.sink_delay_extra == pytest.approx(90.0)
+        assert o12.cost == pytest.approx(3.0)
+
+    def test_bigger_driver_lower_resistance_higher_penalty(self):
+        opts = make_driver_options(BASE, scales=(1.0, 4.0))
+        o1 = next(o for o in opts if o.name == "drv:1x@1x/rcv:1x@1x")
+        o4 = next(o for o in opts if o.name == "drv:1x@4x/rcv:1x@1x")
+        assert o4.driver_resistance < o1.driver_resistance
+        assert o4.arrival_penalty > o1.arrival_penalty
+        assert o4.cost > o1.cost
+
+    def test_boundary_validation(self):
+        with pytest.raises(ValueError):
+            make_driver_options(BASE, prev_stage_resistance=-1.0)

@@ -1,0 +1,117 @@
+"""Edge-case batteries that don't fit a single module's test file."""
+
+import pytest
+
+from repro.core.intervals import IntervalSet
+from repro.core.pwl import PWL, Segment
+from repro.core.solution import Placement, Trace
+from repro.netgen.workloads import find_fig11_seed
+from repro.rctree import ElmoreAnalyzer
+from repro.tech import Technology
+
+from .conftest import y_net
+
+
+class TestPWLEdges:
+    def test_evaluate_at_hole_boundary(self):
+        f = PWL([Segment(0, 1, 1.0, 0.0), Segment(2, 3, 5.0, 0.0)])
+        assert f.evaluate(1.0) == 1.0
+        assert f.evaluate(2.0) == 5.0
+        with pytest.raises(ValueError):
+            f.evaluate(1.5)
+
+    def test_restrict_to_point(self):
+        f = PWL.linear(0.0, 2.0, 0.0, 10.0)
+        g = f.restrict(IntervalSet.single(3.0, 3.0))
+        assert g.evaluate(3.0) == 6.0
+        assert g.domain().measure == 0.0
+
+    def test_point_segment_max(self):
+        a = PWL([Segment(2, 2, 1.0, 0.0)])
+        b = PWL([Segment(2, 2, 3.0, 0.0)])
+        m = a.maximum(b)
+        assert m.evaluate(2.0) == 3.0
+
+    def test_min_max_with_holes(self):
+        f = PWL([Segment(0, 1, 0.0, 1.0), Segment(5, 6, 10.0, -1.0)])
+        assert f.min_value()[1] == 0.0
+        assert f.max_value()[1] == pytest.approx(5.0)
+
+    def test_breakpoints_sorted_unique(self):
+        f = PWL([Segment(0, 1, 0, 1), Segment(1, 2, 1, 0)])
+        assert f.breakpoints() == [0.0, 1.0, 2.0]
+
+    def test_shift_by_negative_is_rightward(self):
+        f = PWL.linear(0.0, 1.0, 0.0, 5.0)
+        g = f.shift(-2.0)  # g(x) = f(x - 2) on [2, 7]
+        assert g.defined_at(6.0)
+        assert not g.defined_at(1.0)
+        assert g.evaluate(4.0) == pytest.approx(f.evaluate(2.0))
+
+
+class TestTraceScaling:
+    def test_deep_chain_no_recursion_error(self):
+        t = Trace()
+        for i in range(10_000):
+            t = t.extended(Placement(i, i))
+        assert len(t.collect()) == 10_000
+
+    def test_wide_merge(self):
+        leaves = [Trace().extended(Placement(i, i)) for i in range(100)]
+        merged = leaves[0]
+        for leaf in leaves[1:]:
+            merged = Trace.merged(merged, leaf)
+        assert len(merged.collect()) == 100
+
+
+class TestWorkloadEdges:
+    def test_fig11_seed_search_failure(self):
+        with pytest.raises(RuntimeError, match="no seed"):
+            find_fig11_seed(target_wirelength=1.0, tolerance=0.1, max_seed=3)
+
+
+class TestAnalyzerEdges:
+    def test_zero_length_pendant_edges_are_free(self):
+        """Leafification pendants add no delay anywhere."""
+        from repro.rctree import TreeBuilder
+
+        from .conftest import make_terminal
+
+        tech = Technology(0.1, 0.01)
+        b = TreeBuilder()
+        a = b.add_terminal(make_terminal("a", 0, 0))
+        m = b.add_terminal(make_terminal("m", 50, 0))
+        z = b.add_terminal(make_terminal("z", 100, 0))
+        b.connect(a, m)
+        b.connect(m, z)
+        t = b.build(root=a)
+        an = ElmoreAnalyzer(t, tech)
+        # direct: a->z ignores the pendant's wire (it has none)
+        d_az = an.path_delay(t.terminal_by_name("a"), t.terminal_by_name("z"))
+        d_am = an.path_delay(t.terminal_by_name("a"), t.terminal_by_name("m"))
+        # m sits exactly halfway: reaching it costs strictly less than z
+        assert d_am < d_az
+
+    def test_node_view_rejects_non_neighbor(self):
+        tech = Technology(0.1, 0.01)
+        t = y_net()
+        an = ElmoreAnalyzer(t, tech)
+        b_idx = t.terminal_by_name("b")
+        c_idx = t.terminal_by_name("c")
+        with pytest.raises(ValueError, match="not adjacent"):
+            an.node_view(b_idx, c_idx)
+
+    def test_wire_delay_rejects_non_adjacent(self):
+        tech = Technology(0.1, 0.01)
+        t = y_net()
+        an = ElmoreAnalyzer(t, tech)
+        with pytest.raises(ValueError, match="not adjacent"):
+            an.wire_delay(t.terminal_by_name("b"), t.terminal_by_name("c"))
+
+    def test_repeater_delay_requires_repeater(self):
+        tech = Technology(0.1, 0.01)
+        t = y_net()
+        an = ElmoreAnalyzer(t, tech)
+        s = t.steiner_indices()[0]
+        with pytest.raises(ValueError, match="no repeater"):
+            an.repeater_delay_through(s, t.root, t.terminal_by_name("b"))

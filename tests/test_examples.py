@@ -1,0 +1,78 @@
+"""Smoke tests: every example script must run cleanly and print its story."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(os.path.dirname(__file__)), "examples")
+
+
+def run_example(name, timeout=600):
+    path = os.path.join(EXAMPLES_DIR, name)
+    proc = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stderr}"
+    return proc.stdout
+
+
+def test_examples_directory_contents():
+    names = sorted(f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py"))
+    assert "quickstart.py" in names
+    assert len(names) >= 3
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "unoptimized RC-diameter" in out
+    assert "repeaters" in out
+
+
+def test_driver_sizing_tradeoff():
+    out = run_example("driver_sizing_tradeoff.py")
+    assert "best sizing diameter" in out
+    assert "repeater" in out
+
+
+def test_ard_analysis():
+    out = run_example("ard_analysis.py")
+    assert "yes" in out
+    assert "NO" not in out
+
+
+def test_memory_bus():
+    out = run_example("memory_bus.py")
+    assert "critical path" in out
+    assert "ctl" in out
+
+
+@pytest.mark.slow
+def test_bus_optimization():
+    out = run_example("bus_optimization.py")
+    assert "19.6" in out
+    assert "unoptimized topology" in out
+
+
+def test_signoff():
+    out = run_example("signoff.py")
+    assert "Elmore replay" in out
+    assert "agree: True" in out
+    assert "process corners" in out
+
+
+def test_pairwise_constraints():
+    out = run_example("pairwise_constraints.py")
+    assert "optimal (Problem 2.1)" in out
+    assert "greedy pairwise repair" in out
+
+
+@pytest.mark.slow
+def test_topology_synthesis():
+    out = run_example("topology_synthesis.py")
+    assert "ARD-driven topology" in out
+    assert "after optimal repeater insertion" in out

@@ -1,0 +1,181 @@
+"""Failure-injection tests: malformed inputs must fail loudly and early.
+
+A production library's error surface is part of its API: every constructor
+and entry point should reject inconsistent inputs with a clear exception
+rather than silently producing wrong timing numbers.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.core.msri import MSRIOptions, insert_repeaters
+from repro.io import tree_from_dict, tree_to_dict
+from repro.rctree import ElmoreAnalyzer, TreeBuilder
+from repro.rctree.topology import Node, NodeKind, RoutingTree
+from repro.tech import (
+    Buffer,
+    Repeater,
+    RepeaterLibrary,
+    Technology,
+    Terminal,
+)
+
+from .conftest import make_terminal, two_pin_net, y_net
+
+TECH = Technology(0.1, 0.01)
+REP = Repeater.from_buffer_pair(Buffer("b", 20.0, 50.0, 0.25), name="rep")
+
+
+class TestCorruptTrees:
+    def test_parent_cycle(self):
+        term = make_terminal("a", 0, 0)
+        nodes = [
+            Node(0, 0, 0, NodeKind.TERMINAL, term),
+            Node(1, 1, 0, NodeKind.STEINER),
+            Node(2, 2, 0, NodeKind.STEINER),
+        ]
+        with pytest.raises(ValueError):
+            RoutingTree(nodes, [None, 2, 1], [0.0, 1.0, 1.0])
+
+    def test_two_roots(self):
+        term = make_terminal("a", 0, 0)
+        nodes = [
+            Node(0, 0, 0, NodeKind.TERMINAL, term),
+            Node(1, 1, 0, NodeKind.TERMINAL, make_terminal("b", 1, 0)),
+        ]
+        with pytest.raises(ValueError, match="exactly one root"):
+            RoutingTree(nodes, [None, None], [0.0, 0.0])
+
+    def test_root_with_edge_length(self):
+        term = make_terminal("a", 0, 0)
+        nodes = [
+            Node(0, 0, 0, NodeKind.TERMINAL, term),
+            Node(1, 1, 0, NodeKind.TERMINAL, make_terminal("b", 1, 0)),
+        ]
+        with pytest.raises(ValueError, match="zero edge length"):
+            RoutingTree(nodes, [None, 0], [5.0, 1.0])
+
+    def test_negative_edge_length(self):
+        term = make_terminal("a", 0, 0)
+        nodes = [
+            Node(0, 0, 0, NodeKind.TERMINAL, term),
+            Node(1, 1, 0, NodeKind.TERMINAL, make_terminal("b", 1, 0)),
+        ]
+        with pytest.raises(ValueError, match="negative"):
+            RoutingTree(nodes, [None, 0], [0.0, -1.0])
+
+    def test_self_parent(self):
+        term = make_terminal("a", 0, 0)
+        nodes = [
+            Node(0, 0, 0, NodeKind.TERMINAL, term),
+            Node(1, 1, 0, NodeKind.STEINER),
+        ]
+        with pytest.raises(ValueError):
+            RoutingTree(nodes, [None, 1], [0.0, 1.0])
+
+    def test_length_array_mismatch(self):
+        term = make_terminal("a", 0, 0)
+        with pytest.raises(ValueError, match="mismatch"):
+            RoutingTree([Node(0, 0, 0, NodeKind.TERMINAL, term)], [None], [])
+
+
+class TestCorruptAssignments:
+    def test_unknown_node(self):
+        t = two_pin_net()
+        with pytest.raises(ValueError, match="unknown node"):
+            ElmoreAnalyzer(t, TECH, {999: REP})
+
+    def test_negative_node(self):
+        t = two_pin_net()
+        with pytest.raises(ValueError, match="unknown node"):
+            ElmoreAnalyzer(t, TECH, {-1: REP})
+
+    def test_repeater_on_terminal(self):
+        t = two_pin_net()
+        with pytest.raises(ValueError, match="insertion"):
+            ElmoreAnalyzer(t, TECH, {t.root: REP})
+
+
+class TestCorruptSerializedNets:
+    def test_missing_schema(self):
+        d = tree_to_dict(y_net())
+        del d["schema"]
+        with pytest.raises(ValueError, match="schema"):
+            tree_from_dict(d)
+
+    def test_terminal_without_payload(self):
+        d = tree_to_dict(y_net())
+        for entry in d["nodes"]:
+            entry.pop("terminal", None)
+        with pytest.raises(KeyError):
+            tree_from_dict(d)
+
+    def test_corrupt_parent_pointer(self):
+        d = tree_to_dict(y_net())
+        d["parent"] = [None] * len(d["parent"])
+        with pytest.raises(ValueError):
+            tree_from_dict(d)
+
+    def test_json_roundtrip_of_corruption_detected(self):
+        d = json.loads(json.dumps(tree_to_dict(y_net())))
+        d["edge_length"][1] = -5.0
+        with pytest.raises(ValueError):
+            tree_from_dict(d)
+
+
+class TestDegenerateOptimizationInputs:
+    def test_no_insertion_points_still_works(self):
+        t = two_pin_net(with_insertion=False)
+        res = insert_repeaters(t, TECH, MSRIOptions(library=RepeaterLibrary([REP])))
+        assert len(res.solutions) == 1
+        assert res.solutions[0].repeater_count() == 0
+
+    def test_net_without_sources_yields_empty_suite(self):
+        b = TreeBuilder()
+        k1 = b.add_terminal(make_terminal("k1", 0, 0).as_sink_only())
+        k2 = b.add_terminal(make_terminal("k2", 500, 0).as_sink_only())
+        b.connect(k1, k2)
+        t = b.build(root=k1)
+        res = insert_repeaters(t, TECH, MSRIOptions(library=RepeaterLibrary([REP])))
+        assert res.solutions == ()
+
+    def test_zero_spec_unachievable(self):
+        t = two_pin_net()
+        res = insert_repeaters(t, TECH, MSRIOptions(library=RepeaterLibrary([REP])))
+        assert res.min_cost_meeting(0.0) is None
+
+    def test_infinite_spec_gives_min_cost(self):
+        t = two_pin_net()
+        res = insert_repeaters(t, TECH, MSRIOptions(library=RepeaterLibrary([REP])))
+        assert res.min_cost_meeting(math.inf).cost == res.min_cost().cost
+
+
+class TestTerminalEdgeCases:
+    def test_zero_capacitance_terminal(self):
+        b = TreeBuilder()
+        a = b.add_terminal(make_terminal("a", 0, 0, cap=0.0))
+        z = b.add_terminal(make_terminal("z", 100, 0, cap=0.0))
+        b.connect(a, z)
+        t = b.build(root=a)
+        an = ElmoreAnalyzer(t, TECH)
+        assert an.ard_bruteforce() > 0.0
+
+    def test_coincident_terminals(self):
+        b = TreeBuilder()
+        a = b.add_terminal(make_terminal("a", 100, 100))
+        z = b.add_terminal(make_terminal("z", 100, 100))
+        b.connect(a, z)
+        t = b.build(root=a)
+        an = ElmoreAnalyzer(t, TECH)
+        # zero wire: delay is driver-only
+        assert an.path_delay(t.terminal_by_name("a"), t.terminal_by_name("z")) == (
+            pytest.approx(100.0 * 1.0)
+        )
+
+    def test_huge_net_does_not_overflow(self):
+        # a pathological 1-metre wire: values stay finite
+        t = two_pin_net(length=1_000_000.0, with_insertion=False)
+        value = ElmoreAnalyzer(t, TECH).ard_bruteforce()
+        assert math.isfinite(value) and value > 0

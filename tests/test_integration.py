@@ -1,0 +1,127 @@
+"""Integration tests: full paper-workload flows across module boundaries."""
+
+import json
+import math
+
+import pytest
+
+from repro import (
+    MSRIOptions,
+    Repeater,
+    ard,
+    driver_sizing_options,
+    insert_repeaters,
+    paper_instance,
+    paper_technology,
+    repeater_insertion_options,
+)
+from repro.core.driver_sizing import apply_option_to_tree
+from repro.io import (
+    assignment_from_dict,
+    assignment_to_dict,
+    tree_from_dict,
+    tree_to_dict,
+)
+from repro.netgen import fixed_1x_option
+
+
+@pytest.fixture(scope="module")
+def instance():
+    tree = paper_instance(seed=5, n_pins=6)
+    tech = paper_technology()
+    suite = insert_repeaters(tree, tech, repeater_insertion_options())
+    return tree, tech, suite
+
+
+class TestPaperWorkloadFlow:
+    def test_suite_is_nonempty_and_sane(self, instance):
+        tree, tech, suite = instance
+        assert len(suite.solutions) >= 2
+        assert suite.min_cost().cost == pytest.approx(12.0)  # 2 per pin
+        assert suite.min_ard().ard < suite.min_cost().ard
+
+    def test_every_solution_replays_exactly(self, instance):
+        """Theorem 4.1 achievability on a realistic workload."""
+        tree, tech, suite = instance
+        dressed = apply_option_to_tree(tree, fixed_1x_option())
+        for s in suite.solutions:
+            reps = {
+                k: v for k, v in s.assignment().items() if isinstance(v, Repeater)
+            }
+            replay = ard(dressed, tech, reps)
+            assert replay.value == pytest.approx(s.ard, rel=1e-9)
+
+    def test_spec_sweep_monotone(self, instance):
+        """min_cost_meeting is monotone: looser specs never cost more."""
+        tree, tech, suite = instance
+        specs = sorted({s.ard for s in suite.solutions})
+        costs = []
+        for spec in specs:
+            sol = suite.min_cost_meeting(spec)
+            assert sol is not None
+            assert sol.ard <= spec + 1e-9
+            costs.append(sol.cost)
+        assert costs == sorted(costs, reverse=True)
+
+    def test_serialize_optimize_roundtrip(self, instance):
+        """net -> JSON -> net -> optimize gives an identical frontier."""
+        tree, tech, suite = instance
+        restored = tree_from_dict(json.loads(json.dumps(tree_to_dict(tree))))
+        suite2 = insert_repeaters(restored, tech, repeater_insertion_options())
+        assert [(s.cost, s.ard) for s in suite.solutions] == pytest.approx(
+            [(s.cost, s.ard) for s in suite2.solutions]
+        )
+
+    def test_assignment_roundtrip_preserves_timing(self, instance):
+        tree, tech, suite = instance
+        best = suite.min_ard()
+        reps = {k: v for k, v in best.assignment().items()
+                if isinstance(v, Repeater)}
+        restored = assignment_from_dict(
+            json.loads(json.dumps(assignment_to_dict(reps)))
+        )
+        dressed = apply_option_to_tree(tree, fixed_1x_option())
+        assert ard(dressed, tech, restored).value == pytest.approx(best.ard)
+
+
+class TestSizingVsRepeaterConsistency:
+    def test_shared_baseline(self):
+        """Both modes agree on the min-cost (all-1X, no repeater) point."""
+        tree = paper_instance(seed=2, n_pins=5)
+        tech = paper_technology()
+        rep = insert_repeaters(tree, tech, repeater_insertion_options())
+        siz = insert_repeaters(tree, tech, driver_sizing_options())
+        assert rep.min_cost().cost == pytest.approx(siz.min_cost().cost)
+        assert rep.min_cost().ard == pytest.approx(siz.min_cost().ard)
+
+    def test_combined_mode_dominates_both(self):
+        """Sizing+repeaters together can only improve on either alone."""
+        from repro.netgen import paper_driver_options, paper_repeater_library
+
+        tree = paper_instance(seed=2, n_pins=5)
+        tech = paper_technology()
+        rep = insert_repeaters(tree, tech, repeater_insertion_options())
+        siz = insert_repeaters(tree, tech, driver_sizing_options())
+        both = insert_repeaters(
+            tree,
+            tech,
+            MSRIOptions(
+                library=paper_repeater_library(),
+                driver_options=paper_driver_options(),
+            ),
+        )
+        for other in (rep, siz):
+            for cost, ardv in other.tradeoff():
+                best = min(
+                    s.ard for s in both.solutions if s.cost <= cost + 1e-9
+                )
+                assert best <= ardv + 1e-6
+
+
+class TestStatsAcrossRun:
+    def test_pruning_is_effective(self, instance):
+        _, _, suite = instance
+        st = suite.stats
+        assert st.solutions_after_pruning < st.solutions_generated
+        assert st.max_segments >= 1
+        assert len(st.set_sizes) == st.nodes_processed

@@ -1,0 +1,234 @@
+"""Unit and property tests for the closed-interval algebra."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.intervals import Interval, IntervalSet, union_all
+
+
+class TestInterval:
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            Interval(2.0, 1.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            Interval(float("nan"), 1.0)
+
+    def test_point_interval_allowed(self):
+        iv = Interval(3.0, 3.0)
+        assert iv.length == 0.0
+        assert iv.contains(3.0)
+
+    def test_length_and_midpoint(self):
+        iv = Interval(1.0, 5.0)
+        assert iv.length == 4.0
+        assert iv.midpoint == 3.0
+
+    def test_midpoint_infinite_ends(self):
+        assert Interval(0.0, math.inf).midpoint == 1.0
+        assert Interval(-math.inf, 0.0).midpoint == -1.0
+        assert Interval(-math.inf, math.inf).midpoint == 0.0
+
+    def test_contains_with_tolerance(self):
+        iv = Interval(0.0, 1.0)
+        assert not iv.contains(1.0000001)
+        assert iv.contains(1.0000001, atol=1e-6)
+
+    def test_overlaps(self):
+        assert Interval(0, 2).overlaps(Interval(1, 3))
+        assert Interval(0, 1).overlaps(Interval(1, 2))  # touching counts
+        assert not Interval(0, 1).overlaps(Interval(2, 3))
+
+    def test_intersect(self):
+        assert Interval(0, 2).intersect(Interval(1, 3)) == Interval(1, 2)
+        assert Interval(0, 1).intersect(Interval(2, 3)) is None
+        assert Interval(0, 1).intersect(Interval(1, 2)) == Interval(1, 1)
+
+    def test_shift(self):
+        assert Interval(0, 1).shift(2.5) == Interval(2.5, 3.5)
+
+
+class TestIntervalSetConstruction:
+    def test_empty(self):
+        s = IntervalSet.empty()
+        assert s.is_empty
+        assert not s
+        assert len(s) == 0
+        assert s.measure == 0.0
+
+    def test_single(self):
+        s = IntervalSet.single(0.0, 2.0)
+        assert s.measure == 2.0
+        assert s.lo == 0.0 and s.hi == 2.0
+
+    def test_coalesces_overlaps(self):
+        s = IntervalSet.from_pairs([(0, 2), (1, 3), (5, 6)])
+        assert s.intervals == (Interval(0, 3), Interval(5, 6))
+
+    def test_coalesces_touching(self):
+        s = IntervalSet.from_pairs([(0, 1), (1, 2)])
+        assert s.intervals == (Interval(0, 2),)
+
+    def test_canonical_equality(self):
+        a = IntervalSet.from_pairs([(0, 1), (1, 2), (4, 5)])
+        b = IntervalSet.from_pairs([(4, 5), (0, 2)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_empty_set_has_no_bounds(self):
+        with pytest.raises(ValueError):
+            _ = IntervalSet.empty().lo
+        with pytest.raises(ValueError):
+            _ = IntervalSet.empty().hi
+
+
+class TestIntervalSetAlgebra:
+    def test_union(self):
+        a = IntervalSet.single(0, 1)
+        b = IntervalSet.single(2, 3)
+        assert a.union(b).intervals == (Interval(0, 1), Interval(2, 3))
+
+    def test_union_merges(self):
+        a = IntervalSet.single(0, 2)
+        b = IntervalSet.single(1, 3)
+        assert a.union(b) == IntervalSet.single(0, 3)
+
+    def test_intersect_basic(self):
+        a = IntervalSet.from_pairs([(0, 2), (4, 6)])
+        b = IntervalSet.from_pairs([(1, 5)])
+        assert a.intersect(b) == IntervalSet.from_pairs([(1, 2), (4, 5)])
+
+    def test_intersect_disjoint(self):
+        a = IntervalSet.single(0, 1)
+        b = IntervalSet.single(2, 3)
+        assert a.intersect(b).is_empty
+
+    def test_intersect_with_empty(self):
+        a = IntervalSet.single(0, 1)
+        assert a.intersect(IntervalSet.empty()).is_empty
+
+    def test_difference_middle_cut(self):
+        a = IntervalSet.single(0, 10)
+        b = IntervalSet.single(3, 7)
+        d = a.difference(b)
+        assert d == IntervalSet.from_pairs([(0, 3), (7, 10)])
+
+    def test_difference_full_cover(self):
+        a = IntervalSet.single(2, 3)
+        b = IntervalSet.single(0, 5)
+        assert a.difference(b).is_empty
+
+    def test_difference_multiple_cuts(self):
+        a = IntervalSet.single(0, 10)
+        b = IntervalSet.from_pairs([(1, 2), (4, 5), (8, 12)])
+        d = a.difference(b)
+        assert d == IntervalSet.from_pairs([(0, 1), (2, 4), (5, 8)])
+
+    def test_difference_with_empty(self):
+        a = IntervalSet.single(0, 1)
+        assert a.difference(IntervalSet.empty()) == a
+        assert IntervalSet.empty().difference(a).is_empty
+
+    def test_shift(self):
+        a = IntervalSet.from_pairs([(0, 1), (3, 4)])
+        assert a.shift(1.0) == IntervalSet.from_pairs([(1, 2), (4, 5)])
+
+    def test_clamp(self):
+        a = IntervalSet.from_pairs([(0, 2), (5, 9)])
+        assert a.clamp(1, 6) == IntervalSet.from_pairs([(1, 2), (5, 6)])
+        assert a.clamp(10, 3).is_empty
+
+    def test_contains(self):
+        a = IntervalSet.from_pairs([(0, 1), (2, 3)])
+        assert a.contains(0.5)
+        assert a.contains(2.0)
+        assert not a.contains(1.5)
+
+    def test_sample_points_cover_each_interval(self):
+        a = IntervalSet.from_pairs([(0, 1), (2, 2), (3, 5)])
+        pts = a.sample_points(per_interval=3)
+        assert all(a.contains(p) for p in pts)
+        for iv in a:
+            assert any(iv.contains(p) for p in pts)
+
+    def test_union_all(self):
+        sets = [IntervalSet.single(i, i + 1.5) for i in range(3)]
+        assert union_all(sets) == IntervalSet.single(0, 3.5)
+
+    def test_approx_equal(self):
+        a = IntervalSet.single(0.0, 1.0)
+        b = IntervalSet.single(1e-12, 1.0 - 1e-12)
+        assert a.approx_equal(b)
+        assert not a.approx_equal(IntervalSet.single(0.0, 2.0))
+
+
+# -- property-based tests ----------------------------------------------------
+
+finite = st.floats(min_value=-100, max_value=100, allow_nan=False)
+
+
+@st.composite
+def interval_sets(draw, max_intervals=5):
+    n = draw(st.integers(min_value=0, max_value=max_intervals))
+    pairs = []
+    for _ in range(n):
+        a = draw(finite)
+        b = draw(finite)
+        pairs.append((min(a, b), max(a, b)))
+    return IntervalSet.from_pairs(pairs)
+
+
+@given(interval_sets(), interval_sets())
+@settings(max_examples=200)
+def test_union_is_superset(a, b):
+    for s in (a, b):
+        for iv in s:
+            assert a.union(b).contains(iv.midpoint, atol=1e-9)
+
+
+@given(interval_sets(), interval_sets())
+@settings(max_examples=200)
+def test_intersection_subset_of_both(a, b):
+    inter = a.intersect(b)
+    for iv in inter:
+        m = iv.midpoint
+        assert a.contains(m, atol=1e-9)
+        assert b.contains(m, atol=1e-9)
+
+
+@given(interval_sets(), interval_sets())
+@settings(max_examples=200)
+def test_difference_disjoint_from_subtrahend_interiors(a, b):
+    d = a.difference(b)
+    for iv in d:
+        if iv.length > 1e-6:
+            m = iv.midpoint
+            assert a.contains(m, atol=1e-9)
+            # interior points of the difference are not interior to b
+            interior = any(c.lo + 1e-9 < m < c.hi - 1e-9 for c in b)
+            assert not interior
+
+
+@given(interval_sets(), interval_sets())
+@settings(max_examples=200)
+def test_demorgan_measure(a, b):
+    # |A| = |A \ B| + |A n B|
+    assert a.measure == pytest.approx(
+        a.difference(b).measure + a.intersect(b).measure, abs=1e-6
+    )
+
+
+@given(interval_sets())
+@settings(max_examples=100)
+def test_difference_self_is_empty(a):
+    assert a.difference(a).is_empty
+
+
+@given(interval_sets(), finite)
+@settings(max_examples=100)
+def test_shift_preserves_measure(a, delta):
+    assert a.shift(delta).measure == pytest.approx(a.measure, rel=1e-9, abs=1e-9)

@@ -1,0 +1,130 @@
+"""Tests for the inverter-repeater extension (paper Sec. V).
+
+The paper notes that "an extension allowing the use of inverters as
+repeaters is possible and straightforward".  On a bus, every source-sink
+path must cross an even number of inversions, which on a tree reduces to a
+single parity bit per subtree (all terminals must share one inversion
+parity relative to the root).  These tests validate the DP's parity
+tracking against an exhaustive oracle that filters out parity-infeasible
+assignments.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.exhaustive import exhaustive_frontier, is_parity_feasible
+from repro.core.msri import MSRIOptions, insert_repeaters
+from repro.tech import Buffer, Repeater, RepeaterLibrary, Technology
+
+from .conftest import random_topology, two_pin_net
+
+TECH = Technology(0.1, 0.01, name="test")
+
+# an inverter is roughly half a buffer: half the cost, lower delay
+INV = Buffer("inv", intrinsic_delay=10.0, output_resistance=50.0,
+             input_capacitance=0.25, cost=0.5, is_inverting=True)
+BUF = Buffer("buf", intrinsic_delay=20.0, output_resistance=50.0,
+             input_capacitance=0.25, cost=1.0)
+
+INV_REP = Repeater.from_buffer_pair(INV, name="invrep")
+BUF_REP = Repeater.from_buffer_pair(BUF, name="bufrep")
+INV_LIB = RepeaterLibrary([INV_REP])
+MIXED_LIB = RepeaterLibrary([INV_REP, BUF_REP])
+
+
+def frontiers_equal(dp, ex, tol=1e-6):
+    return len(dp) == len(ex) and all(
+        abs(a[0] - b[0]) <= tol and abs(a[1] - b[1]) <= tol for a, b in zip(dp, ex)
+    )
+
+
+class TestParityFeasibility:
+    def test_no_inverters_always_feasible(self):
+        t = two_pin_net()
+        m = t.insertion_indices()[0]
+        assert is_parity_feasible(t, {})
+        assert is_parity_feasible(t, {m: BUF_REP})
+
+    def test_single_inverter_on_path_infeasible(self):
+        t = two_pin_net()
+        m = t.insertion_indices()[0]
+        assert not is_parity_feasible(t, {m: INV_REP})
+
+    def test_inverter_pair_on_path_feasible(self):
+        from repro.steiner import add_insertion_points
+
+        t = add_insertion_points(two_pin_net(length=2000.0, with_insertion=False),
+                                 spacing=600.0)
+        pts = t.insertion_indices()
+        assert len(pts) >= 2
+        assert is_parity_feasible(t, {pts[0]: INV_REP, pts[1]: INV_REP})
+        assert not is_parity_feasible(t, {pts[0]: INV_REP})
+
+
+class TestInverterRepeaterProperties:
+    def test_inverting_pair_is_inverting(self):
+        assert INV_REP.is_inverting
+        assert not BUF_REP.is_inverting
+        assert INV_REP.cost == pytest.approx(1.0)  # two half-cost inverters
+
+    def test_reversed_keeps_polarity(self):
+        assert INV_REP.reversed().is_inverting
+
+
+class TestDPWithInverters:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_parity_filtered_exhaustive(self, seed):
+        rng = np.random.default_rng(seed)
+        t = random_topology(rng, n_terminals=4, p_insertion=0.8)
+        dp = insert_repeaters(t, TECH, MSRIOptions(library=INV_LIB)).tradeoff()
+        ex = exhaustive_frontier(t, TECH, INV_LIB)
+        assert frontiers_equal(dp, ex), f"dp={dp}\nex={ex}"
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_mixed_library_matches_exhaustive(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        t = random_topology(rng, n_terminals=4, p_insertion=0.6)
+        dp = insert_repeaters(t, TECH, MSRIOptions(library=MIXED_LIB)).tradeoff()
+        ex = exhaustive_frontier(t, TECH, MIXED_LIB)
+        assert frontiers_equal(dp, ex), f"dp={dp}\nex={ex}"
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_all_solutions_parity_feasible(self, seed):
+        rng = np.random.default_rng(200 + seed)
+        t = random_topology(rng, n_terminals=5, p_insertion=0.8)
+        res = insert_repeaters(t, TECH, MSRIOptions(library=MIXED_LIB))
+        for s in res.solutions:
+            reps = {
+                k: v for k, v in s.assignment().items() if isinstance(v, Repeater)
+            }
+            assert is_parity_feasible(t, reps)
+
+    def test_inverters_must_come_in_path_pairs(self):
+        """On a two-pin line every feasible solution uses an even number of
+        inverting repeaters."""
+        from repro.steiner import add_insertion_points
+
+        t = add_insertion_points(
+            two_pin_net(length=4000.0, with_insertion=False), spacing=700.0
+        )
+        res = insert_repeaters(t, TECH, MSRIOptions(library=INV_LIB))
+        for s in res.solutions:
+            n_inverting = sum(
+                1
+                for v in s.assignment().values()
+                if isinstance(v, Repeater) and v.is_inverting
+            )
+            assert n_inverting % 2 == 0
+
+    def test_cheap_inverters_can_beat_buffers(self):
+        """With a mixed library the frontier is at least as good as with
+        buffers alone at every cost (more options never hurt an exact DP)."""
+        rng = np.random.default_rng(42)
+        t = random_topology(rng, n_terminals=5, p_insertion=0.9)
+        buf_only = insert_repeaters(t, TECH, MSRIOptions(library=RepeaterLibrary([BUF_REP])))
+        mixed = insert_repeaters(t, TECH, MSRIOptions(library=MIXED_LIB))
+        for cost, ardv in buf_only.tradeoff():
+            best_mixed = min(
+                s.ard for s in mixed.solutions if s.cost <= cost + 1e-9
+            )
+            assert best_mixed <= ardv + 1e-6

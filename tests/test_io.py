@@ -1,0 +1,127 @@
+"""Round-trip tests for JSON serialization."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.ard import ard
+from repro.io import (
+    SCHEMA_VERSION,
+    assignment_from_dict,
+    assignment_to_dict,
+    load_tree,
+    repeater_from_dict,
+    repeater_to_dict,
+    save_tree,
+    technology_from_dict,
+    technology_to_dict,
+    tree_from_dict,
+    tree_to_dict,
+)
+from repro.tech import Buffer, Repeater, Technology
+
+from .conftest import random_topology, y_net
+
+TECH = Technology(0.1, 0.01, name="test")
+
+
+def trees_equal(a, b):
+    if len(a) != len(b) or a.root != b.root:
+        return False
+    for i in range(len(a)):
+        na, nb = a.node(i), b.node(i)
+        if (na.kind, na.x, na.y) != (nb.kind, nb.x, nb.y):
+            return False
+        if na.terminal != nb.terminal:
+            return False
+        if a.parent(i) != b.parent(i) or a.edge_length(i) != b.edge_length(i):
+            return False
+    return True
+
+
+class TestTreeRoundTrip:
+    def test_y_net(self):
+        t = y_net()
+        assert trees_equal(t, tree_from_dict(tree_to_dict(t)))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_topologies(self, seed):
+        rng = np.random.default_rng(seed)
+        t = random_topology(rng, n_terminals=6)
+        t2 = tree_from_dict(tree_to_dict(t))
+        assert trees_equal(t, t2)
+        # electrical equivalence too
+        assert ard(t, TECH).value == pytest.approx(ard(t2, TECH).value)
+
+    def test_never_sentinel_roundtrip(self):
+        rng = np.random.default_rng(3)
+        t = random_topology(rng, n_terminals=6)  # mixes roles via NEVER
+        d = tree_to_dict(t)
+        # the JSON itself must be serializable (no raw -inf)
+        payload = json.dumps(d)
+        t2 = tree_from_dict(json.loads(payload))
+        for a, b in zip(t.terminals(), t2.terminals()):
+            assert a.arrival_time == b.arrival_time
+            assert a.downstream_delay == b.downstream_delay
+
+    def test_file_roundtrip(self, tmp_path):
+        t = y_net()
+        path = tmp_path / "net.json"
+        save_tree(t, str(path))
+        assert trees_equal(t, load_tree(str(path)))
+
+    def test_schema_version_checked(self):
+        d = tree_to_dict(y_net())
+        d["schema"] = 999
+        with pytest.raises(ValueError, match="schema"):
+            tree_from_dict(d)
+
+
+class TestTechnologyRoundTrip:
+    def test_roundtrip(self):
+        t = Technology(0.076, 0.000118, name="x", extras={"a": 1.0})
+        t2 = technology_from_dict(technology_to_dict(t))
+        assert t2 == t
+
+
+class TestRepeaterRoundTrip:
+    def test_symmetric(self):
+        r = Repeater.from_buffer_pair(Buffer("b", 20, 50, 0.25), name="rep")
+        assert repeater_from_dict(repeater_to_dict(r)) == r
+
+    def test_asymmetric_oriented(self):
+        r = Repeater.from_buffer_pair(
+            Buffer("f", 10, 80, 0.1), Buffer("g", 30, 40, 0.3), name="asym"
+        ).reversed()
+        r2 = repeater_from_dict(repeater_to_dict(r))
+        assert (r2.d_ab, r2.r_ab, r2.c_a) == (r.d_ab, r.r_ab, r.c_a)
+        assert (r2.d_ba, r2.r_ba, r2.c_b) == (r.d_ba, r.r_ba, r.c_b)
+
+    def test_assignment_roundtrip(self):
+        r = Repeater.from_buffer_pair(Buffer("b", 20, 50, 0.25), name="rep")
+        asg = {3: r, 7: r.reversed()}
+        payload = json.dumps(assignment_to_dict(asg))
+        back = assignment_from_dict(json.loads(payload))
+        assert set(back) == {3, 7}
+        assert back[3].c_a == r.c_a
+
+    def test_assignment_preserves_ard(self):
+        """Electrical round-trip: the restored assignment computes the same
+        ARD as the original on the restored tree."""
+        from repro.core.msri import MSRIOptions, insert_repeaters
+        from repro.tech import RepeaterLibrary
+
+        rng = np.random.default_rng(11)
+        t = random_topology(rng, n_terminals=5, p_insertion=0.8)
+        lib = RepeaterLibrary(
+            [Repeater.from_buffer_pair(Buffer("b", 20, 50, 0.25), name="rep")]
+        )
+        best = insert_repeaters(t, TECH, MSRIOptions(library=lib)).min_ard()
+        reps = {k: v for k, v in best.assignment().items() if isinstance(v, Repeater)}
+        t2 = tree_from_dict(json.loads(json.dumps(tree_to_dict(t))))
+        asg2 = assignment_from_dict(
+            json.loads(json.dumps(assignment_to_dict(reps)))
+        )
+        assert ard(t2, TECH, asg2).value == pytest.approx(best.ard)

@@ -1,0 +1,285 @@
+"""End-to-end tests for optimal multisource repeater insertion (MSRI).
+
+The decisive checks:
+
+1. the DP's (cost, ARD) frontier equals the exhaustive-enumeration frontier
+   on every instance small enough to enumerate (Theorem 4.1);
+2. every solution the DP claims is *achievable*: replaying its assignment
+   through the independent Elmore engine reproduces the claimed ARD.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.exhaustive import enumerate_assignments, exhaustive_frontier
+from repro.core.ard import ard
+from repro.core.driver_sizing import make_driver_options
+from repro.core.msri import MSRIOptions, insert_repeaters
+from repro.tech import (
+    Buffer,
+    Repeater,
+    RepeaterLibrary,
+    Technology,
+)
+
+from .conftest import random_topology, two_pin_net, y_net
+
+TECH = Technology(unit_resistance=0.1, unit_capacitance=0.01, name="test")
+REP = Repeater.from_buffer_pair(
+    Buffer("b", intrinsic_delay=20.0, output_resistance=50.0, input_capacitance=0.25),
+    name="rep",
+)
+ASYM = Repeater.from_buffer_pair(
+    Buffer("f", 10.0, 80.0, 0.1),
+    Buffer("g", 30.0, 40.0, 0.3),
+    name="asym",
+)
+BIG = Repeater.from_buffer_pair(Buffer("B", 20.0, 25.0, 0.5, cost=2.0), name="big")
+LIB = RepeaterLibrary([REP])
+MULTI_LIB = RepeaterLibrary([ASYM, BIG])
+BASE_1X = Buffer("1x", 20.0, 200.0, 0.05)
+
+
+def frontiers_equal(dp, ex, tol=1e-6):
+    if len(dp) != len(ex):
+        return False
+    return all(
+        abs(a[0] - b[0]) <= tol and abs(a[1] - b[1]) <= tol for a, b in zip(dp, ex)
+    )
+
+
+class TestOptionsValidation:
+    def test_need_something_to_optimize(self):
+        with pytest.raises(ValueError):
+            MSRIOptions()
+
+
+class TestTwoPin:
+    def test_frontier_matches_exhaustive(self):
+        t = two_pin_net(length=4000.0)
+        res = insert_repeaters(t, TECH, MSRIOptions(library=LIB))
+        assert frontiers_equal(res.tradeoff(), exhaustive_frontier(t, TECH, LIB))
+
+    def test_repeater_improves_long_net(self):
+        t = two_pin_net(length=4000.0)
+        res = insert_repeaters(t, TECH, MSRIOptions(library=LIB))
+        assert res.min_ard().ard < res.min_cost().ard
+        assert res.min_ard().repeater_count() >= 1
+
+    def test_short_net_needs_no_repeater(self):
+        # a slow repeater (large intrinsic delay) can never pay off on a
+        # short wire, so the fastest solution is the unbuffered one
+        slow = RepeaterLibrary(
+            [Repeater.from_buffer_pair(Buffer("s", 500.0, 50.0, 0.25), name="slow")]
+        )
+        t = two_pin_net(length=200.0)
+        res = insert_repeaters(t, TECH, MSRIOptions(library=slow))
+        assert res.min_ard().repeater_count() == 0
+
+    def test_min_cost_meeting_spec(self):
+        t = two_pin_net(length=4000.0)
+        res = insert_repeaters(t, TECH, MSRIOptions(library=LIB))
+        cheap, fast = res.min_cost(), res.min_ard()
+        # the unbuffered diameter is achievable at cost 0
+        assert res.min_cost_meeting(cheap.ard).cost == cheap.cost
+        # asking for the best diameter returns the full-cost solution
+        assert res.min_cost_meeting(fast.ard).ard <= fast.ard
+        # an impossible spec yields None
+        assert res.min_cost_meeting(fast.ard * 0.5) is None
+
+
+class TestAgainstExhaustive:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_nets_symmetric_lib(self, seed):
+        rng = np.random.default_rng(seed)
+        t = random_topology(rng, n_terminals=int(rng.integers(3, 6)), p_insertion=0.7)
+        res = insert_repeaters(t, TECH, MSRIOptions(library=LIB))
+        assert frontiers_equal(res.tradeoff(), exhaustive_frontier(t, TECH, LIB))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_nets_multi_lib(self, seed):
+        rng = np.random.default_rng(1000 + seed)
+        t = random_topology(rng, n_terminals=4, p_insertion=0.6)
+        res = insert_repeaters(t, TECH, MSRIOptions(library=MULTI_LIB))
+        assert frontiers_equal(
+            res.tradeoff(), exhaustive_frontier(t, TECH, MULTI_LIB)
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_driver_sizing_mode(self, seed):
+        rng = np.random.default_rng(2000 + seed)
+        t = random_topology(rng, n_terminals=3, p_insertion=0.0)
+        opts = make_driver_options(BASE_1X, scales=(1.0, 2.0))
+        res = insert_repeaters(t, TECH, MSRIOptions(driver_options=opts))
+        assert frontiers_equal(
+            res.tradeoff(), exhaustive_frontier(t, TECH, driver_options=opts)
+        )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_combined_mode(self, seed):
+        rng = np.random.default_rng(3000 + seed)
+        t = random_topology(rng, n_terminals=3, p_insertion=0.5)
+        opts = make_driver_options(BASE_1X, scales=(1.0, 2.0))
+        lib = RepeaterLibrary([ASYM])
+        res = insert_repeaters(
+            t, TECH, MSRIOptions(library=lib, driver_options=opts)
+        )
+        assert frontiers_equal(
+            res.tradeoff(), exhaustive_frontier(t, TECH, lib, driver_options=opts)
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_pairwise_pruner_same_frontier(self, seed):
+        rng = np.random.default_rng(4000 + seed)
+        t = random_topology(rng, n_terminals=4, p_insertion=0.7)
+        dnc = insert_repeaters(
+            t, TECH, MSRIOptions(library=LIB, use_divide_and_conquer=True)
+        )
+        pair = insert_repeaters(
+            t, TECH, MSRIOptions(library=LIB, use_divide_and_conquer=False)
+        )
+        assert frontiers_equal(dnc.tradeoff(), pair.tradeoff())
+
+
+class TestAchievability:
+    """Theorem 4.1, the other direction: claimed solutions must be real."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_replay_assignment_reproduces_ard(self, seed):
+        rng = np.random.default_rng(5000 + seed)
+        t = random_topology(rng, n_terminals=int(rng.integers(3, 7)), p_insertion=0.8)
+        res = insert_repeaters(t, TECH, MSRIOptions(library=MULTI_LIB))
+        for s in res.solutions:
+            assignment = {
+                k: v for k, v in s.assignment().items() if isinstance(v, Repeater)
+            }
+            replay = ard(t, TECH, assignment)
+            assert replay.value == pytest.approx(s.ard, rel=1e-9)
+            cost = sum(r.cost for r in assignment.values())
+            assert cost == pytest.approx(s.cost)
+
+    def test_frontier_sorted_and_strictly_improving(self):
+        rng = np.random.default_rng(99)
+        t = random_topology(rng, n_terminals=5, p_insertion=0.8)
+        res = insert_repeaters(t, TECH, MSRIOptions(library=LIB))
+        costs = [s.cost for s in res.solutions]
+        ards = [s.ard for s in res.solutions]
+        assert costs == sorted(costs)
+        assert all(a > b for a, b in zip(ards, ards[1:]))
+
+
+class TestRootIndependenceOfOptimum:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_min_ard_same_from_any_root(self, seed):
+        rng = np.random.default_rng(6000 + seed)
+        t = random_topology(rng, n_terminals=4, p_insertion=0.6)
+        ref = insert_repeaters(t, TECH, MSRIOptions(library=LIB))
+        for term_idx in t.terminal_indices()[1:]:
+            t2 = t.rerooted(term_idx)
+            res = insert_repeaters(t2, TECH, MSRIOptions(library=LIB))
+            assert frontiers_equal(res.tradeoff(), ref.tradeoff())
+
+
+class TestSingleSourceDegeneration:
+    def test_matches_exhaustive_on_single_source_net(self):
+        """With one source the problem reduces to classic buffer insertion."""
+        rng = np.random.default_rng(7)
+        for _ in range(5):
+            t = random_topology(rng, n_terminals=4, p_insertion=0.7)
+            # make terminal 0 the only source
+            from repro.rctree.topology import Node, NodeKind, RoutingTree
+
+            nodes = []
+            first = True
+            for n in t.nodes:
+                if n.kind is NodeKind.TERMINAL:
+                    term = n.terminal
+                    if first:
+                        term = term.as_source_only()
+                        first = False
+                    else:
+                        term = term.as_sink_only()
+                    nodes.append(Node(n.index, n.x, n.y, n.kind, term))
+                else:
+                    nodes.append(n)
+            t1 = RoutingTree(
+                nodes,
+                [t.parent(i) for i in range(len(t))],
+                [t.edge_length(i) for i in range(len(t))],
+            )
+            res = insert_repeaters(t1, TECH, MSRIOptions(library=LIB))
+            assert frontiers_equal(
+                res.tradeoff(), exhaustive_frontier(t1, TECH, LIB)
+            )
+
+
+class TestRandomizedLibraries:
+    """Hypothesis sweep: random electrical parameters, random topologies —
+    the DP must match the oracle for *any* library, not just the fixtures."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @staticmethod
+    def _random_library(rng):
+        reps = []
+        for k in range(int(rng.integers(1, 3))):
+            fwd = Buffer(
+                f"f{k}",
+                intrinsic_delay=float(rng.uniform(0.0, 80.0)),
+                output_resistance=float(rng.uniform(20.0, 300.0)),
+                input_capacitance=float(rng.uniform(0.05, 0.6)),
+                cost=float(rng.integers(1, 4)),
+            )
+            if rng.random() < 0.5:
+                bwd = Buffer(
+                    f"g{k}",
+                    intrinsic_delay=float(rng.uniform(0.0, 80.0)),
+                    output_resistance=float(rng.uniform(20.0, 300.0)),
+                    input_capacitance=float(rng.uniform(0.05, 0.6)),
+                    cost=float(rng.integers(1, 4)),
+                )
+            else:
+                bwd = None
+            reps.append(Repeater.from_buffer_pair(fwd, bwd, name=f"r{k}"))
+        return RepeaterLibrary(reps)
+
+    @given(seed=st.integers(0, 100_000))
+    @settings(max_examples=25, deadline=None)
+    def test_property_dp_equals_oracle(self, seed):
+        rng = np.random.default_rng(seed)
+        t = random_topology(rng, n_terminals=int(rng.integers(2, 5)),
+                            p_insertion=0.6)
+        lib = self._random_library(rng)
+        n_options = len(lib.oriented_options()) + 1
+        if n_options ** len(t.insertion_indices()) > 100_000:
+            return  # too large to enumerate; skip this draw
+        res = insert_repeaters(t, TECH, MSRIOptions(library=lib))
+        assert frontiers_equal(
+            res.tradeoff(), exhaustive_frontier(t, TECH, lib)
+        ), f"seed={seed}"
+
+
+class TestStatsAndResultHelpers:
+    def test_stats_populated(self):
+        t = two_pin_net(length=4000.0)
+        res = insert_repeaters(t, TECH, MSRIOptions(library=LIB))
+        assert res.stats.nodes_processed == len(t) - 1
+        assert res.stats.solutions_generated >= res.stats.solutions_after_pruning
+        assert res.stats.runtime_seconds > 0.0
+        assert res.stats.max_set_size >= 1
+
+    def test_with_repeater_count(self):
+        t = two_pin_net(length=4000.0)
+        res = insert_repeaters(t, TECH, MSRIOptions(library=LIB))
+        zero = res.with_repeater_count(0)
+        assert zero is not None and zero.repeater_count() == 0
+        assert res.with_repeater_count(99) is None
+
+    def test_exhaustive_cap(self):
+        rng = np.random.default_rng(1)
+        t = random_topology(rng, n_terminals=12, p_insertion=1.0)
+        with pytest.raises(ValueError, match="cap"):
+            enumerate_assignments(t, TECH, MULTI_LIB)

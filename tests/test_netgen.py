@@ -1,0 +1,124 @@
+"""Tests for random net generation and the paper workloads."""
+
+import pytest
+
+from repro.core.msri import MSRIOptions
+from repro.netgen import (
+    NetSpec,
+    PAPER_SPACING_UM,
+    build_net,
+    driver_sizing_options,
+    fixed_1x_option,
+    paper_driver_options,
+    paper_instance,
+    paper_net_spec,
+    paper_repeater_library,
+    paper_technology,
+    random_net,
+    random_points,
+    repeater_insertion_options,
+)
+from repro.tech import DEFAULT_BUFFER, UM_PER_CM
+
+
+class TestRandomPoints:
+    def test_deterministic(self):
+        assert random_points(42, 10) == random_points(42, 10)
+
+    def test_different_seeds_differ(self):
+        assert random_points(1, 10) != random_points(2, 10)
+
+    def test_on_grid(self):
+        for x, y in random_points(7, 50):
+            assert 0.0 <= x <= UM_PER_CM
+            assert 0.0 <= y <= UM_PER_CM
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            random_points(0, 1)
+
+
+class TestBuildNet:
+    def test_basic_shape(self):
+        tree = random_net(0, 10)
+        assert len(tree.terminal_indices()) == 10
+        assert len(tree.insertion_indices()) > 0
+        assert tree.node(tree.root).terminal is not None
+
+    def test_no_spacing_means_no_insertion_points(self):
+        tree = random_net(0, 10, spacing=None)
+        assert tree.insertion_indices() == []
+
+    def test_spec_applied(self):
+        spec = NetSpec(capacitance=0.123, resistance=321.0, intrinsic_delay=9.0)
+        tree = random_net(3, 5, spec)
+        for t in tree.terminals():
+            assert t.capacitance == 0.123
+            assert t.resistance == 321.0
+            assert t.intrinsic_delay == 9.0
+
+    def test_names(self):
+        tree = build_net([(0, 0), (5000, 5000)], names=["left", "right"])
+        assert sorted(t.name for t in tree.terminals()) == ["left", "right"]
+
+    def test_custom_root(self):
+        pts = random_points(5, 6)
+        t0 = build_net(pts, root=0)
+        t3 = build_net(pts, root=3)
+        assert t0.node(t0.root).terminal.name == "p0"
+        assert t3.node(t3.root).terminal.name == "p3"
+
+
+class TestPaperWorkloads:
+    def test_technology_anchors(self):
+        tech = paper_technology()
+        assert tech.extras["prev_stage_resistance"] == 400.0
+        assert tech.extras["next_stage_capacitance"] == 0.2
+
+    def test_net_spec_is_bare_1x(self):
+        spec = paper_net_spec()
+        assert spec.capacitance == DEFAULT_BUFFER.input_capacitance
+        assert spec.resistance == DEFAULT_BUFFER.output_resistance
+        assert spec.arrival_time == 0.0
+        assert spec.downstream_delay == 0.0
+
+    def test_repeater_library_is_1x_pair(self):
+        lib = paper_repeater_library()
+        (rep,) = lib.repeaters
+        assert rep.cost == 2.0
+        assert rep.c_a == DEFAULT_BUFFER.input_capacitance
+
+    def test_driver_options_grid(self):
+        opts = paper_driver_options()
+        assert len(opts) == 16  # 4 driver sizes x 4 receiver sizes
+        costs = sorted({o.cost for o in opts})
+        assert costs[0] == 2.0 and costs[-1] == 8.0
+
+    def test_fixed_1x_option_penalties(self):
+        opt = fixed_1x_option()
+        assert opt.cost == 2.0
+        # prev-stage: 400 ohm * 0.05 pF = 20 ps
+        assert opt.arrival_penalty == pytest.approx(20.0)
+        # receiver into next stage: 50 ps + 400 ohm * 0.2 pF = 130 ps
+        assert opt.sink_delay_extra == pytest.approx(130.0)
+
+    def test_paper_instance_matches_paper_setup(self):
+        tree = paper_instance(0, 10)
+        assert len(tree.terminal_indices()) == 10
+        # insertion spacing bounded by 800 um
+        for v in range(len(tree)):
+            if tree.edge_length(v) > 0:
+                assert tree.edge_length(v) < PAPER_SPACING_UM
+
+    def test_option_builders(self):
+        ri = repeater_insertion_options()
+        assert ri.library is not None
+        assert len(ri.driver_options) == 1
+        ds = driver_sizing_options()
+        assert ds.library is None
+        assert len(ds.driver_options) == 16
+
+    def test_option_overrides_forwarded(self):
+        ri = repeater_insertion_options(use_divide_and_conquer=False)
+        assert isinstance(ri, MSRIOptions)
+        assert not ri.use_divide_and_conquer

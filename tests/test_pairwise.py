@@ -1,0 +1,146 @@
+"""Tests for the pairwise-constraint baseline and its bridge to the ARD."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.pairwise import (
+    PairwiseConstraint,
+    PairwiseSpec,
+    check_constraints,
+    greedy_pairwise_repair,
+    spec_from_ard,
+    worst_slack,
+)
+from repro.core.ard import ard
+from repro.core.msri import MSRIOptions, insert_repeaters
+from repro.rctree import TreeBuilder
+from repro.tech import Buffer, Repeater, RepeaterLibrary, Technology
+
+from .conftest import make_terminal, random_topology, two_pin_net
+
+TECH = Technology(0.1, 0.01, name="test")
+REP = Repeater.from_buffer_pair(Buffer("b", 20.0, 50.0, 0.25), name="rep")
+LIB = RepeaterLibrary([REP])
+
+
+class TestSpecConstruction:
+    def test_rejects_self_pair(self):
+        with pytest.raises(ValueError):
+            PairwiseConstraint(1, 1, 100.0)
+
+    def test_rejects_non_terminal_endpoint(self):
+        t = two_pin_net()
+        m = t.insertion_indices()[0]
+        with pytest.raises(ValueError, match="not a terminal"):
+            PairwiseSpec(t, [PairwiseConstraint(t.root, m, 100.0)])
+
+    def test_rejects_role_mismatch(self):
+        b = TreeBuilder()
+        src = b.add_terminal(make_terminal("s", 0, 0).as_source_only())
+        src2 = b.add_terminal(make_terminal("r", 50, 50).as_source_only())
+        snk = b.add_terminal(make_terminal("k", 100, 0).as_sink_only())
+        b.connect(src, snk)
+        b.connect(snk, src2)
+        t = b.build(root=src)
+        s = t.terminal_by_name("s")
+        r = t.terminal_by_name("r")
+        k = t.terminal_by_name("k")
+        with pytest.raises(ValueError, match="cannot drive"):
+            PairwiseSpec(t, [PairwiseConstraint(k, s, 1.0)])
+        with pytest.raises(ValueError, match="cannot receive"):
+            PairwiseSpec(t, [PairwiseConstraint(s, r, 1.0)])
+
+    def test_spec_from_ard_covers_all_pairs(self):
+        rng = np.random.default_rng(0)
+        t = random_topology(rng, n_terminals=5, p_insertion=0.0)
+        spec = spec_from_ard(t, 1e6)
+        sources = sum(
+            1 for i in t.terminal_indices() if t.node(i).terminal.is_source
+        )
+        sinks = sum(1 for i in t.terminal_indices() if t.node(i).terminal.is_sink)
+        both = sum(
+            1
+            for i in t.terminal_indices()
+            if t.node(i).terminal.is_source and t.node(i).terminal.is_sink
+        )
+        assert len(spec) == sources * sinks - both
+
+
+class TestARDBridge:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_ard_bound_iff_pairwise_satisfied(self, seed):
+        """ARD <= A exactly when the induced pairwise spec has no violation."""
+        rng = np.random.default_rng(seed)
+        t = random_topology(rng, n_terminals=5, p_insertion=0.5)
+        value = ard(t, TECH).value
+        tight = spec_from_ard(t, value + 1.0)
+        assert check_constraints(tight, TECH) == []
+        too_tight = spec_from_ard(t, value - 1.0)
+        assert len(check_constraints(too_tight, TECH)) >= 1
+
+    def test_worst_slack_matches_ard(self):
+        rng = np.random.default_rng(3)
+        t = random_topology(rng, n_terminals=5, p_insertion=0.0)
+        value = ard(t, TECH).value
+        spec = spec_from_ard(t, value)
+        # slack of the critical pair is exactly zero at the ARD bound
+        assert worst_slack(spec, TECH) == pytest.approx(0.0, abs=1e-6)
+
+
+class TestChecker:
+    def test_violation_report_fields(self):
+        t = two_pin_net(length=4000.0)
+        spec = spec_from_ard(t, 1.0)  # absurdly tight
+        violations = check_constraints(spec, TECH)
+        assert violations
+        v = violations[0]
+        assert v.slack < 0
+        assert v.actual > v.constraint.bound
+
+    def test_assignment_changes_result(self):
+        t = two_pin_net(length=4000.0)
+        m = t.insertion_indices()[0]
+        base = ard(t, TECH).value
+        spec = spec_from_ard(t, base * 0.8)
+        assert check_constraints(spec, TECH)  # violated unbuffered
+        assert not check_constraints(spec, TECH, {m: REP})  # repeater fixes it
+
+
+class TestGreedyRepair:
+    def test_meets_achievable_spec(self):
+        t = two_pin_net(length=4000.0)
+        base = ard(t, TECH).value
+        spec = spec_from_ard(t, base * 0.8)
+        assignment, slack = greedy_pairwise_repair(spec, TECH, LIB)
+        assert slack >= 0.0
+        assert assignment  # needed at least one repeater
+
+    def test_already_satisfied_spec_is_free(self):
+        t = two_pin_net(length=4000.0)
+        spec = spec_from_ard(t, 1e9)
+        assignment, slack = greedy_pairwise_repair(spec, TECH, LIB)
+        assert assignment == {}
+        assert slack >= 0.0
+
+    def test_never_worse_than_msri_on_ard_specs(self):
+        """On ARD-induced specs the exact DP meets anything greedy meets,
+        at no greater cost."""
+        rng = np.random.default_rng(5)
+        for _ in range(4):
+            t = random_topology(rng, n_terminals=4, p_insertion=0.7)
+            base = ard(t, TECH).value
+            target = base * 0.85
+            spec = spec_from_ard(t, target)
+            assignment, slack = greedy_pairwise_repair(spec, TECH, LIB)
+            optimal = insert_repeaters(t, TECH, MSRIOptions(library=LIB))
+            chosen = optimal.min_cost_meeting(target)
+            if slack >= 0.0:
+                greedy_cost = sum(r.cost for r in assignment.values())
+                assert chosen is not None
+                assert chosen.cost <= greedy_cost + 1e-9
+
+    def test_impossible_spec_reports_negative_slack(self):
+        t = two_pin_net(length=4000.0)
+        spec = spec_from_ard(t, 1.0)
+        _, slack = greedy_pairwise_repair(spec, TECH, LIB, max_steps=3)
+        assert slack < 0.0

@@ -1,0 +1,100 @@
+"""Tests for the Kung–Luccio–Preparata Pareto minima algorithms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.pareto import is_dominated, minima_2d, minima_3d, minima_nd
+
+
+class TestIsDominated:
+    def test_basic(self):
+        assert is_dominated((2, 2), (1, 1))
+        assert is_dominated((2, 2), (2, 2))  # weak
+        assert not is_dominated((1, 3), (2, 2))
+
+    def test_tolerance(self):
+        assert is_dominated((1.0, 1.0), (1.0 + 1e-12, 1.0), tol=1e-9)
+
+
+class TestMinima2D:
+    def test_staircase(self):
+        pts = [(1, 5), (2, 3), (3, 4), (4, 1), (5, 2)]
+        assert minima_2d(pts) == [0, 1, 3]
+
+    def test_duplicates_keep_first(self):
+        pts = [(1, 1), (1, 1), (0, 2)]
+        assert minima_2d(pts) == [0, 2]
+
+    def test_single(self):
+        assert minima_2d([(3, 3)]) == [0]
+
+    def test_all_dominated_by_one(self):
+        pts = [(0, 0), (1, 1), (2, 2)]
+        assert minima_2d(pts) == [0]
+
+    def test_empty(self):
+        assert minima_2d([]) == []
+
+
+class TestMinima3D:
+    def test_simple(self):
+        pts = [(1, 1, 1), (2, 2, 2), (0, 3, 3), (3, 0, 3), (3, 3, 0)]
+        assert minima_3d(pts) == [0, 2, 3, 4]
+
+    def test_duplicates_keep_first(self):
+        pts = [(1, 1, 1), (1, 1, 1)]
+        assert minima_3d(pts) == [0]
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_bruteforce(self, seed):
+        rng = np.random.default_rng(seed)
+        pts = [tuple(rng.integers(0, 8, size=3).tolist()) for _ in range(60)]
+        assert sorted(minima_3d(pts)) == sorted(minima_nd(pts))
+
+    def test_continuous_coordinates(self):
+        rng = np.random.default_rng(123)
+        pts = [tuple(rng.random(3).tolist()) for _ in range(100)]
+        assert sorted(minima_3d(pts)) == sorted(minima_nd(pts))
+
+
+class TestMinimaND:
+    def test_5d(self):
+        pts = [(1, 1, 1, 1, 1), (0, 2, 1, 1, 1), (2, 2, 2, 2, 2)]
+        assert minima_nd(pts) == [0, 1]
+
+    def test_all_incomparable(self):
+        pts = [(0, 2), (1, 1), (2, 0)]
+        assert minima_nd(pts) == [0, 1, 2]
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 6), st.integers(0, 6), st.integers(0, 6)
+        ),
+        min_size=1,
+        max_size=50,
+    )
+)
+@settings(max_examples=200)
+def test_property_3d_equals_bruteforce(pts):
+    assert sorted(minima_3d(pts)) == sorted(minima_nd(pts))
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(0, 10, allow_nan=False), st.floats(0, 10, allow_nan=False)
+        ),
+        min_size=1,
+        max_size=50,
+    )
+)
+@settings(max_examples=200)
+def test_property_2d_minima_cover(pts):
+    """Every input point is dominated by some reported minimum."""
+    idx = minima_2d(pts)
+    for p in pts:
+        assert any(is_dominated(p, pts[i], tol=1e-12) for i in idx)

@@ -1,0 +1,238 @@
+"""Cross-cutting property-based tests on the electrical and DP models.
+
+These probe *physical* invariants that any correct implementation must
+satisfy, independent of the paper's specific numbers: shift/scale
+covariance of Elmore delays, monotonicity of the ARD in its boundary
+parameters, and monotonicity of the optimal frontier in the option set.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ard import ard
+from repro.core.msri import MSRIOptions, insert_repeaters
+from repro.core.pwl import PWL
+from repro.rctree.topology import Node, NodeKind, RoutingTree
+from repro.tech import Buffer, Repeater, RepeaterLibrary, Technology
+
+from .conftest import random_topology
+
+TECH = Technology(0.1, 0.01, name="test")
+REP = Repeater.from_buffer_pair(Buffer("b", 20.0, 50.0, 0.25), name="rep")
+BIG = Repeater.from_buffer_pair(Buffer("B", 20.0, 25.0, 0.5, cost=2.0), name="big")
+
+
+def shifted_alphas(tree, delta):
+    """Copy of the tree with every source's arrival time shifted by delta."""
+    import dataclasses
+
+    nodes = []
+    for n in tree.nodes:
+        if n.kind is NodeKind.TERMINAL and n.terminal.is_source:
+            t = dataclasses.replace(
+                n.terminal, arrival_time=n.terminal.arrival_time + delta
+            )
+            nodes.append(Node(n.index, n.x, n.y, n.kind, t))
+        else:
+            nodes.append(n)
+    return RoutingTree(
+        nodes,
+        [tree.parent(i) for i in range(len(tree))],
+        [tree.edge_length(i) for i in range(len(tree))],
+    )
+
+
+def scaled_resistances(tree, tech, k):
+    """Scale every resistance (wire + driver) by k; capacitances fixed."""
+    import dataclasses
+
+    nodes = []
+    for n in tree.nodes:
+        if n.kind is NodeKind.TERMINAL:
+            t = dataclasses.replace(n.terminal, resistance=n.terminal.resistance * k)
+            nodes.append(Node(n.index, n.x, n.y, n.kind, t))
+        else:
+            nodes.append(n)
+    tree2 = RoutingTree(
+        nodes,
+        [tree.parent(i) for i in range(len(tree))],
+        [tree.edge_length(i) for i in range(len(tree))],
+    )
+    tech2 = Technology(tech.unit_resistance * k, tech.unit_capacitance)
+    return tree2, tech2
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    delta=st.floats(min_value=0.0, max_value=1000.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_ard_shift_covariance(seed, delta):
+    """Adding D to every source arrival adds exactly D to the ARD."""
+    rng = np.random.default_rng(seed)
+    t = random_topology(rng, n_terminals=5)
+    base = ard(t, TECH).value
+    shifted = ard(shifted_alphas(t, delta), TECH).value
+    assert shifted == pytest.approx(base + delta, rel=1e-9, abs=1e-6)
+
+
+@given(seed=st.integers(0, 10_000), k=st.floats(min_value=0.1, max_value=10.0))
+@settings(max_examples=40, deadline=None)
+def test_pure_rc_delay_scales_with_resistance(seed, k):
+    """With zero boundary times, scaling every resistance by k scales the
+    whole RC diameter by k (Elmore bilinearity)."""
+    rng = np.random.default_rng(seed)
+    t = random_topology(rng, n_terminals=4, p_insertion=0.0)
+    # zero out alphas/betas, keep roles
+    import dataclasses
+
+    nodes = []
+    for n in t.nodes:
+        if n.kind is NodeKind.TERMINAL:
+            term = dataclasses.replace(
+                n.terminal,
+                arrival_time=0.0 if n.terminal.is_source else n.terminal.arrival_time,
+                downstream_delay=0.0
+                if n.terminal.is_sink
+                else n.terminal.downstream_delay,
+                intrinsic_delay=0.0,
+            )
+            nodes.append(Node(n.index, n.x, n.y, n.kind, term))
+        else:
+            nodes.append(n)
+    t = RoutingTree(
+        nodes,
+        [t.parent(i) for i in range(len(t))],
+        [t.edge_length(i) for i in range(len(t))],
+    )
+    base = ard(t, TECH).value
+    t2, tech2 = scaled_resistances(t, TECH, k)
+    assert ard(t2, tech2).value == pytest.approx(k * base, rel=1e-9)
+
+
+@given(seed=st.integers(0, 5_000))
+@settings(max_examples=15, deadline=None)
+def test_bigger_library_never_hurts(seed):
+    """A superset repeater library yields a frontier at least as good at
+    every cost (the DP is exact, so more options cannot hurt)."""
+    rng = np.random.default_rng(seed)
+    t = random_topology(rng, n_terminals=4, p_insertion=0.7)
+    small = insert_repeaters(t, TECH, MSRIOptions(library=RepeaterLibrary([REP])))
+    big = insert_repeaters(
+        t, TECH, MSRIOptions(library=RepeaterLibrary([REP, BIG]))
+    )
+    for cost, ardv in small.tradeoff():
+        best = min(s.ard for s in big.solutions if s.cost <= cost + 1e-9)
+        assert best <= ardv + 1e-6
+
+
+@given(seed=st.integers(0, 5_000))
+@settings(max_examples=20, deadline=None)
+def test_repeater_assignment_never_below_buffered_floor(seed):
+    """Every frontier diameter is bounded below by the cost-oblivious
+    optimum (the last frontier entry), and above by the unbuffered ARD."""
+    rng = np.random.default_rng(seed)
+    t = random_topology(rng, n_terminals=4, p_insertion=0.6)
+    res = insert_repeaters(t, TECH, MSRIOptions(library=RepeaterLibrary([REP])))
+    unbuffered = ard(t, TECH).value
+    floor = res.min_ard().ard
+    for s in res.solutions:
+        assert floor - 1e-9 <= s.ard <= unbuffered + 1e-9
+
+
+@given(
+    length=st.floats(min_value=1.0, max_value=5000.0),
+    split=st.floats(min_value=0.05, max_value=0.95),
+    load=st.floats(min_value=0.0, max_value=5.0),
+)
+@settings(max_examples=100)
+def test_wire_delay_split_invariance(length, split, load):
+    """Splitting a uniform wire at any point preserves its Elmore delay:
+    the identity that makes insertion-point subdivision electrically
+    neutral."""
+    l1 = length * split
+    l2 = length - l1
+    c2 = TECH.wire_capacitance(l2)
+    whole = TECH.wire_delay(length, load)
+    far = TECH.wire_delay(l2, load)
+    near = TECH.wire_delay(l1, c2 + load)
+    assert near + far == pytest.approx(whole, rel=1e-9)
+
+
+@given(seed=st.integers(0, 10_000), spacing=st.floats(200.0, 2000.0))
+@settings(max_examples=25, deadline=None)
+def test_insertion_points_preserve_ard(seed, spacing):
+    """Threading candidate insertion points into the wires never changes
+    the unbuffered ARD (they are electrically invisible until used)."""
+    from repro.steiner import add_insertion_points
+
+    rng = np.random.default_rng(seed)
+    t = random_topology(rng, n_terminals=5, p_insertion=0.0)
+    base = ard(t, TECH).value
+    subdivided = add_insertion_points(t, spacing)
+    assert ard(subdivided, TECH).value == pytest.approx(base, rel=1e-9)
+
+
+@given(
+    r=st.floats(1.0, 100.0),
+    c=st.floats(0.01, 5.0),
+    split=st.floats(0.05, 0.95),
+)
+@settings(max_examples=80)
+def test_augment_split_invariance(r, c, split):
+    """The DP's Fig. 10 combinator obeys the same wire-splitting identity:
+    augmenting by two sub-wires equals augmenting by the whole wire, in
+    every solution coordinate."""
+    from repro.core.solution import augment_wire, leaf_solution
+    from repro.tech import Terminal
+
+    c_max = 100.0
+    leaf = leaf_solution(
+        Terminal("t", 0, 0, downstream_delay=5.0, capacitance=0.3,
+                 resistance=120.0),
+        c_max,
+    )
+    whole = augment_wire(leaf, r, c, c_max)
+    # near segment carries (1-split) of the wire, far segment `split`
+    far = augment_wire(leaf, r * split, c * split, c_max)
+    both = augment_wire(far, r * (1 - split), c * (1 - split), c_max)
+    assert both.cap == pytest.approx(whole.cap, rel=1e-9)
+    assert both.q == pytest.approx(whole.q, rel=1e-9)
+    for x in (0.0, 1.0, 10.0, 50.0):
+        assert both.arr.evaluate(x) == pytest.approx(
+            whole.arr.evaluate(x), rel=1e-9
+        )
+
+
+coeff = st.floats(min_value=-20, max_value=20, allow_nan=False)
+
+
+@given(a=coeff, b=coeff, c1=st.floats(0, 5), c2=st.floats(0, 5))
+@settings(max_examples=100)
+def test_pwl_shift_composes(a, b, c1, c2):
+    f = PWL.linear(a, b, 0.0, 50.0)
+    g = f.shift(c1).shift(c2)
+    h = f.shift(c1 + c2)
+    assert g.approx_equal(h, atol=1e-7)
+
+
+@given(a=coeff, b=coeff, s1=coeff, s2=coeff)
+@settings(max_examples=100)
+def test_pwl_add_linear_composes(a, b, s1, s2):
+    f = PWL.linear(a, b, 0.0, 50.0)
+    g = f.add_linear(1.0, s1).add_linear(2.0, s2)
+    h = f.add_linear(3.0, s1 + s2)
+    assert g.approx_equal(h, atol=1e-6)
+
+
+@given(a=coeff, b=coeff, c=st.floats(0, 10), s=coeff)
+@settings(max_examples=100)
+def test_pwl_shift_and_add_commute(a, b, c, s):
+    """shift(c) then +s*x equals (+s*x then shift) adjusted by s*c —
+    the identity the augment combinator silently relies on."""
+    f = PWL.linear(a, b, 0.0, 50.0)
+    left = f.shift(c).add_linear(0.0, s)
+    right = f.add_linear(0.0, s).shift(c).add_linear(-s * c, 0.0)
+    assert left.approx_equal(right, atol=1e-6)

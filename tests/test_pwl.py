@@ -1,0 +1,350 @@
+"""Unit and property tests for PWL functions and the paper's Eq. (3) primitives."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.intervals import IntervalSet
+from repro.core.pwl import PWL, Segment, maximum_all
+
+
+class TestSegment:
+    def test_value(self):
+        s = Segment(0.0, 10.0, 2.0, 3.0)
+        assert s.value(0.0) == 2.0
+        assert s.value(2.0) == 8.0
+
+    def test_rejects_empty_domain(self):
+        with pytest.raises(ValueError):
+            Segment(5.0, 4.0, 0.0, 0.0)
+
+    def test_rejects_infinite_domain(self):
+        with pytest.raises(ValueError):
+            Segment(0.0, math.inf, 0.0, 0.0)
+
+    def test_rejects_nonfinite_coeffs(self):
+        with pytest.raises(ValueError):
+            Segment(0.0, 1.0, math.inf, 0.0)
+
+    def test_same_line(self):
+        a = Segment(0, 1, 2.0, 3.0)
+        b = Segment(1, 2, 2.0, 3.0)
+        c = Segment(1, 2, 2.5, 3.0)
+        assert a.same_line(b)
+        assert not a.same_line(c)
+
+
+class TestConstruction:
+    def test_constant(self):
+        f = PWL.constant(5.0, 0.0, 10.0)
+        assert f.evaluate(0.0) == 5.0
+        assert f.evaluate(10.0) == 5.0
+        assert f.num_segments == 1
+
+    def test_linear(self):
+        f = PWL.linear(1.0, 2.0, 0.0, 4.0)
+        assert f.evaluate(3.0) == 7.0
+
+    def test_merges_collinear(self):
+        f = PWL([Segment(0, 1, 1.0, 2.0), Segment(1, 2, 1.0, 2.0)])
+        assert f.num_segments == 1
+        assert f.segments[0].hi == 2.0
+
+    def test_rejects_overlapping(self):
+        with pytest.raises(ValueError):
+            PWL([Segment(0, 2, 0, 0), Segment(1, 3, 1, 0)])
+
+    def test_from_breakpoints(self):
+        f = PWL.from_breakpoints([0, 1, 3], [0, 2, 2])
+        assert f.evaluate(0.5) == pytest.approx(1.0)
+        assert f.evaluate(2.0) == pytest.approx(2.0)
+        assert f.num_segments == 2
+
+    def test_from_breakpoints_rejects_short(self):
+        with pytest.raises(ValueError):
+            PWL.from_breakpoints([0], [1])
+
+    def test_from_breakpoints_rejects_nonincreasing(self):
+        with pytest.raises(ValueError):
+            PWL.from_breakpoints([0, 0], [1, 2])
+
+    def test_empty(self):
+        f = PWL([])
+        assert f.is_empty
+        with pytest.raises(ValueError):
+            f.evaluate(0.0)
+
+
+class TestEvaluation:
+    def test_outside_domain_raises(self):
+        f = PWL.constant(1.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            f.evaluate(2.0)
+
+    def test_evaluate_or(self):
+        f = PWL.constant(1.0, 0.0, 1.0)
+        assert f.evaluate_or(2.0, default=-1.0) == -1.0
+        assert f.evaluate_or(0.5, default=-1.0) == 1.0
+
+    def test_holey_domain(self):
+        f = PWL([Segment(0, 1, 0, 1), Segment(2, 3, 5, 0)])
+        assert f.defined_at(0.5)
+        assert not f.defined_at(1.5)
+        assert f.evaluate(2.5) == 5.0
+        assert f.domain() == IntervalSet.from_pairs([(0, 1), (2, 3)])
+
+    def test_callable(self):
+        f = PWL.linear(0.0, 2.0, 0.0, 1.0)
+        assert f(0.5) == 1.0
+
+    def test_min_max_value(self):
+        f = PWL.from_breakpoints([0, 1, 2], [3, 1, 4])
+        assert f.min_value() == (1.0, 1.0)
+        assert f.max_value() == (2.0, 4.0)
+
+
+class TestPrimitives:
+    def test_add_scalar(self):
+        f = PWL.linear(1.0, 2.0, 0.0, 5.0).add_scalar(10.0)
+        assert f.evaluate(1.0) == 13.0
+
+    def test_add_linear(self):
+        f = PWL.linear(1.0, 2.0, 0.0, 5.0).add_linear(3.0, 4.0)
+        # (1 + 2x) + (3 + 4x) = 4 + 6x
+        assert f.evaluate(2.0) == pytest.approx(16.0)
+
+    def test_shift_value_identity(self):
+        f = PWL.from_breakpoints([0, 2, 5], [0, 4, 1])
+        g = f.shift(1.0)
+        for x in [0.0, 0.5, 1.0, 3.0, 4.0]:
+            assert g.evaluate(x) == pytest.approx(f.evaluate(x + 1.0))
+
+    def test_shift_clips_negative_domain(self):
+        f = PWL.constant(1.0, 0.0, 2.0)
+        g = f.shift(1.5)
+        assert g.domain() == IntervalSet.single(0.0, 0.5)
+
+    def test_shift_drops_vanished_segments(self):
+        f = PWL.constant(1.0, 0.0, 1.0)
+        assert f.shift(2.0).is_empty
+
+    def test_restrict(self):
+        f = PWL.linear(0.0, 1.0, 0.0, 10.0)
+        g = f.restrict(IntervalSet.from_pairs([(1, 2), (5, 7)]))
+        assert g.domain() == IntervalSet.from_pairs([(1, 2), (5, 7)])
+        assert g.evaluate(6.0) == 6.0
+
+    def test_restrict_to_empty(self):
+        f = PWL.constant(0.0, 0.0, 1.0)
+        assert f.restrict(IntervalSet.empty()).is_empty
+
+
+class TestMaximum:
+    def test_crossing_lines(self):
+        # The Fig. 3 scenario: two arrival lines with slopes 7 and 12.
+        # arr_u = 100 + 12x, arr_w = 130 + 7x cross at x = 6.
+        f = PWL.linear(100.0, 12.0, 0.0, 20.0)
+        g = PWL.linear(130.0, 7.0, 0.0, 20.0)
+        m = f.maximum(g)
+        assert m.num_segments == 2
+        assert m.evaluate(0.0) == 130.0  # far source dominates at low c_E
+        assert m.evaluate(10.0) == 220.0  # near-but-slow dominates at high c_E
+        assert m.evaluate(6.0) == pytest.approx(172.0)
+
+    def test_parallel_lines(self):
+        f = PWL.linear(1.0, 2.0, 0.0, 5.0)
+        g = PWL.linear(3.0, 2.0, 0.0, 5.0)
+        assert f.maximum(g).approx_equal(g)
+
+    def test_identical(self):
+        f = PWL.linear(1.0, 2.0, 0.0, 5.0)
+        assert f.maximum(f).approx_equal(f)
+
+    def test_domain_intersection(self):
+        f = PWL.constant(1.0, 0.0, 4.0)
+        g = PWL.constant(2.0, 2.0, 6.0)
+        m = f.maximum(g)
+        assert m.domain() == IntervalSet.single(2.0, 4.0)
+        assert m.evaluate(3.0) == 2.0
+
+    def test_disjoint_domains_empty(self):
+        f = PWL.constant(1.0, 0.0, 1.0)
+        g = PWL.constant(2.0, 2.0, 3.0)
+        assert f.maximum(g).is_empty
+
+    def test_minimum(self):
+        f = PWL.linear(0.0, 1.0, 0.0, 10.0)
+        g = PWL.constant(5.0, 0.0, 10.0)
+        m = f.minimum(g)
+        assert m.evaluate(2.0) == 2.0
+        assert m.evaluate(8.0) == 5.0
+
+    def test_point_domain_overlap(self):
+        f = PWL.constant(1.0, 0.0, 2.0)
+        g = PWL.constant(3.0, 2.0, 4.0)
+        m = f.maximum(g)
+        assert m.domain() == IntervalSet.single(2.0, 2.0)
+        assert m.evaluate(2.0) == 3.0
+
+    def test_maximum_all(self):
+        fs = [PWL.linear(float(10 - i), float(i), 0.0, 10.0) for i in range(4)]
+        m = maximum_all(fs)
+        for x in [0.0, 1.0, 2.5, 7.0, 10.0]:
+            assert m.evaluate(x) == pytest.approx(
+                max(f.evaluate(x) for f in fs)
+            )
+
+    def test_maximum_all_skips_empty(self):
+        fs = [PWL([]), PWL.constant(1.0, 0.0, 1.0)]
+        assert maximum_all(fs).approx_equal(PWL.constant(1.0, 0.0, 1.0))
+
+    def test_maximum_all_empty_raises(self):
+        with pytest.raises(ValueError):
+            maximum_all([PWL([])])
+
+
+class TestRegions:
+    def test_region_leq_simple(self):
+        f = PWL.linear(0.0, 1.0, 0.0, 10.0)  # x
+        g = PWL.constant(5.0, 0.0, 10.0)  # 5
+        r = f.region_leq(g)
+        assert r.approx_equal(IntervalSet.single(0.0, 5.0))
+
+    def test_region_leq_everywhere(self):
+        f = PWL.constant(0.0, 0.0, 10.0)
+        g = PWL.constant(5.0, 0.0, 10.0)
+        assert f.region_leq(g) == IntervalSet.single(0.0, 10.0)
+
+    def test_region_leq_nowhere(self):
+        f = PWL.constant(9.0, 0.0, 10.0)
+        g = PWL.constant(5.0, 0.0, 10.0)
+        assert f.region_leq(g).is_empty
+
+    def test_region_leq_restricted_to_common_domain(self):
+        f = PWL.constant(0.0, 0.0, 3.0)
+        g = PWL.constant(5.0, 2.0, 10.0)
+        assert f.region_leq(g) == IntervalSet.single(2.0, 3.0)
+
+    def test_region_lt_excludes_ties(self):
+        f = PWL.constant(5.0, 0.0, 10.0)
+        g = PWL.constant(5.0, 0.0, 10.0)
+        assert f.region_lt(g).is_empty
+        assert f.region_leq(g) == IntervalSet.single(0.0, 10.0)
+
+    def test_region_lt_crossing(self):
+        f = PWL.linear(0.0, 1.0, 0.0, 10.0)
+        g = PWL.constant(5.0, 0.0, 10.0)
+        r = f.region_lt(g)
+        assert r.approx_equal(IntervalSet.single(0.0, 5.0), atol=1e-6)
+
+
+class TestApproxEqual:
+    def test_same_function_different_segmentation(self):
+        f = PWL.linear(0.0, 1.0, 0.0, 10.0)
+        g = PWL([Segment(0, 4, 0.0, 1.0), Segment(4, 10, 0.0, 1.0)])
+        # canonicalization merges g into one segment, so exact equality holds
+        assert f == g
+        assert f.approx_equal(g)
+
+    def test_different_functions(self):
+        f = PWL.linear(0.0, 1.0, 0.0, 10.0)
+        g = PWL.linear(0.1, 1.0, 0.0, 10.0)
+        assert not f.approx_equal(g, atol=1e-3)
+
+
+# -- property-based tests ----------------------------------------------------
+
+coeff = st.floats(min_value=-50, max_value=50, allow_nan=False)
+
+
+@st.composite
+def pwls(draw, max_pieces=4, x_max=20.0):
+    """Random continuous PWL on [0, x_max] built from breakpoints."""
+    n = draw(st.integers(min_value=2, max_value=max_pieces + 1))
+    xs = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=0.01, max_value=x_max - 0.01),
+                min_size=n - 2,
+                max_size=n - 2,
+                unique=True,
+            )
+        )
+    )
+    xs = [0.0] + xs + [x_max]
+    ys = [draw(coeff) for _ in xs]
+    return PWL.from_breakpoints(xs, ys)
+
+
+def _grid(f, g, k=41):
+    lo = max(f.domain().lo, g.domain().lo)
+    hi = min(f.domain().hi, g.domain().hi)
+    return [lo + (hi - lo) * i / (k - 1) for i in range(k)]
+
+
+@given(pwls(), pwls())
+@settings(max_examples=150)
+def test_maximum_matches_pointwise(f, g):
+    m = f.maximum(g)
+    for x in _grid(f, g):
+        assert m.evaluate(x) == pytest.approx(
+            max(f.evaluate(x), g.evaluate(x)), abs=1e-6
+        )
+
+
+@given(pwls(), pwls())
+@settings(max_examples=150)
+def test_minimum_matches_pointwise(f, g):
+    m = f.minimum(g)
+    for x in _grid(f, g):
+        assert m.evaluate(x) == pytest.approx(
+            min(f.evaluate(x), g.evaluate(x)), abs=1e-6
+        )
+
+
+@given(pwls(), coeff, coeff)
+@settings(max_examples=100)
+def test_add_linear_pointwise(f, a, b):
+    h = f.add_linear(a, b)
+    for x in [0.0, 5.0, 10.0, 20.0]:
+        assert h.evaluate(x) == pytest.approx(f.evaluate(x) + a + b * x, abs=1e-6)
+
+
+@given(pwls(), st.floats(min_value=0.0, max_value=15.0))
+@settings(max_examples=100)
+def test_shift_pointwise(f, c):
+    g = f.shift(c)
+    hi = f.domain().hi - c
+    if hi < 0:
+        assert g.is_empty
+        return
+    for i in range(11):
+        x = hi * i / 10.0
+        assert g.evaluate(x) == pytest.approx(f.evaluate(x + c), abs=1e-6)
+
+
+@given(pwls(), pwls())
+@settings(max_examples=150)
+def test_region_leq_is_sound(f, g):
+    r = f.region_leq(g)
+    for x in _grid(f, g):
+        inside = r.contains(x, atol=1e-7)
+        holds = f.evaluate(x) <= g.evaluate(x) + 1e-6
+        if inside:
+            assert holds
+    # completeness at clearly-interior points
+    for iv in r:
+        if iv.length > 1e-3:
+            x = iv.midpoint
+            assert f.evaluate(x) <= g.evaluate(x) + 1e-6
+
+
+@given(pwls(), pwls(), pwls())
+@settings(max_examples=75)
+def test_maximum_associative_pointwise(f, g, h):
+    a = f.maximum(g).maximum(h)
+    b = f.maximum(g.maximum(h))
+    for x in _grid(a, b):
+        assert a.evaluate(x) == pytest.approx(b.evaluate(x), abs=1e-6)

@@ -1,0 +1,154 @@
+"""Tests for the event-driven transaction simulator.
+
+The simulator is a third, independent implementation of the delay
+semantics (hop-local accumulation): it must agree exactly with the
+path-walk Elmore engine and with the linear-time ARD on arbitrary random
+buffered topologies, and it makes inverter polarity observable at sinks.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.exhaustive import is_parity_feasible
+from repro.core.ard import ard
+from repro.rctree import ElmoreAnalyzer
+from repro.sim import simulate_all, simulate_transaction, simulated_ard
+from repro.tech import Buffer, Repeater, Technology
+
+from .conftest import random_topology, two_pin_net, y_net
+
+TECH = Technology(0.1, 0.01, name="test")
+REP = Repeater.from_buffer_pair(Buffer("b", 20.0, 50.0, 0.25), name="rep")
+INV = Repeater.from_buffer_pair(
+    Buffer("i", 10.0, 50.0, 0.25, cost=0.5, is_inverting=True), name="inv"
+)
+
+
+class TestAgainstPathDelay:
+    def test_y_net_arrivals(self):
+        t = y_net()
+        an = ElmoreAnalyzer(t, TECH)
+        a = t.terminal_by_name("a")
+        res = simulate_transaction(t, TECH, a)
+        for name in ("b", "c"):
+            sink = t.terminal_by_name(name)
+            assert res.arrival(sink) == pytest.approx(an.path_delay(a, sink))
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_nets_all_pairs(self, seed):
+        rng = np.random.default_rng(seed)
+        t = random_topology(rng, n_terminals=6, p_insertion=0.6)
+        assignment = {}
+        for k, idx in enumerate(t.insertion_indices()):
+            if k % 2 == 0:
+                assignment[idx] = REP
+        an = ElmoreAnalyzer(t, TECH, assignment)
+        results = simulate_all(t, TECH, assignment)
+        for src, res in results.items():
+            for sink, ev in res.events.items():
+                assert ev.time == pytest.approx(
+                    an.path_delay(src, sink), rel=1e-9
+                )
+
+    def test_simulated_ard_matches_linear(self):
+        rng = np.random.default_rng(42)
+        for _ in range(8):
+            t = random_topology(rng, n_terminals=5, p_insertion=0.5)
+            assignment = {idx: REP for idx in t.insertion_indices()[:2]}
+            sim = simulated_ard(t, TECH, assignment)
+            lin = ard(t, TECH, assignment).value
+            assert sim == pytest.approx(lin, rel=1e-9)
+
+    def test_no_pairs_minus_inf(self):
+        from repro.rctree import TreeBuilder
+
+        from .conftest import make_terminal
+
+        b = TreeBuilder()
+        s1 = b.add_terminal(make_terminal("s1", 0, 0).as_source_only())
+        s2 = b.add_terminal(make_terminal("s2", 100, 0).as_source_only())
+        b.connect(s1, s2)
+        t = b.build(root=s1)
+        assert simulated_ard(t, TECH) == -math.inf
+
+
+class TestPolarity:
+    def test_noninverting_keeps_polarity(self):
+        t = two_pin_net(length=2000.0)
+        m = t.insertion_indices()[0]
+        res = simulate_transaction(t, TECH, t.terminal_by_name("a"), {m: REP})
+        (ev,) = res.events.values()
+        assert not ev.inverted
+
+    def test_single_inverter_flips(self):
+        t = two_pin_net(length=2000.0)
+        m = t.insertion_indices()[0]
+        res = simulate_transaction(t, TECH, t.terminal_by_name("a"), {m: INV})
+        (ev,) = res.events.values()
+        assert ev.inverted
+
+    def test_inverter_pair_restores(self):
+        from repro.steiner import add_insertion_points
+
+        t = add_insertion_points(
+            two_pin_net(length=2000.0, with_insertion=False), spacing=600.0
+        )
+        pts = t.insertion_indices()
+        asg = {pts[0]: INV, pts[1]: INV}
+        res = simulate_transaction(t, TECH, t.terminal_by_name("a"), asg)
+        (ev,) = res.events.values()
+        assert not ev.inverted
+
+    def test_parity_feasibility_matches_simulation(self):
+        """The static parity check agrees with what sinks actually see."""
+        rng = np.random.default_rng(17)
+        for _ in range(10):
+            t = random_topology(rng, n_terminals=4, p_insertion=0.8)
+            assignment = {}
+            for idx in t.insertion_indices():
+                roll = rng.random()
+                if roll < 0.3:
+                    assignment[idx] = INV
+                elif roll < 0.5:
+                    assignment[idx] = REP
+            feasible = is_parity_feasible(t, assignment)
+            sinks_clean = True
+            for src, res in simulate_all(t, TECH, assignment).items():
+                for ev in res.events.values():
+                    if ev.sink != src and ev.inverted:
+                        sinks_clean = False
+            assert feasible == sinks_clean
+
+
+class TestAPI:
+    def test_source_validation(self):
+        t = y_net()
+        s = t.steiner_indices()[0]
+        with pytest.raises(ValueError):
+            simulate_transaction(t, TECH, s)
+
+    def test_sink_only_cannot_drive(self):
+        from repro.rctree import TreeBuilder
+
+        from .conftest import make_terminal
+
+        b = TreeBuilder()
+        s = b.add_terminal(make_terminal("s", 0, 0))
+        k = b.add_terminal(make_terminal("k", 100, 0).as_sink_only())
+        b.connect(s, k)
+        t = b.build(root=s)
+        with pytest.raises(ValueError, match="cannot drive"):
+            simulate_transaction(t, TECH, t.terminal_by_name("k"))
+
+    def test_node_times_cover_tree(self):
+        t = y_net()
+        res = simulate_transaction(t, TECH, t.terminal_by_name("a"))
+        assert len(res.node_times) == len(t)
+
+    def test_worst_sink(self):
+        t = y_net()
+        res = simulate_transaction(t, TECH, t.terminal_by_name("a"))
+        sink, time = res.worst_sink()
+        assert time == max(ev.time for ev in res.events.values())

@@ -1,0 +1,107 @@
+"""Tests for the slew-aware evaluation model."""
+
+import numpy as np
+import pytest
+
+from repro.rctree import ElmoreAnalyzer
+from repro.rctree.slew import SlewAnalyzer, SlewModel
+from repro.tech import Buffer, Repeater, Technology
+
+from .conftest import random_topology, two_pin_net, y_net
+
+TECH = Technology(0.1, 0.01, name="test")
+REP = Repeater.from_buffer_pair(Buffer("b", 20.0, 50.0, 0.25), name="rep")
+
+
+class TestModelValidation:
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SlewModel(slew_gain=-1.0)
+        with pytest.raises(ValueError):
+            SlewModel(slew_to_delay=-0.1)
+
+    def test_defaults(self):
+        m = SlewModel()
+        assert m.slew_gain == pytest.approx(np.log(9.0))
+
+
+class TestCollapseToElmore:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_zero_sensitivity_equals_elmore(self, seed):
+        rng = np.random.default_rng(seed)
+        t = random_topology(rng, n_terminals=5, p_insertion=0.6)
+        assignment = {idx: REP for idx in t.insertion_indices()[:2]}
+        el = ElmoreAnalyzer(t, TECH, assignment)
+        sl = SlewAnalyzer(t, TECH, assignment, SlewModel(slew_to_delay=0.0))
+        for u in t.terminal_indices():
+            if not t.node(u).terminal.is_source:
+                continue
+            for v in t.terminal_indices():
+                if v == u:
+                    continue
+                assert sl.path_delay(u, v) == pytest.approx(
+                    el.path_delay(u, v), rel=1e-9
+                )
+
+    def test_zero_sensitivity_ard(self):
+        t = y_net()
+        el = ElmoreAnalyzer(t, TECH)
+        sl = SlewAnalyzer(t, TECH, model=SlewModel(slew_to_delay=0.0))
+        assert sl.ard()[0] == pytest.approx(el.ard_bruteforce())
+
+
+class TestSlewEffects:
+    def test_slew_only_adds_delay(self):
+        t = two_pin_net(length=4000.0)
+        a, z = t.terminal_by_name("a"), t.terminal_by_name("z")
+        el = ElmoreAnalyzer(t, TECH)
+        sl = SlewAnalyzer(t, TECH, model=SlewModel())
+        assert sl.path_delay(a, z) > el.path_delay(a, z)
+
+    def test_input_slew_penalty(self):
+        t = two_pin_net(length=1000.0)
+        a, z = t.terminal_by_name("a"), t.terminal_by_name("z")
+        clean = SlewAnalyzer(t, TECH, model=SlewModel(input_slew=0.0))
+        dirty = SlewAnalyzer(t, TECH, model=SlewModel(input_slew=100.0))
+        assert dirty.path_delay(a, z) == pytest.approx(
+            clean.path_delay(a, z) + 0.25 * 100.0
+        )
+
+    def test_repeater_regenerates_slew(self):
+        """The transition arriving at the far sink is much cleaner when a
+        repeater re-drives the second half of a long wire."""
+        t = two_pin_net(length=8000.0)
+        m = t.insertion_indices()[0]
+        a, z = t.terminal_by_name("a"), t.terminal_by_name("z")
+        bare = SlewAnalyzer(t, TECH)
+        buffered = SlewAnalyzer(t, TECH, {m: REP})
+        assert buffered.sink_slew(a, z) < bare.sink_slew(a, z)
+
+    def test_repeaters_help_more_under_slew_model(self):
+        """The slew-aware relative gain of a buffered solution exceeds the
+        Elmore-only gain — repeaters regenerate edges."""
+        t = two_pin_net(length=8000.0)
+        m = t.insertion_indices()[0]
+        a, z = t.terminal_by_name("a"), t.terminal_by_name("z")
+        el_gain = ElmoreAnalyzer(t, TECH, {m: REP}).path_delay(a, z) / (
+            ElmoreAnalyzer(t, TECH).path_delay(a, z)
+        )
+        sl_gain = SlewAnalyzer(t, TECH, {m: REP}).path_delay(a, z) / (
+            SlewAnalyzer(t, TECH).path_delay(a, z)
+        )
+        assert sl_gain < el_gain  # bigger relative improvement with slew
+
+    def test_ard_reports_pair(self):
+        t = y_net()
+        value, src, snk = SlewAnalyzer(t, TECH).ard()
+        assert value > 0
+        assert src in t.terminal_indices()
+        assert snk in t.terminal_indices()
+
+    def test_endpoint_validation(self):
+        t = y_net()
+        sl = SlewAnalyzer(t, TECH)
+        with pytest.raises(ValueError):
+            sl.path_delay(t.root, t.root)
+        with pytest.raises(ValueError):
+            sl.path_delay(t.steiner_indices()[0], t.root)

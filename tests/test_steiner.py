@@ -1,0 +1,198 @@
+"""Tests for Steiner topology generation and insertion-point placement."""
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.netgen import random_points
+from repro.rctree import NodeKind
+from repro.steiner import (
+    add_insertion_points,
+    build_steiner_topology,
+    l_route_point,
+    rectilinear_mst,
+    steinerize,
+    total_length,
+)
+
+from .conftest import y_net
+
+
+def nx_mst_length(points):
+    g = nx.Graph()
+    for i, a in enumerate(points):
+        for j in range(i + 1, len(points)):
+            b = points[j]
+            g.add_edge(i, j, weight=abs(a[0] - b[0]) + abs(a[1] - b[1]))
+    t = nx.minimum_spanning_tree(g)
+    return sum(d["weight"] for _, _, d in t.edges(data=True))
+
+
+class TestMST:
+    def test_two_points(self):
+        edges = rectilinear_mst([(0, 0), (3, 4)])
+        assert edges == [(0, 1)]
+        assert total_length([(0, 0), (3, 4)], edges) == 7.0
+
+    def test_single_point(self):
+        assert rectilinear_mst([(0, 0)]) == []
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            rectilinear_mst([])
+
+    def test_is_spanning_tree(self):
+        pts = random_points(7, 15)
+        edges = rectilinear_mst(pts)
+        assert len(edges) == len(pts) - 1
+        g = nx.Graph(edges)
+        g.add_nodes_from(range(len(pts)))
+        assert nx.is_connected(g)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_networkx_weight(self, seed):
+        pts = random_points(seed, 12)
+        ours = total_length(pts, rectilinear_mst(pts))
+        assert ours == pytest.approx(nx_mst_length(pts), rel=1e-9)
+
+    def test_collinear_points(self):
+        pts = [(float(i * 10), 0.0) for i in range(6)]
+        assert total_length(pts, rectilinear_mst(pts)) == 50.0
+
+    def test_duplicate_points(self):
+        pts = [(0.0, 0.0), (0.0, 0.0), (5.0, 0.0)]
+        edges = rectilinear_mst(pts)
+        assert total_length(pts, edges) == 5.0
+
+
+class TestSteinerize:
+    def test_classic_three_point_gain(self):
+        # three corners of an L: the median point saves wirelength
+        pts = [(0.0, 0.0), (10.0, 10.0), (20.0, 0.0)]
+        mst = rectilinear_mst(pts)
+        topo = steinerize(pts, mst)
+        # optimal RSMT routes through (10, 0): total 40 vs MST 40?
+        # MST edges: (0-1) 20 + (1-2) 20 = 40; steiner tree: 10+10+10+10=40.
+        # no gain expected here; check no regression instead
+        assert topo.wirelength() <= total_length(pts, mst) + 1e-9
+
+    def test_cross_configuration_improves(self):
+        # four points in a plus; Steiner point at center wins
+        pts = [(0.0, 5.0), (10.0, 5.0), (5.0, 0.0), (5.0, 10.0)]
+        mst = rectilinear_mst(pts)
+        topo = steinerize(pts, mst)
+        assert topo.wirelength() < total_length(pts, mst) - 1e-9
+        assert topo.wirelength() == pytest.approx(20.0)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_never_worse_than_mst(self, seed):
+        pts = random_points(seed, 12)
+        mst = rectilinear_mst(pts)
+        topo = steinerize(pts, mst)
+        assert topo.wirelength() <= total_length(pts, mst) + 1e-6
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_remains_spanning_tree(self, seed):
+        pts = random_points(100 + seed, 10)
+        topo = build_steiner_topology(pts)
+        g = nx.Graph(topo.edges)
+        g.add_nodes_from(range(len(topo.points)))
+        assert nx.is_connected(g)
+        assert len(topo.edges) == len(topo.points) - 1
+        assert topo.n_terminals == len(pts)
+
+    def test_average_improvement_is_substantial(self):
+        """Greedy steinerization should recover several percent on average."""
+        gains = []
+        for seed in range(20):
+            pts = random_points(seed, 10)
+            mst_len = total_length(pts, rectilinear_mst(pts))
+            st_len = build_steiner_topology(pts).wirelength()
+            gains.append(1.0 - st_len / mst_len)
+        assert sum(gains) / len(gains) > 0.04  # > 4% average saving
+
+
+class TestLRoutePoint:
+    def test_endpoints(self):
+        assert l_route_point(0, 0, 10, 20, 0.0) == (0, 0)
+        assert l_route_point(0, 0, 10, 20, 1.0) == (10, 20)
+
+    def test_horizontal_leg(self):
+        assert l_route_point(0, 0, 10, 20, 10 / 30) == (10, 0)
+        assert l_route_point(0, 0, 10, 20, 5 / 30) == (5, 0)
+
+    def test_vertical_leg(self):
+        assert l_route_point(0, 0, 10, 20, 20 / 30) == (10, 10)
+
+    def test_degenerate(self):
+        assert l_route_point(3, 4, 3, 4, 0.5) == (3, 4)
+
+    def test_negative_direction(self):
+        x, y = l_route_point(10, 10, 0, 0, 0.25)
+        assert (x, y) == (5, 10)
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            l_route_point(0, 0, 1, 1, 1.5)
+
+
+class TestInsertionPoints:
+    def test_spacing_respected(self):
+        t = y_net()
+        t2 = add_insertion_points(t, spacing=40.0)
+        for v in range(len(t2)):
+            if t2.parent(v) is not None and t2.edge_length(v) > 0:
+                assert t2.edge_length(v) < 40.0
+
+    def test_every_positive_wire_gets_one(self):
+        t = y_net()
+        t2 = add_insertion_points(t, spacing=10_000.0)
+        # each original 100um edge is split exactly once
+        assert len(t2.insertion_indices()) == 3
+
+    def test_wirelength_preserved(self):
+        t = y_net()
+        t2 = add_insertion_points(t, spacing=33.0)
+        assert t2.total_wire_length() == pytest.approx(t.total_wire_length())
+
+    def test_terminals_preserved(self):
+        t = y_net()
+        t2 = add_insertion_points(t, spacing=50.0)
+        assert sorted(x.name for x in t2.terminals()) == ["a", "b", "c"]
+        assert t2.node(t2.root).terminal.name == "a"
+
+    def test_zero_length_edges_skipped(self):
+        from repro.rctree import TreeBuilder
+
+        from .conftest import make_terminal
+
+        b = TreeBuilder()
+        a = b.add_terminal(make_terminal("a", 0, 0))
+        m = b.add_terminal(make_terminal("m", 50, 0))
+        z = b.add_terminal(make_terminal("z", 100, 0))
+        b.connect(a, m)
+        b.connect(m, z)
+        t = b.build(root=a)  # leafification adds a zero-length pendant
+        t2 = add_insertion_points(t, spacing=30.0)
+        for v in t2.insertion_indices():
+            assert t2.edge_length(v) > 0.0
+
+    def test_invalid_spacing(self):
+        with pytest.raises(ValueError):
+            add_insertion_points(y_net(), spacing=0.0)
+
+    def test_paper_average_spacing(self):
+        """Sec. VI footnote: with an 800um cap and >=1 point per wire, the
+        realized average spacing falls well below the cap (paper: ~450um)."""
+        from repro.netgen import paper_instance
+
+        lengths = []
+        for seed in range(5):
+            t = paper_instance(seed, 10)
+            lengths.extend(
+                t.edge_length(v) for v in range(len(t)) if t.edge_length(v) > 0
+            )
+        avg = sum(lengths) / len(lengths)
+        assert 200.0 < avg < 800.0

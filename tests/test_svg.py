@@ -1,0 +1,71 @@
+"""Tests for SVG rendering."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analysis.svg import render_svg, save_svg
+from repro.core.msri import MSRIOptions, insert_repeaters
+from repro.tech import Buffer, Repeater, RepeaterLibrary, Technology
+
+from .conftest import two_pin_net, y_net
+
+TECH = Technology(0.1, 0.01)
+REP = Repeater.from_buffer_pair(Buffer("b", 20.0, 50.0, 0.25), name="rep<&>")
+
+
+def parse(svg):
+    return ET.fromstring(svg)
+
+
+class TestRenderSvg:
+    def test_well_formed_xml(self):
+        root = parse(render_svg(y_net()))
+        assert root.tag.endswith("svg")
+
+    def test_terminal_labels_present(self):
+        svg = render_svg(y_net())
+        for name in ("a", "b", "c"):
+            assert f">{name}</text>" in svg
+
+    def test_wire_count(self):
+        root = parse(render_svg(y_net()))
+        ns = "{http://www.w3.org/2000/svg}"
+        paths = root.findall(f"{ns}path")
+        assert len(paths) == len(y_net()) - 1  # one per edge
+
+    def test_repeater_marker_and_escaping(self):
+        t = two_pin_net(length=4000.0)
+        m = t.insertion_indices()[0]
+        svg = render_svg(t, {m: REP})
+        root = parse(svg)  # must stay well-formed despite <&> in the name
+        ns = "{http://www.w3.org/2000/svg}"
+        rects = [r for r in root.iter(f"{ns}rect")]
+        assert len(rects) >= 2  # background + repeater
+        assert "rep&lt;&amp;&gt;" in svg
+
+    def test_title_escaped(self):
+        svg = render_svg(y_net(), title="a <net> & more")
+        parse(svg)
+        assert "a &lt;net&gt; &amp; more" in svg
+
+    def test_custom_dimensions(self):
+        root = parse(render_svg(y_net(), width=200, height=100))
+        assert root.get("width") == "200"
+        assert root.get("height") == "100"
+
+    def test_save_svg(self, tmp_path):
+        path = save_svg(y_net(), str(tmp_path / "net.svg"))
+        root = ET.parse(path).getroot()
+        assert root.tag.endswith("svg")
+
+    def test_optimized_solution_renders(self):
+        t = two_pin_net(length=4000.0)
+        res = insert_repeaters(t, TECH, MSRIOptions(library=RepeaterLibrary(
+            [Repeater.from_buffer_pair(Buffer("b", 20.0, 50.0, 0.25), name="rep")]
+        )))
+        best = res.min_ard()
+        reps = {k: v for k, v in best.assignment().items()
+                if isinstance(v, Repeater)}
+        svg = render_svg(t, reps, title=f"ARD {best.ard:.0f} ps")
+        parse(svg)

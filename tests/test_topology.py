@@ -1,0 +1,234 @@
+"""Tests for the routing-tree data structure and the builder normalizations."""
+
+import pytest
+
+from repro.rctree import Node, NodeKind, RoutingTree, TreeBuilder, manhattan
+from repro.tech import Terminal
+
+from .conftest import make_terminal, two_pin_net, y_net
+
+
+class TestManhattan:
+    def test_basic(self):
+        assert manhattan(0, 0, 3, 4) == 7.0
+
+    def test_zero(self):
+        assert manhattan(1, 2, 1, 2) == 0.0
+
+
+class TestBuilder:
+    def test_y_net_shape(self):
+        t = y_net()
+        assert len(t) == 4
+        assert len(t.terminal_indices()) == 3
+        assert len(t.steiner_indices()) == 1
+        assert t.node(t.root).terminal.name == "a"
+        assert t.total_wire_length() == 300.0
+
+    def test_default_manhattan_lengths(self):
+        t = y_net()
+        s = t.steiner_indices()[0]
+        for child in t.children(s):
+            assert t.edge_length(child) == 100.0
+
+    def test_explicit_length_override(self):
+        b = TreeBuilder()
+        a = b.add_terminal(make_terminal("a", 0, 0))
+        z = b.add_terminal(make_terminal("z", 100, 0))
+        b.connect(a, z, length=250.0)  # detoured route
+        t = b.build(root=a)
+        assert t.total_wire_length() == 250.0
+
+    def test_leafification_of_through_terminal(self):
+        # terminal m lies on the a--z path: it must be split into a pendant
+        b = TreeBuilder()
+        a = b.add_terminal(make_terminal("a", 0, 0))
+        m = b.add_terminal(make_terminal("m", 50, 0))
+        z = b.add_terminal(make_terminal("z", 100, 0))
+        b.connect(a, m)
+        b.connect(m, z)
+        t = b.build(root=a)
+        m_idx = t.terminal_by_name("m")
+        assert t.is_leaf(m_idx)
+        assert t.edge_length(m_idx) == 0.0
+        assert len(t.terminal_indices()) == 3
+        # the split point became a Steiner node
+        assert len(t.steiner_indices()) == 1
+
+    def test_leafification_of_root_terminal(self):
+        b = TreeBuilder()
+        m = b.add_terminal(make_terminal("m", 50, 0))
+        a = b.add_terminal(make_terminal("a", 0, 0))
+        z = b.add_terminal(make_terminal("z", 100, 0))
+        b.connect(a, m)
+        b.connect(m, z)
+        t = b.build(root=m)
+        assert t.node(t.root).terminal.name == "m"
+        assert len(t.children(t.root)) == 1
+        assert t.edge_length(t.children(t.root)[0]) == 0.0
+
+    def test_root_must_be_terminal(self):
+        b = TreeBuilder()
+        a = b.add_terminal(make_terminal("a", 0, 0))
+        s = b.add_steiner(10, 0)
+        b.connect(a, s)
+        with pytest.raises(ValueError, match="root must be a terminal"):
+            b.build(root=s)
+
+    def test_rejects_disconnected(self):
+        b = TreeBuilder()
+        a = b.add_terminal(make_terminal("a", 0, 0))
+        b.add_terminal(make_terminal("z", 100, 0))
+        with pytest.raises(ValueError):
+            b.build(root=a)
+
+    def test_rejects_cycle(self):
+        b = TreeBuilder()
+        a = b.add_terminal(make_terminal("a", 0, 0))
+        s1 = b.add_steiner(10, 0)
+        s2 = b.add_steiner(20, 0)
+        s3 = b.add_steiner(10, 10)
+        b.connect(a, s1)
+        b.connect(s1, s2)
+        b.connect(s2, s3)
+        b.connect(s3, s1)
+        with pytest.raises(ValueError):
+            b.build(root=a)
+
+    def test_rejects_self_loop(self):
+        b = TreeBuilder()
+        a = b.add_terminal(make_terminal("a", 0, 0))
+        with pytest.raises(ValueError, match="self-loop"):
+            b.connect(a, a)
+
+    def test_rejects_negative_length(self):
+        b = TreeBuilder()
+        a = b.add_terminal(make_terminal("a", 0, 0))
+        z = b.add_terminal(make_terminal("z", 100, 0))
+        with pytest.raises(ValueError):
+            b.connect(a, z, length=-1.0)
+
+
+class TestTreeInvariants:
+    def test_node_index_mismatch(self):
+        n = Node(0, 0, 0, NodeKind.STEINER)
+        with pytest.raises(ValueError):
+            RoutingTree([Node(1, 0, 0, NodeKind.STEINER)], [None], [0.0])
+        del n
+
+    def test_insertion_point_degree_enforced(self):
+        # a dangling insertion point (degree 1) must be rejected
+        term = make_terminal("a", 0, 0)
+        nodes = [
+            Node(0, 0, 0, NodeKind.TERMINAL, term),
+            Node(1, 10, 0, NodeKind.INSERTION),
+        ]
+        with pytest.raises(ValueError, match="degree two"):
+            RoutingTree(nodes, [None, 0], [0.0, 10.0])
+
+    def test_terminal_payload_required(self):
+        with pytest.raises(ValueError):
+            Node(0, 0, 0, NodeKind.TERMINAL, None)
+        with pytest.raises(ValueError):
+            Node(0, 0, 0, NodeKind.STEINER, make_terminal("a", 0, 0))
+
+    def test_dangling_steiner_rejected(self):
+        term = make_terminal("a", 0, 0)
+        nodes = [
+            Node(0, 0, 0, NodeKind.TERMINAL, term),
+            Node(1, 10, 0, NodeKind.STEINER),
+        ]
+        with pytest.raises(ValueError, match="dangling"):
+            RoutingTree(nodes, [None, 0], [0.0, 10.0])
+
+
+class TestTraversal:
+    def test_postorder_children_first(self):
+        t = y_net()
+        seen = set()
+        for v in t.dfs_postorder():
+            for c in t.children(v):
+                assert c in seen
+            seen.add(v)
+        assert len(seen) == len(t)
+
+    def test_preorder_parent_first(self):
+        t = y_net()
+        seen = set()
+        for v in t.dfs_preorder():
+            p = t.parent(v)
+            assert p is None or p in seen
+            seen.add(v)
+
+    def test_path_between_siblings(self):
+        t = y_net()
+        b = t.terminal_by_name("b")
+        c = t.terminal_by_name("c")
+        s = t.steiner_indices()[0]
+        assert t.path_between(b, c) == [b, s, c]
+
+    def test_path_between_root_and_leaf(self):
+        t = y_net()
+        a = t.terminal_by_name("a")
+        b = t.terminal_by_name("b")
+        s = t.steiner_indices()[0]
+        assert t.path_between(a, b) == [a, s, b]
+        assert t.path_between(b, a) == [b, s, a]
+
+    def test_path_to_self(self):
+        t = y_net()
+        a = t.terminal_by_name("a")
+        assert t.path_between(a, a) == [a]
+
+    def test_depth(self):
+        t = y_net()
+        assert t.depth(t.root) == 0
+        assert t.depth(t.terminal_by_name("b")) == 2
+
+
+class TestQueries:
+    def test_neighbors_and_degree(self):
+        t = y_net()
+        s = t.steiner_indices()[0]
+        assert t.degree(s) == 3
+        assert set(t.neighbors(s)) == {
+            t.root,
+            t.terminal_by_name("b"),
+            t.terminal_by_name("c"),
+        }
+
+    def test_terminal_by_name_missing(self):
+        t = y_net()
+        with pytest.raises(KeyError):
+            t.terminal_by_name("nope")
+
+    def test_insertion_indices(self):
+        t = two_pin_net()
+        assert len(t.insertion_indices()) == 1
+
+    def test_bounding_box(self):
+        t = y_net()
+        assert t.bounding_box() == (0.0, 0.0, 200.0, 100.0)
+
+
+class TestReroot:
+    def test_reroot_preserves_structure(self):
+        t = y_net()
+        b = t.terminal_by_name("b")
+        t2 = t.rerooted(b)
+        assert t2.root == b
+        assert t2.total_wire_length() == t.total_wire_length()
+        assert sorted(t2.terminal_indices()) == sorted(t.terminal_indices())
+
+    def test_reroot_roundtrip(self):
+        t = y_net()
+        b = t.terminal_by_name("b")
+        t2 = t.rerooted(b).rerooted(t.root)
+        for i in range(len(t)):
+            assert t2.parent(i) == t.parent(i)
+            assert t2.edge_length(i) == t.edge_length(i)
+
+    def test_reroot_invalid(self):
+        t = y_net()
+        with pytest.raises(ValueError):
+            t.rerooted(99)

@@ -1,0 +1,72 @@
+"""Tests for the process-variation Monte-Carlo analysis."""
+
+import pytest
+
+from repro.analysis.variation import VariationModel, VariationResult, monte_carlo_ard
+from repro.tech import Buffer, Repeater, Technology
+
+from .conftest import two_pin_net, y_net
+
+TECH = Technology(0.1, 0.01, name="test")
+REP = Repeater.from_buffer_pair(Buffer("b", 20.0, 50.0, 0.25), name="rep")
+
+
+class TestModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VariationModel(wire_resistance_spread=-0.1)
+
+    def test_zero_spread_is_deterministic(self):
+        zero = VariationModel(0.0, 0.0, 0.0, 0.0)
+        res = monte_carlo_ard(y_net(), TECH, model=zero, samples=10)
+        assert res.std == pytest.approx(0.0)
+        assert res.mean == pytest.approx(res.nominal)
+
+
+class TestSampling:
+    def test_deterministic_seed(self):
+        a = monte_carlo_ard(y_net(), TECH, samples=20, seed=7)
+        b = monte_carlo_ard(y_net(), TECH, samples=20, seed=7)
+        assert a.samples == b.samples
+
+    def test_different_seed_differs(self):
+        a = monte_carlo_ard(y_net(), TECH, samples=20, seed=7)
+        b = monte_carlo_ard(y_net(), TECH, samples=20, seed=8)
+        assert a.samples != b.samples
+
+    def test_statistics_consistent(self):
+        res = monte_carlo_ard(y_net(), TECH, samples=50)
+        assert min(res.samples) <= res.mean <= max(res.samples)
+        assert res.p95 <= res.worst
+        assert res.worst == max(res.samples)
+        assert 0.0 < res.relative_spread < 0.5
+
+    def test_sample_count_validation(self):
+        with pytest.raises(ValueError):
+            monte_carlo_ard(y_net(), TECH, samples=0)
+
+    def test_single_sample(self):
+        res = monte_carlo_ard(y_net(), TECH, samples=1)
+        assert res.std == 0.0
+
+
+class TestSolutionsUnderVariation:
+    def test_buffered_stays_better_across_corners(self):
+        """The decisive robustness check: the buffered solution beats the
+        unbuffered net not just nominally but in every sampled corner
+        (same seed = same corners)."""
+        t = two_pin_net(length=8000.0)
+        m = t.insertion_indices()[0]
+        unbuf = monte_carlo_ard(t, TECH, samples=60, seed=3)
+        buf = monte_carlo_ard(t, TECH, {m: REP}, samples=60, seed=3)
+        assert buf.nominal < unbuf.nominal
+        assert all(b < u for b, u in zip(buf.samples, unbuf.samples))
+
+    def test_assignment_parameters_are_perturbed(self):
+        """With only device spread, a buffered net must still show spread
+        (the repeater's own parameters vary)."""
+        t = two_pin_net(length=8000.0)
+        m = t.insertion_indices()[0]
+        model = VariationModel(0.0, 0.0, 0.3, 0.0)
+        res = monte_carlo_ard(t, TECH, {m: REP}, model=model, samples=30)
+        assert res.std > 0.0
