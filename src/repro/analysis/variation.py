@@ -111,7 +111,7 @@ def monte_carlo_ard(
 
 
 def _factor(rng, spread: float) -> float:
-    if spread == 0.0:
+    if spread == 0.0:  # repro: noqa[R001] exact zero is the "disabled" sentinel, validated non-negative
         return 1.0
     return float(np.exp(rng.normal(0.0, spread / 3.0)))
 

@@ -1,0 +1,39 @@
+"""Repo-specific correctness tooling: static analysis + runtime contracts.
+
+The reproduction's correctness rests on two disciplines nothing in stock
+Python enforces:
+
+* **physical-unit discipline** — the library computes in Ω, pF, ps and µm
+  with the identity Ω · pF = ps (see :mod:`repro.tech.parameters`); adding a
+  resistance to a delay is meaningless but type-checks fine;
+* **dynamic-programming invariants** the paper proves — non-negative Eq. 1/2
+  subtree capacitances, Pareto non-domination of pruned ``Solution`` sets
+  (Sec. IV-D), and well-formed PWL segment lists (Sec. IV-C).
+
+This package supplies both layers:
+
+* :mod:`repro.check.engine` + :mod:`repro.check.rules` — an AST lint engine
+  with rules R001–R006 (float equality on physical quantities, set
+  iteration in DP paths, control-flow ``assert``, mutable defaults,
+  ``Technology`` mutation, dimensional analysis).  Run it with the
+  ``repro-lint`` console script or ``repro-msri lint``.  Findings can be
+  suppressed per line with ``# repro: noqa[Rxxx] reason``.
+* :mod:`repro.check.contracts` — opt-in runtime invariant checks, enabled
+  with ``REPRO_CHECK=1`` in the environment, asserting paper-level
+  invariants at pass boundaries of the ARD/MSRI core.
+
+See ``docs/STATIC_ANALYSIS.md`` for the full rule catalogue.
+"""
+
+from .contracts import ContractViolation, checking, contracts_enabled, set_enabled
+from .engine import Finding, LintEngine, Rule
+
+__all__ = [
+    "ContractViolation",
+    "Finding",
+    "LintEngine",
+    "Rule",
+    "checking",
+    "contracts_enabled",
+    "set_enabled",
+]

@@ -1,0 +1,96 @@
+"""``repro-lint`` — command-line front end for the lint engine.
+
+Usage::
+
+    repro-lint src/                      # lint a tree, text output
+    repro-lint --format json src tests   # machine-readable findings
+    repro-lint --select R001,R006 src    # run a subset of rules
+    repro-lint --list-rules              # print the catalogue
+
+Exit status is 0 when no unsuppressed findings remain, 1 otherwise — the
+CI gate runs ``repro-lint src/`` and fails the build on any finding.
+The same functionality is reachable as ``repro-msri lint ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .engine import Finding, LintEngine, render_json, render_text
+from .rules import DEFAULT_RULES, rules_by_id
+
+__all__ = ["main", "build_parser", "run_lint"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Repo-specific static analysis for the Lillis & Cheng "
+        "reproduction (rules R001-R006; suppress per line with "
+        "'# repro: noqa[Rxxx] reason')",
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="files or directories to lint (recursively)"
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        help="comma-separated rule ids to run (default: all rules)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    return parser
+
+
+def run_lint(
+    paths: Sequence[str],
+    *,
+    fmt: str = "text",
+    select: Optional[str] = None,
+    out=None,
+) -> int:
+    """Lint ``paths`` and print findings; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    rules: Sequence = DEFAULT_RULES
+    if select:
+        catalogue = rules_by_id()
+        wanted = [rule_id.strip() for rule_id in select.split(",") if rule_id.strip()]
+        unknown = [rule_id for rule_id in wanted if rule_id not in catalogue]
+        if unknown:
+            print(f"unknown rule id(s): {', '.join(unknown)}", file=sys.stderr)
+            return 2
+        rules = [catalogue[rule_id] for rule_id in wanted]
+    engine = LintEngine(rules)
+    try:
+        findings: List[Finding] = engine.lint_paths(paths)
+    except OSError as exc:
+        print(f"cannot lint {exc.filename or paths}: {exc.strerror}", file=sys.stderr)
+        return 2
+    if fmt == "json":
+        print(render_json(findings), file=out)
+    else:
+        print(render_text(findings), file=out)
+    return 1 if findings else 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in DEFAULT_RULES:
+            print(f"{rule.rule_id} [{rule.severity}] {rule.description}")
+        return 0
+    if not args.paths:
+        build_parser().error("no paths given (or use --list-rules)")
+    return run_lint(args.paths, fmt=args.format, select=args.select)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,198 @@
+"""Opt-in runtime contracts asserting paper-level invariants.
+
+Set ``REPRO_CHECK=1`` in the environment (or call :func:`set_enabled` /
+use the :func:`checking` context manager in tests) and the ARD/MSRI core
+verifies, at its pass boundaries:
+
+* **non-negative capacitances** after the Eq. 1/2 passes of the Elmore
+  engine (every subtree load and every external load);
+* **PWL well-formedness** on construction — segments sorted, domains
+  monotone and non-overlapping, coefficients finite (Sec. IV-C);
+* **Pareto non-domination** after every minimal-functional-subset prune:
+  no surviving solution is strictly dominated anywhere on its remaining
+  domain (Definition 4.3), and the root (cost, ARD) front is strictly
+  monotone;
+* **A/D/Z consistency**: on small trees the linear-time Fig. 2 ARD equals
+  the O(n²) brute-force pairwise maximum, and the reported critical pair
+  reproduces the reported value.
+
+Contracts raise :class:`ContractViolation` (a ``RuntimeError`` — never a
+bare ``assert``, so ``python -O`` cannot strip them).  All checks are
+no-ops unless enabled; the hooks in the core cost one predicate call.
+
+This module must stay import-light: the core imports it at module load,
+so any ``repro.core`` imports happen lazily inside the verifiers.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional, Sequence
+
+__all__ = [
+    "ContractViolation",
+    "contracts_enabled",
+    "set_enabled",
+    "checking",
+    "verify_pwl",
+    "verify_nonnegative_caps",
+    "verify_pareto",
+    "verify_root_front",
+    "verify_ard_consistency",
+]
+
+_ENV_VAR = "REPRO_CHECK"
+
+
+class ContractViolation(RuntimeError):
+    """A paper-level invariant failed at a pass boundary."""
+
+
+def _env_enabled() -> bool:
+    return os.environ.get(_ENV_VAR, "").strip().lower() not in ("", "0", "false", "off")
+
+
+_enabled = _env_enabled()
+
+
+def contracts_enabled() -> bool:
+    """True when runtime invariant checking is active."""
+    return _enabled
+
+
+def set_enabled(flag: Optional[bool]) -> None:
+    """Force contracts on/off; ``None`` re-reads the REPRO_CHECK env var."""
+    global _enabled
+    _enabled = _env_enabled() if flag is None else bool(flag)
+
+
+@contextmanager
+def checking(flag: bool = True) -> Iterator[None]:
+    """Temporarily enable (or disable) contracts — for tests."""
+    global _enabled
+    prev = _enabled
+    _enabled = bool(flag)
+    try:
+        yield
+    finally:
+        _enabled = prev
+
+
+# -- individual verifiers -----------------------------------------------------
+#
+# Each verifier is callable unconditionally (tests drive them directly with
+# injected violations); the core calls them behind contracts_enabled().
+
+
+def verify_pwl(pwl, *, context: str = "") -> None:
+    """Segment list is sorted, non-overlapping, with finite coefficients."""
+    from ..core.intervals import ATOL
+
+    prev = None
+    for seg in pwl.segments:
+        if seg.lo > seg.hi:
+            raise ContractViolation(
+                f"{context or 'PWL'}: empty segment domain [{seg.lo}, {seg.hi}]"
+            )
+        if not all(
+            math.isfinite(v) for v in (seg.lo, seg.hi, seg.intercept, seg.slope)
+        ):
+            raise ContractViolation(
+                f"{context or 'PWL'}: non-finite segment {seg!r}"
+            )
+        if prev is not None and seg.lo < prev.hi - ATOL:
+            raise ContractViolation(
+                f"{context or 'PWL'}: segments out of order or overlapping: "
+                f"{prev!r} then {seg!r}"
+            )
+        prev = seg
+
+
+def verify_nonnegative_caps(analyzer, *, atol: float = 1e-9) -> None:
+    """Every Eq. 1 subtree load and Eq. 2 external load is >= 0."""
+    tree = analyzer.tree
+    for v in range(len(tree)):
+        down = analyzer.downstream_cap(v)
+        if down < -atol:
+            raise ContractViolation(
+                f"Eq. 1 violation: downstream capacitance of node {v} is "
+                f"{down} pF (negative)"
+            )
+        if tree.parent(v) is not None:
+            up = analyzer.upstream_cap(v)
+            if up < -atol:
+                raise ContractViolation(
+                    f"Eq. 2 violation: upstream capacitance at node {v} is "
+                    f"{up} pF (negative)"
+                )
+
+
+def verify_pareto(
+    solutions: Sequence, *, limit: int = 150, measure_atol: float = 1e-9
+) -> None:
+    """No solution is strictly dominated anywhere on its surviving domain.
+
+    Re-runs the strict pruning predicate pairwise (Definition 4.3): a
+    violation means MFS pruning let a dominated region survive.  To bound
+    the O(n²) cost on huge sets only the first ``limit`` solutions (in the
+    pruner's own tie-break order) are cross-checked.
+    """
+    from ..core.mfs import prune_one
+
+    sols = list(solutions)[:limit]
+    for i, s in enumerate(sols):
+        for j, by in enumerate(sols):
+            if i == j:
+                continue
+            survivor = prune_one(s, by, strict=True)
+            if survivor is s:
+                continue
+            lost = s.domain.measure - (
+                0.0 if survivor is None else survivor.domain.measure
+            )
+            if survivor is None or lost > measure_atol:
+                raise ContractViolation(
+                    f"Pareto violation after pruning: solution uid={s.uid} "
+                    f"({s.describe()}) is strictly dominated by uid={by.uid} "
+                    f"({by.describe()}) on a region of measure {lost:g}"
+                )
+
+
+def verify_root_front(roots: Sequence, *, atol: float = 1e-9) -> None:
+    """Root suite is strictly increasing in cost, strictly decreasing in ARD."""
+    for a, b in zip(roots, roots[1:]):
+        if b.cost <= a.cost + atol or b.ard >= a.ard - atol:
+            raise ContractViolation(
+                f"root front not strictly monotone: (cost={a.cost}, "
+                f"ard={a.ard}) followed by (cost={b.cost}, ard={b.ard})"
+            )
+
+
+def verify_ard_consistency(
+    result, analyzer, *, max_terminals: int = 12, atol: float = 1e-6
+) -> None:
+    """Fig. 2 linear-time A/D/Z agrees with brute force on small trees.
+
+    Skipped (returns silently) above ``max_terminals`` — the brute force is
+    O(n²) path walks and the contract is meant as a spot check, not a tax.
+    """
+    terminals = analyzer.tree.terminal_indices()
+    if len(terminals) > max_terminals:
+        return
+    brute = analyzer.ard_bruteforce()
+    scale = max(1.0, abs(brute)) if math.isfinite(brute) else 1.0
+    both_undefined = not math.isfinite(result.value) and not math.isfinite(brute)
+    if not both_undefined and abs(result.value - brute) > atol * scale:
+        raise ContractViolation(
+            f"ARD inconsistency: Fig. 2 three-pass gives {result.value}, "
+            f"brute-force pairwise maximum gives {brute}"
+        )
+    if result.is_finite and result.source is not None and result.sink is not None:
+        via_pair = analyzer.augmented_delay(result.source, result.sink)
+        if abs(via_pair - result.value) > atol * scale:
+            raise ContractViolation(
+                f"critical pair ({result.source}, {result.sink}) reproduces "
+                f"{via_pair}, not the reported ARD {result.value}"
+            )

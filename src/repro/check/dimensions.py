@@ -1,0 +1,220 @@
+"""Physical-dimension vocabulary shared by lint rules R001 and R006.
+
+Units follow :mod:`repro.tech.parameters`: resistance in Ω, capacitance in
+pF, delay in ps (because Ω · pF = ps), distance in µm.  A dimension is a
+vector of integer exponents over the three independent axes ``(Ω, pF, µm)``
+— picoseconds are the derived dimension ``(1, 1, 0)``.
+
+Inference is deliberately *name-based and conservative*: an expression gets
+a dimension only when its terminal identifier (variable name, attribute
+name, or called method name) appears in the declarations tables below,
+which were curated from the actual vocabulary of ``core/``, ``rctree/``,
+``steiner/`` and ``tech/``.  Anything unknown stays a wildcard and can
+never trigger a finding, so the dimensional rule errs toward silence
+rather than noise.  Numeric literals are wildcards too: ``0.5 * cap`` is a
+scalar multiple of a capacitance, not a dimension clash.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Optional, Tuple
+
+__all__ = [
+    "Dim",
+    "OHM",
+    "PF",
+    "PS",
+    "UM",
+    "DIMENSIONLESS",
+    "NAME_DIMS",
+    "CALL_DIMS",
+    "SENTINEL_NAMES",
+    "dim_of",
+    "format_dim",
+]
+
+#: Exponent vector over the independent axes (Ω, pF, µm).
+Dim = Tuple[int, int, int]
+
+OHM: Dim = (1, 0, 0)
+PF: Dim = (0, 1, 0)
+PS: Dim = (1, 1, 0)  # Ω · pF
+UM: Dim = (0, 0, 1)
+DIMENSIONLESS: Dim = (0, 0, 0)
+OHM_PER_UM: Dim = (1, 0, -1)
+PF_PER_UM: Dim = (0, 1, -1)
+
+#: Identifiers (variable or attribute names) with a declared dimension.
+#: Ambiguous names used for several quantities in the codebase (``x``,
+#: ``y``, ``lo``, ``hi``, ``best`` …) are deliberately absent.
+NAME_DIMS: Dict[str, Dim] = {
+    # resistances (Ω)
+    "resistance": OHM,
+    "r": OHM,
+    "r_ab": OHM,
+    "r_ba": OHM,
+    "r_root": OHM,
+    "output_resistance": OHM,
+    "prev_stage_resistance": OHM,
+    "wire_res": OHM,
+    "_wire_res": OHM,
+    "slope": OHM,
+    "ds": OHM,  # slope difference in the PWL helpers
+    # capacitances (pF)
+    "capacitance": PF,
+    "cap": PF,
+    "c": PF,
+    "c_a": PF,
+    "c_b": PF,
+    "c_e": PF,
+    "c_max": PF,
+    "c_root": PF,
+    "load": PF,
+    "load_pf": PF,
+    "pins": PF,
+    "input_capacitance": PF,
+    "net_capacitance": PF,
+    "next_stage_capacitance": PF,
+    "wire_cap": PF,
+    "_wire_cap": PF,
+    "_down": PF,
+    "_up": PF,
+    # delays / times (ps)
+    "delay": PS,
+    "ard": PS,
+    "arrival": PS,
+    "arrival_time": PS,
+    "arrival_penalty": PS,
+    "required": PS,
+    "diameter": PS,
+    "intrinsic": PS,
+    "intrinsic_delay": PS,
+    "downstream_delay": PS,
+    "sink_delay_extra": PS,
+    "d_ab": PS,
+    "d_ba": PS,
+    "d_root": PS,
+    "alpha": PS,
+    "beta": PS,
+    "q": PS,
+    "intercept": PS,
+    "spec": PS,
+    # distances (µm)
+    "length": UM,
+    "length_um": UM,
+    "spacing": UM,
+    "wirelength": UM,
+    # per-length technology constants
+    "unit_resistance": OHM_PER_UM,
+    "unit_capacitance": PF_PER_UM,
+}
+
+#: Called method/function names whose return value has a known dimension.
+CALL_DIMS: Dict[str, Dim] = {
+    "wire_delay": PS,
+    "path_delay": PS,
+    "driver_delay": PS,
+    "augmented_delay": PS,
+    "repeater_delay_through": PS,
+    "ard_bruteforce": PS,
+    "evaluate": PS,  # PWL arrival/diameter functions return ps
+    "evaluate_or": PS,
+    "value": PS,  # Segment.value
+    "wire_resistance": OHM,
+    "wire_capacitance": PF,
+    "cap_into": PF,
+    "downstream_cap": PF,
+    "upstream_cap": PF,
+    "node_view": PF,
+    "driver_load": PF,
+    "total_capacitance": PF,
+    "edge_length": UM,
+    "total_wire_length": UM,
+}
+
+#: Names that act as sentinels (±inf markers); float equality against them
+#: is exact by construction and exempt from R001.
+SENTINEL_NAMES: FrozenSet[str] = frozenset({"NEVER", "inf", "nan", "INF", "NAN"})
+
+
+def _terminal_identifier(node: ast.AST) -> Optional[str]:
+    """The rightmost identifier of a Name/Attribute chain, else None."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _add(a: Dim, b: Dim) -> Dim:
+    return (a[0] + b[0], a[1] + b[1], a[2] + b[2])
+
+
+def _sub(a: Dim, b: Dim) -> Dim:
+    return (a[0] - b[0], a[1] - b[1], a[2] - b[2])
+
+
+def dim_of(node: ast.AST) -> Optional[Dim]:
+    """Infer the physical dimension of an expression, or None (wildcard).
+
+    The inference understands the arithmetic the Elmore/PWL code actually
+    performs: products and quotients combine exponent vectors (a numeric
+    literal is a pure scalar), sums/differences propagate whichever operand
+    dimension is known, and subscripting a dimensioned container (e.g. the
+    per-edge ``_wire_cap`` list) yields the element dimension.
+    """
+    if isinstance(node, (ast.Name, ast.Attribute)):
+        ident = _terminal_identifier(node)
+        return NAME_DIMS.get(ident) if ident is not None else None
+    if isinstance(node, ast.Call):
+        ident = _terminal_identifier(node.func)
+        return CALL_DIMS.get(ident) if ident is not None else None
+    if isinstance(node, ast.Subscript):
+        return dim_of(node.value)
+    if isinstance(node, ast.UnaryOp):
+        return dim_of(node.operand)
+    if isinstance(node, ast.IfExp):
+        body, orelse = dim_of(node.body), dim_of(node.orelse)
+        if body is not None and orelse is not None and body != orelse:
+            return None  # ambiguous conditional; stay silent
+        return body if body is not None else orelse
+    if isinstance(node, ast.BinOp):
+        left, right = dim_of(node.left), dim_of(node.right)
+        if isinstance(node.op, ast.Mult):
+            if left is not None and right is not None:
+                return _add(left, right)
+            if left is not None and isinstance(node.right, ast.Constant):
+                return left
+            if right is not None and isinstance(node.left, ast.Constant):
+                return right
+            return None
+        if isinstance(node.op, ast.Div):
+            if left is not None and right is not None:
+                return _sub(left, right)
+            if left is not None and isinstance(node.right, ast.Constant):
+                return left
+            return None
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            # mismatches are reported by R006; for inference purposes the
+            # sum carries whichever side is known (left wins on conflict)
+            return left if left is not None else right
+    return None
+
+
+_AXIS_SYMBOLS = ("Ω", "pF", "µm")
+_NAMED = {OHM: "Ω", PF: "pF", PS: "ps", UM: "µm",
+          OHM_PER_UM: "Ω/µm", PF_PER_UM: "pF/µm", DIMENSIONLESS: "1"}
+
+
+def format_dim(dim: Dim) -> str:
+    """Human-readable rendering: ``ps``, ``Ω``, or a composed monomial."""
+    if dim in _NAMED:
+        return _NAMED[dim]
+    parts = []
+    for exponent, symbol in zip(dim, _AXIS_SYMBOLS):
+        if exponent == 1:
+            parts.append(symbol)
+        elif exponent != 0:
+            parts.append(f"{symbol}^{exponent}")
+    return "·".join(parts) if parts else "1"

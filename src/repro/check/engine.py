@@ -1,0 +1,193 @@
+"""Visitor-based AST lint engine with per-line ``noqa`` suppressions.
+
+The engine parses each Python file once, hands the tree to every registered
+:class:`Rule`, filters findings through the suppression comments collected
+from the token stream, and renders the survivors as text or JSON.
+
+Suppression syntax (checked by rule id, with an optional trailing reason)::
+
+    if spread == 0.0:  # repro: noqa[R001] exact zero is the disabled sentinel
+    x = {1, 2}         # repro: noqa[R002,R006] fixture exercises both rules
+
+A bare ``# repro: noqa`` (no bracket) suppresses every rule on that line.
+Suppressions attach to the physical line the finding is reported on.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["Finding", "FileContext", "Rule", "LintEngine", "render_text", "render_json"]
+
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([A-Za-z0-9_,\s]+)\])?")
+
+#: Sentinel stored in the suppression map for a bare ``# repro: noqa``.
+_ALL_RULES = "*"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint diagnostic, pinned to a file position."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    severity: str  # "error" | "warning"
+    message: str
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} [{self.severity}] {self.message}"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs about one file: source, AST, suppressions."""
+
+    path: str
+    source: str
+    tree: ast.AST
+    suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+
+    def suppressed(self, line: int, rule_id: str) -> bool:
+        rules = self.suppressions.get(line)
+        if not rules:
+            return False
+        return _ALL_RULES in rules or rule_id in rules
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``rule_id`` / ``severity`` / ``description`` and
+    implement :meth:`check`, yielding :class:`Finding` objects.  The helper
+    :meth:`finding` fills in the boilerplate fields.
+    """
+
+    rule_id: str = "R000"
+    severity: str = "error"
+    description: str = ""
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=ctx.path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            rule_id=self.rule_id,
+            severity=self.severity,
+            message=message,
+        )
+
+
+def _parse_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map physical line number -> set of suppressed rule ids."""
+    out: Dict[int, Set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            m = _NOQA_RE.search(tok.string)
+            if m is None:
+                continue
+            line = tok.start[0]
+            if m.group(1) is None:
+                out.setdefault(line, set()).add(_ALL_RULES)
+            else:
+                for rule_id in m.group(1).split(","):
+                    rule_id = rule_id.strip()
+                    if rule_id:
+                        out.setdefault(line, set()).add(rule_id)
+    except tokenize.TokenError:
+        pass  # syntax problems surface via ast.parse instead
+    return out
+
+
+class LintEngine:
+    """Run a set of rules over sources, files, or directory trees."""
+
+    def __init__(self, rules: Optional[Sequence[Rule]] = None):
+        if rules is None:
+            from .rules import DEFAULT_RULES
+
+            rules = DEFAULT_RULES
+        self.rules: Tuple[Rule, ...] = tuple(rules)
+
+    def lint_source(self, source: str, path: str = "<string>") -> List[Finding]:
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            return [
+                Finding(
+                    path=path,
+                    line=exc.lineno or 0,
+                    col=exc.offset or 0,
+                    rule_id="E999",
+                    severity="error",
+                    message=f"syntax error: {exc.msg}",
+                )
+            ]
+        ctx = FileContext(
+            path=path,
+            source=source,
+            tree=tree,
+            suppressions=_parse_suppressions(source),
+        )
+        findings: List[Finding] = []
+        for rule in self.rules:
+            for f in rule.check(ctx):
+                if not ctx.suppressed(f.line, f.rule_id):
+                    findings.append(f)
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+        return findings
+
+    def lint_file(self, path: str) -> List[Finding]:
+        with open(path, encoding="utf-8") as fh:
+            return self.lint_source(fh.read(), path=str(path))
+
+    def lint_paths(self, paths: Iterable[str]) -> List[Finding]:
+        """Lint files and (recursively) directories of ``*.py`` files."""
+        findings: List[Finding] = []
+        for path in paths:
+            p = Path(path)
+            if p.is_dir():
+                for f in sorted(p.rglob("*.py")):
+                    findings.extend(self.lint_file(str(f)))
+            else:
+                findings.extend(self.lint_file(str(p)))
+        return findings
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    lines = [f.render() for f in findings]
+    errors = sum(1 for f in findings if f.severity == "error")
+    warnings = len(findings) - errors
+    lines.append(f"{len(findings)} finding(s): {errors} error(s), {warnings} warning(s)")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    return json.dumps([f.to_dict() for f in findings], indent=2)

@@ -1,0 +1,42 @@
+"""Rule registry for the repro lint engine.
+
+Each rule lives in its own module; ``DEFAULT_RULES`` is the catalogue the
+``repro-lint`` CLI and the CI gate run.  Rules are keyed by stable ids
+(R001…R006) used in findings and ``# repro: noqa[Rxxx]`` suppressions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..engine import Rule
+from .asserts import AssertControlFlowRule
+from .defaults import MutableDefaultRule
+from .float_eq import FloatEqualityRule
+from .iteration import SetIterationRule
+from .tech_mutation import TechMutationRule
+from .units import DimensionRule
+
+__all__ = [
+    "AssertControlFlowRule",
+    "DimensionRule",
+    "FloatEqualityRule",
+    "MutableDefaultRule",
+    "SetIterationRule",
+    "TechMutationRule",
+    "DEFAULT_RULES",
+    "rules_by_id",
+]
+
+DEFAULT_RULES: Tuple[Rule, ...] = (
+    FloatEqualityRule(),
+    SetIterationRule(),
+    AssertControlFlowRule(),
+    MutableDefaultRule(),
+    TechMutationRule(),
+    DimensionRule(),
+)
+
+
+def rules_by_id() -> Dict[str, Rule]:
+    return {rule.rule_id: rule for rule in DEFAULT_RULES}

@@ -1,0 +1,52 @@
+"""R003 — ``assert`` used for control flow in library code.
+
+``python -O`` strips ``assert`` statements entirely, so any assert whose
+condition can actually be false at runtime (unreachable-state guards,
+narrowing checks before attribute access) silently disappears in optimized
+deployments — exactly the class of invariant this reproduction depends on.
+Library code should raise an explicit exception instead; genuinely
+redundant debug asserts can be suppressed with ``# repro: noqa[R003]``.
+
+Test code is exempt: pytest rewrites asserts and they are the assertion
+idiom there.  A file counts as test code when any path component starts
+with ``test`` or is named ``tests``/``conftest.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePath
+from typing import Iterable
+
+from ..engine import FileContext, Finding, Rule
+
+__all__ = ["AssertControlFlowRule"]
+
+
+def _is_test_file(path: str) -> bool:
+    parts = PurePath(path).parts
+    if not parts:
+        return False
+    if any(part == "tests" for part in parts):
+        return True
+    name = parts[-1]
+    return name.startswith("test_") or name == "conftest.py"
+
+
+class AssertControlFlowRule(Rule):
+    rule_id = "R003"
+    severity = "error"
+    description = "bare assert in library code (stripped under python -O)"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if _is_test_file(ctx.path):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assert):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "assert vanishes under python -O; raise an explicit "
+                    "exception (RuntimeError/ValueError) for conditions "
+                    "that guard real control flow",
+                )

@@ -1,0 +1,53 @@
+"""R004 — mutable default argument values.
+
+A ``def f(x, acc=[])`` default is evaluated once at definition time and
+shared across calls; accumulating into it corrupts later calls.  The rule
+flags list/dict/set literals and calls to their constructors in default
+positions (positional and keyword-only).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..engine import FileContext, Finding, Rule
+
+__all__ = ["MutableDefaultRule"]
+
+_MUTABLE_CONSTRUCTORS = {"list", "dict", "set", "bytearray", "defaultdict", "Counter"}
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+                         ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        return name in _MUTABLE_CONSTRUCTORS
+    return False
+
+
+class MutableDefaultRule(Rule):
+    rule_id = "R004"
+    severity = "error"
+    description = "mutable default argument shared across calls"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _is_mutable_default(default):
+                    yield self.finding(
+                        ctx,
+                        default,
+                        "mutable default is evaluated once and shared across "
+                        "calls; default to None and construct inside the body",
+                    )

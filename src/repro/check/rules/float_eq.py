@@ -1,0 +1,79 @@
+"""R001 — exact float equality on physical quantities.
+
+Resistances, capacitances and delays are accumulated through long chains of
+floating-point arithmetic (Elmore sums, PWL breakpoint algebra), so exact
+``==``/``!=`` comparisons on them are almost always latent bugs: two
+mathematically equal delays differ in the last ulp and a pruning or merge
+decision silently flips.  The rule fires when an equality comparison
+
+* involves a float literal (``ds == 0.0``), or
+* has a declared physical dimension on *both* sides (see
+  :mod:`repro.check.dimensions`).
+
+Comparisons against the ``NEVER``/``inf`` sentinels are exempt — those
+values are assigned, never computed, so equality is exact by construction.
+Intentional exact comparisons (e.g. a ``0.0`` used as a "feature disabled"
+sentinel) should be annotated ``# repro: noqa[R001] <reason>``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..dimensions import SENTINEL_NAMES, dim_of, format_dim
+from ..engine import FileContext, Finding, Rule
+
+__all__ = ["FloatEqualityRule"]
+
+
+def _is_float_literal(node: ast.AST) -> bool:
+    if isinstance(node, ast.UnaryOp):
+        return _is_float_literal(node.operand)
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+
+def _is_sentinel(node: ast.AST) -> bool:
+    if isinstance(node, ast.UnaryOp):
+        return _is_sentinel(node.operand)
+    if isinstance(node, ast.Name):
+        return node.id in SENTINEL_NAMES
+    if isinstance(node, ast.Attribute):  # math.inf, math.nan
+        return node.attr in SENTINEL_NAMES
+    return False
+
+
+class FloatEqualityRule(Rule):
+    rule_id = "R001"
+    severity = "error"
+    description = "exact float ==/!= comparison on a physical quantity"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_sentinel(left) or _is_sentinel(right):
+                    continue
+                if _is_float_literal(left) or _is_float_literal(right):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "exact equality against a float literal; use a "
+                        "tolerance (math.isclose or abs(...) <= atol), or "
+                        "annotate the intended sentinel with "
+                        "# repro: noqa[R001] <reason>",
+                    )
+                    continue
+                dl, dr = dim_of(left), dim_of(right)
+                if dl is not None and dr is not None:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"exact equality between physical quantities "
+                        f"({format_dim(dl)} vs {format_dim(dr)}); compare "
+                        f"with a tolerance",
+                    )

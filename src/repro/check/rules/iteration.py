@@ -1,0 +1,104 @@
+"""R002 — nondeterministic iteration over sets in DP merge/pruning paths.
+
+The MSRI dynamic program resolves exact ties by *order* (earlier solutions
+get weak-pruning priority, ``uid`` breaks residual ties), so any iteration
+whose order depends on hash seeds makes results irreproducible between
+runs.  ``set``/``frozenset`` iteration order is salted per process; the
+rule flags ``for``/comprehension iteration directly over a set expression
+or over a local variable bound to one.  Wrapping in ``sorted(...)`` (or
+any ordering call) makes the iteration deterministic and silences the
+rule.  Python ``dict`` preserves insertion order since 3.7, so dict
+iteration is deterministic whenever insertions are — it is not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Set
+
+from ..engine import FileContext, Finding, Rule
+
+__all__ = ["SetIterationRule"]
+
+_SET_CONSTRUCTORS = {"set", "frozenset"}
+_SET_METHODS = {"union", "intersection", "difference", "symmetric_difference"}
+
+
+class SetIterationRule(Rule):
+    rule_id = "R002"
+    severity = "error"
+    description = "iteration over an unordered set (nondeterministic order)"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        # One scope per function/module: collect names bound to set
+        # expressions, then flag iterations in that same scope.
+        scopes = [n for n in ast.walk(ctx.tree)
+                  if isinstance(n, (ast.Module, ast.FunctionDef, ast.AsyncFunctionDef))]
+        for scope in scopes:
+            set_names = _set_bound_names(scope)
+            for node in _scope_body_walk(scope):
+                iters = []
+                if isinstance(node, (ast.For, ast.AsyncFor)):
+                    iters.append(node.iter)
+                elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                       ast.GeneratorExp)):
+                    iters.extend(gen.iter for gen in node.generators)
+                for it in iters:
+                    if _is_set_expr(it, set_names):
+                        yield self.finding(
+                            ctx,
+                            it,
+                            "iterating over a set: order is hash-salted and "
+                            "nondeterministic; iterate over sorted(...) or "
+                            "keep an ordered list alongside the set",
+                        )
+
+
+def _set_bound_names(scope: ast.AST) -> Set[str]:
+    """Names assigned a set expression anywhere in this scope (not nested)."""
+    names: Set[str] = set()
+    for node in _scope_body_walk(scope):
+        if isinstance(node, ast.Assign):
+            if _is_set_expr(node.value, names):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if _is_set_expr(node.value, names) and isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+    return names
+
+
+def _scope_body_walk(scope: ast.AST) -> Iterable[ast.AST]:
+    """Walk a scope without descending into nested function scopes."""
+    stack = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _is_set_expr(node: ast.AST, set_names: Set[str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in _SET_CONSTRUCTORS:
+            return True
+        # s.union(t) etc. return sets when the receiver is a known set
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _SET_METHODS
+            and _is_set_expr(node.func.value, set_names)
+        ):
+            return True
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        # set algebra: a | b, a & b, a - b, a ^ b
+        return _is_set_expr(node.left, set_names) or _is_set_expr(node.right, set_names)
+    return False

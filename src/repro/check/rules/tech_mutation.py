@@ -1,0 +1,115 @@
+"""R005 — mutation of ``Technology`` or shared technology state.
+
+:class:`~repro.tech.parameters.Technology` objects are shared freely across
+analyzers, DP runs and worker boundaries; the dataclass is frozen, but its
+``extras`` dict is an ordinary mutable mapping and ``object.__setattr__``
+pierces the freeze.  Mutating a shared technology mid-run silently skews
+every later delay computation, so all variation must go through copies
+(``dataclasses.replace`` / ``Technology.with_name`` / ``dict(tech.extras)``).
+
+The rule flags, for receivers that look like technology objects (names
+``tech``/``technology``/``*_tech`` or a terminal ``.tech``/``._tech``
+attribute, plus ``DEFAULT_TECHNOLOGY``):
+
+* attribute or subscript assignment (``tech.name = ...``,
+  ``tech.extras["k"] = ...``), including augmented assignment and ``del``;
+* mutating-method calls on ``extras`` (``tech.extras.update(...)``);
+* ``object.__setattr__(tech, ...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from ..engine import FileContext, Finding, Rule
+
+__all__ = ["TechMutationRule"]
+
+_TECH_NAMES = {"tech", "technology", "DEFAULT_TECHNOLOGY"}
+_DICT_MUTATORS = {"update", "pop", "popitem", "clear", "setdefault", "__setitem__"}
+
+
+def _root_and_attrs(node: ast.AST):
+    """Peel an Attribute/Subscript chain down to its root expression."""
+    attrs = []
+    while True:
+        if isinstance(node, ast.Attribute):
+            attrs.append(node.attr)
+            node = node.value
+        elif isinstance(node, ast.Subscript):
+            node = node.value
+        else:
+            return node, attrs
+
+
+def _is_tech_expr(node: ast.AST) -> bool:
+    """True when the expression plausibly denotes a Technology object."""
+    root, attrs = _root_and_attrs(node)
+    if isinstance(root, ast.Name):
+        name = root.id
+        if name in _TECH_NAMES or name.endswith("_tech"):
+            return True
+    # any `.tech` / `._tech` / `.technology` link in the chain
+    return any(a in ("tech", "_tech", "technology") for a in attrs)
+
+
+def _mutated_receiver(target: ast.AST) -> Optional[ast.AST]:
+    """The object being written through, for attribute/subscript targets."""
+    if isinstance(target, (ast.Attribute, ast.Subscript)):
+        return target.value
+    return None
+
+
+class TechMutationRule(Rule):
+    rule_id = "R005"
+    severity = "error"
+    description = "mutation of a (shared) Technology object"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            targets = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            elif isinstance(node, ast.Delete):
+                targets = node.targets
+            for target in targets:
+                receiver = _mutated_receiver(target)
+                if receiver is not None and _is_tech_expr(receiver):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "writing through a Technology object mutates state "
+                        "shared across analyzers; use dataclasses.replace "
+                        "or copy extras with dict(tech.extras)",
+                    )
+
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _DICT_MUTATORS
+                    and _is_tech_expr(func.value)
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"'{func.attr}' mutates shared Technology state; "
+                        f"work on a copy (dict(tech.extras))",
+                    )
+                elif (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "__setattr__"
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "object"
+                    and node.args
+                    and _is_tech_expr(node.args[0])
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "object.__setattr__ pierces the frozen Technology "
+                        "dataclass; build a new instance instead",
+                    )

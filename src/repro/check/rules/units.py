@@ -1,0 +1,54 @@
+"""R006 — dimensionally inconsistent arithmetic on physical quantities.
+
+Everything in this library is a plain ``float``, so nothing stops
+``resistance + delay`` even though Ω and ps are incommensurable.  The rule
+runs the name-based dimension inference of :mod:`repro.check.dimensions`
+over every ``+``/``-`` expression and flags the ones whose operands carry
+*declared, different* dimensions.  Products and quotients are where
+dimensions legitimately combine (Ω · pF = ps) — the inference folds them
+into exponent vectors rather than flagging them.
+
+The inference is conservative by design: identifiers outside the
+declarations table are wildcards and never fire, so a finding means both
+operand dimensions were positively established from the repo's own naming
+vocabulary.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..dimensions import dim_of, format_dim
+from ..engine import FileContext, Finding, Rule
+
+__all__ = ["DimensionRule"]
+
+
+class DimensionRule(Rule):
+    rule_id = "R006"
+    severity = "error"
+    description = "adding/subtracting quantities of different physical dimension"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            left = right = None
+            if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+                left, right = node.left, node.right
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                left, right = node.target, node.value
+            else:
+                continue
+            dl, dr = dim_of(left), dim_of(right)
+            if dl is None or dr is None or dl == dr:
+                continue
+            op = "+" if isinstance(node.op, ast.Add) else "-"
+            yield self.finding(
+                ctx,
+                node,
+                f"dimension mismatch: {format_dim(dl)} {op} {format_dim(dr)} "
+                f"(Ω·pF=ps algebra violated); check the expression or the "
+                f"declarations table in repro/check/dimensions.py",
+            )

@@ -22,6 +22,10 @@ Subcommands
     ARD-driven topology synthesis: build a timing-optimized Steiner
     topology for a seeded point set (or one loaded from a points file) and
     write the resulting net.
+``lint``
+    Run the repo-specific static analysis (rules R001-R006, see
+    ``docs/STATIC_ANALYSIS.md``) over files or directories; also installed
+    standalone as ``repro-lint``.
 """
 
 from __future__ import annotations
@@ -129,6 +133,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     s.add_argument("--output", "-o", required=True, help="output net JSON path")
 
+    lint = sub.add_parser(
+        "lint", help="run repo-specific static analysis (rules R001-R006)"
+    )
+    lint.add_argument("paths", nargs="+", help="files or directories to lint")
+    lint.add_argument("--format", choices=["text", "json"], default="text")
+    lint.add_argument("--select", help="comma-separated rule ids (default: all)")
+
     c = sub.add_parser(
         "campaign", help="run a Table II-style sweep and save a JSON record"
     )
@@ -153,6 +164,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "render": _cmd_render,
         "synthesize": _cmd_synthesize,
         "campaign": _cmd_campaign,
+        "lint": _cmd_lint,
     }[args.command]
     return handler(args)
 
@@ -315,6 +327,12 @@ def _cmd_synthesize(args) -> int:
         f"wrote {args.output}"
     )
     return 0
+
+
+def _cmd_lint(args) -> int:
+    from .check.cli import run_lint
+
+    return run_lint(args.paths, fmt=args.format, select=args.select)
 
 
 def _cmd_campaign(args) -> int:

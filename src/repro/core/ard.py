@@ -35,6 +35,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from ..check import contracts
 from ..rctree.elmore import ElmoreAnalyzer
 from ..rctree.topology import NodeKind, RoutingTree
 from ..tech.buffers import Repeater
@@ -91,7 +92,10 @@ def compute_ard(analyzer: ElmoreAnalyzer) -> ARDResult:
             timing[v] = _leaf_timing(analyzer, v)
         elif v != tree.root:
             timing[v] = _internal_timing(analyzer, v, timing)
-    return _finish_at_root(analyzer, timing)
+    result = _finish_at_root(analyzer, timing)
+    if contracts.contracts_enabled():
+        contracts.verify_ard_consistency(result, analyzer)
+    return result
 
 
 def ard(
@@ -119,9 +123,11 @@ def ard(
 def _leaf_timing(analyzer: ElmoreAnalyzer, v: int) -> SubtreeTiming:
     tree = analyzer.tree
     term = tree.node(v).terminal
-    assert term is not None
+    if term is None:
+        raise RuntimeError(f"leaf node {v} carries no terminal")
     parent = tree.parent(v)
-    assert parent is not None
+    if parent is None:
+        raise RuntimeError(f"leaf node {v} has no parent edge")
 
     arrival, arrival_source = NEVER, None
     if term.is_source:
@@ -142,7 +148,8 @@ def _internal_timing(
 ) -> SubtreeTiming:
     tree = analyzer.tree
     parent = tree.parent(v)
-    assert parent is not None
+    if parent is None:
+        raise RuntimeError(f"internal node {v} has no parent edge")
     children = tree.children(v)
 
     # per-child quantities measured at v (below any repeater at v)
@@ -185,7 +192,8 @@ def _finish_at_root(
     tree = analyzer.tree
     root = tree.root
     term = tree.node(root).terminal
-    assert term is not None, "trees are rooted at a terminal"
+    if term is None:
+        raise RuntimeError("trees are rooted at a terminal")
     (child,) = tree.children(root)
     tc = timing[child]
 

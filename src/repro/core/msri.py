@@ -34,6 +34,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..check import contracts
 from ..rctree.topology import NodeKind, RoutingTree
 from ..tech.buffers import RepeaterLibrary
 from ..tech.parameters import Technology
@@ -191,7 +192,8 @@ def insert_repeaters(
 
 def _leaf_set(node, v: int, c_max: float, options: MSRIOptions) -> List[Solution]:
     term = node.terminal
-    assert term is not None
+    if term is None:
+        raise RuntimeError(f"leaf node {v} carries no terminal")
     if options.driver_options is None:
         return [leaf_solution(term, c_max)]
     out = []
@@ -318,7 +320,8 @@ def _root_set(
 ) -> List[RootSolution]:
     root = tree.root
     term = tree.node(root).terminal
-    assert term is not None
+    if term is None:
+        raise RuntimeError("trees are rooted at a terminal")
     (child,) = tree.children(root)
 
     candidates: List[RootSolution] = []
@@ -351,6 +354,8 @@ def _pareto_root(candidates: List[RootSolution]) -> List[RootSolution]:
         if s.ard < best_ard - 1e-12:
             out.append(s)
             best_ard = s.ard
+    if contracts.contracts_enabled():
+        contracts.verify_root_front(out)
     return out
 
 
@@ -379,5 +384,15 @@ def _domain_bound(
 
 def _make_pruner(options: MSRIOptions):
     if options.use_divide_and_conquer:
-        return lambda sols: mfs(sols, leaf_size=options.mfs_leaf_size)
-    return mfs_pairwise
+        prune = lambda sols: mfs(sols, leaf_size=options.mfs_leaf_size)  # noqa: E731
+    else:
+        prune = mfs_pairwise
+    if not contracts.contracts_enabled():
+        return prune
+
+    def checked_prune(sols):
+        kept = prune(sols)
+        contracts.verify_pareto(kept)
+        return kept
+
+    return checked_prune

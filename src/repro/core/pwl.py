@@ -31,6 +31,7 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
+from ..check import contracts
 from .intervals import ATOL, Interval, IntervalSet
 
 __all__ = ["Segment", "PWL", "maximum_all"]
@@ -104,6 +105,8 @@ class PWL:
 
     def __init__(self, segments: Iterable[Segment]):
         self._segments = _canonicalize(segments)
+        if contracts.contracts_enabled():
+            contracts.verify_pwl(self, context="PWL construction")
 
     # -- constructors ------------------------------------------------------
 
@@ -190,7 +193,8 @@ class PWL:
                 y = seg.value(x)
                 if y < best_y:
                     best_x, best_y = x, y
-        assert best_x is not None
+        if best_x is None:
+            raise RuntimeError("non-empty PWL yielded no minimizer")
         return best_x, best_y
 
     def max_value(self) -> Tuple[float, float]:
@@ -203,7 +207,8 @@ class PWL:
                 y = seg.value(x)
                 if y > best_y:
                     best_x, best_y = x, y
-        assert best_x is not None
+        if best_x is None:
+            raise RuntimeError("non-empty PWL yielded no maximizer")
         return best_x, best_y
 
     def __eq__(self, other: object) -> bool:
@@ -392,7 +397,9 @@ def _dedupe_points(segments: List[Segment]) -> List[Segment]:
 def _crossing(a: Segment, b: Segment, lo: float, hi: float) -> Optional[float]:
     """Interior crossing point of two lines within ``(lo, hi)``, if any."""
     ds = a.slope - b.slope
-    if ds == 0.0:
+    if abs(ds) <= _EPS:
+        # (numerically) parallel: a sub-_EPS slope difference would place
+        # the crossing far outside any finite domain of interest
         return None
     x = (b.intercept - a.intercept) / ds
     if lo + _EPS < x < hi - _EPS:
@@ -411,9 +418,9 @@ def _line_leq_region(
     if da_lo > 0.0 and da_hi > 0.0:
         return []
     ds = a.slope - b.slope
-    if ds == 0.0:
-        # parallel lines whose endpoint differences straddle zero only by
-        # floating-point noise; classify by the midpoint
+    if abs(ds) <= _EPS:
+        # (numerically) parallel lines whose endpoint differences straddle
+        # zero only by floating-point noise; classify by the midpoint
         mid = 0.5 * (lo + hi)
         if a.value(mid) - b.value(mid) <= atol:
             return [Interval(lo, hi)]

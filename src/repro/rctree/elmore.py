@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from ..check import contracts
 from ..tech.buffers import Repeater
 from ..tech.parameters import Technology
 from ..tech.terminals import NEVER
@@ -105,6 +106,8 @@ class ElmoreAnalyzer:
         self._down: List[float] = [0.0] * len(tree)
         self._up: List[float] = [0.0] * len(tree)
         self._run_capacitance_passes()
+        if contracts.contracts_enabled():
+            contracts.verify_nonnegative_caps(self)
 
     # -- construction-time passes (Eqs. 1 and 2) ------------------------------
 
@@ -278,7 +281,8 @@ class ElmoreAnalyzer:
         tree = self._tree
         src_t = tree.node(src).terminal
         dst_t = tree.node(dst).terminal
-        assert src_t is not None and dst_t is not None
+        if src_t is None or dst_t is None:
+            raise ValueError("augmented_delay endpoints must be terminals")
         if not src_t.is_source or not dst_t.is_sink:
             return NEVER
         return src_t.arrival_time + self.path_delay(src, dst) + dst_t.downstream_delay

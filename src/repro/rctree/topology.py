@@ -115,7 +115,7 @@ class RoutingTree:
         if len(roots) != 1:
             raise ValueError(f"expected exactly one root, found {roots}")
         self._root = roots[0]
-        if self._edge_length[self._root] != 0.0:
+        if self._edge_length[self._root] != 0.0:  # repro: noqa[R001] root edge length is constructed as literal 0.0
             raise ValueError("root must have zero edge length")
 
         children: List[List[int]] = [[] for _ in range(n)]
@@ -271,7 +271,8 @@ class RoutingTree:
         while v is not None and v not in index_in_a:
             ancestors_b.append(v)
             v = self._parent[v]
-        assert v is not None, "nodes in one tree always share an ancestor"
+        if v is None:
+            raise RuntimeError("nodes in one tree always share an ancestor")
         return ancestors_a[: index_in_a[v] + 1] + list(reversed(ancestors_b))
 
     def depth(self, i: int) -> int:

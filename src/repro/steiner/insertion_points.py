@@ -38,7 +38,7 @@ def l_route_point(
         raise ValueError(f"fraction {fraction} outside [0, 1]")
     dx, dy = abs(bx - ax), abs(by - ay)
     total = dx + dy
-    if total == 0.0:
+    if total == 0.0:  # repro: noqa[R001] coincident endpoints sum to an exact 0.0, not a rounded one
         return (ax, ay)
     run = fraction * total
     if run <= dx:
@@ -86,5 +86,10 @@ def add_insertion_points(tree: RoutingTree, spacing: float) -> RoutingTree:
 
     root_term = tree.node(tree.root)
     built = builder.build(root=handle[tree.root])
-    assert built.node(built.root).terminal.name == root_term.terminal.name
+    if built.node(built.root).terminal.name != root_term.terminal.name:
+        raise RuntimeError(
+            "insertion-point threading moved the root terminal: "
+            f"{built.node(built.root).terminal.name!r} != "
+            f"{root_term.terminal.name!r}"
+        )
     return built

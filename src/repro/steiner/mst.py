@@ -48,7 +48,8 @@ def rectilinear_mst(points: Sequence[Point]) -> List[Edge]:
         for j in range(n):
             if not in_tree[j] and best_dist[j] < vd:
                 v, vd = j, best_dist[j]
-        assert v >= 0
+        if v < 0:
+            raise RuntimeError("Prim scan found no outside vertex to attach")
         in_tree[v] = True
         edges.append((best_link[v], v))
         for j in range(n):

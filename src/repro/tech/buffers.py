@@ -154,9 +154,9 @@ class Repeater:
     def is_symmetric(self) -> bool:
         """True when both directions have identical parameters."""
         return (
-            self.d_ab == self.d_ba
-            and self.r_ab == self.r_ba
-            and self.c_a == self.c_b
+            self.d_ab == self.d_ba  # repro: noqa[R001] configured library constants; equality is exact by construction
+            and self.r_ab == self.r_ba  # repro: noqa[R001] configured library constants
+            and self.c_a == self.c_b  # repro: noqa[R001] configured library constants
         )
 
     def reversed(self) -> "Repeater":

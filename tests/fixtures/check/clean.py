@@ -1,0 +1,27 @@
+"""Negative case: idiomatic code that must produce zero findings."""
+
+NEVER = float("-inf")
+
+
+def elmore_delay(resistance, capacitance, load):
+    delay = resistance * (0.5 * capacitance + load)
+    return delay
+
+
+def is_parallel(ds, eps=1e-9):
+    return abs(ds) <= eps
+
+
+def no_sink(q):
+    return q == NEVER  # sentinel comparison is exempt from R001
+
+
+def deterministic_order(items):
+    unique = set(items)
+    return [v for v in sorted(unique)]
+
+
+def scaled_copy(tech, factor):
+    extras = dict(tech.extras)
+    extras["scale"] = factor
+    return extras

@@ -1,0 +1,9 @@
+"""Seeded violations for R001: exact float equality on physical quantities."""
+
+
+def crossing(ds, delay, arrival):
+    if ds == 0.0:  # line 5: equality against a float literal
+        return None
+    if delay == arrival:  # line 7: equality between two ps quantities
+        return delay
+    return None

@@ -1,0 +1,9 @@
+"""Seeded violation for R002: iterating a set in a merge path."""
+
+
+def merge_candidates(solutions):
+    pending = {id(s) for s in solutions}
+    merged = []
+    for uid in pending:  # line 7: hash-salted iteration order
+        merged.append(uid)
+    return merged

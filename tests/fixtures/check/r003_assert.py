@@ -1,0 +1,10 @@
+"""Seeded violation for R003: control-flow assert in library code."""
+
+
+def pick_best(values):
+    best = None
+    for v in values:
+        if best is None or v > best:
+            best = v
+    assert best is not None  # line 9: vanishes under python -O
+    return best

@@ -1,0 +1,6 @@
+"""Seeded violation for R004: mutable default argument."""
+
+
+def accumulate(value, acc=[]):  # line 4: shared default list
+    acc.append(value)
+    return acc

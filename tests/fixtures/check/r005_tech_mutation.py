@@ -1,0 +1,6 @@
+"""Seeded violation for R005: mutating shared Technology state."""
+
+
+def stamp_run(tech, label):
+    tech.extras["last_run"] = label  # line 5: writes through shared tech
+    return tech

@@ -1,0 +1,5 @@
+"""Seeded violation for R006: dimensionally inconsistent arithmetic."""
+
+
+def broken_elmore(resistance, delay):
+    return resistance + delay  # line 5: adds an ohm quantity to a ps quantity

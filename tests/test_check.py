@@ -1,0 +1,321 @@
+"""Tests for the ``repro.check`` subsystem: lint engine, rules, contracts.
+
+Fixture files in ``tests/fixtures/check`` each seed one known violation;
+the engine must report exactly that rule on them and nothing on the clean
+file.  The contract layer must catch injected violations of the paper's
+invariants (Pareto domination after pruning, negative Eq. 1/2 capacitance)
+and stay silent on healthy runs.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.check import (
+    ContractViolation,
+    LintEngine,
+    checking,
+    contracts_enabled,
+    set_enabled,
+)
+from repro.check import contracts
+from repro.check.cli import main as lint_main
+from repro.check.rules import DEFAULT_RULES, rules_by_id
+from repro.cli import main as repro_main
+from repro.core.ard import ARDResult, ard
+from repro.core.intervals import IntervalSet
+from repro.core.msri import MSRIOptions, insert_repeaters
+from repro.core.pwl import PWL, Segment
+from repro.core.solution import RootSolution, Solution, Trace
+from repro.rctree.elmore import ElmoreAnalyzer
+from repro.tech import Buffer, Repeater, RepeaterLibrary, Technology
+
+from .conftest import two_pin_net, y_net
+
+FIXTURES = Path(__file__).parent / "fixtures" / "check"
+SRC = Path(__file__).resolve().parents[1] / "src"
+
+TECH = Technology(unit_resistance=0.1, unit_capacitance=0.01, name="test")
+LIB = RepeaterLibrary(
+    [
+        Repeater.from_buffer_pair(
+            Buffer("b", intrinsic_delay=20.0, output_resistance=50.0,
+                   input_capacitance=0.25),
+            name="rep",
+        )
+    ]
+)
+
+
+def lint_fixture(name):
+    source = (FIXTURES / name).read_text()
+    # a neutral path: fixtures live under tests/, which R003 exempts
+    return LintEngine().lint_source(source, path=name)
+
+
+# -- rule catalogue -----------------------------------------------------------
+
+
+def test_rule_catalogue_is_complete():
+    ids = [rule.rule_id for rule in DEFAULT_RULES]
+    assert ids == ["R001", "R002", "R003", "R004", "R005", "R006"]
+    assert set(rules_by_id()) == set(ids)
+    assert all(rule.description for rule in DEFAULT_RULES)
+    assert all(rule.severity in ("error", "warning") for rule in DEFAULT_RULES)
+
+
+# -- seeded fixtures: each triggers exactly its rule --------------------------
+
+
+@pytest.mark.parametrize(
+    "fixture, rule_id, lines",
+    [
+        ("r001_float_eq.py", "R001", [5, 7]),
+        ("r002_set_iteration.py", "R002", [7]),
+        ("r003_assert.py", "R003", [9]),
+        ("r004_mutable_default.py", "R004", [4]),
+        ("r005_tech_mutation.py", "R005", [5]),
+        ("r006_dimensions.py", "R006", [5]),
+    ],
+)
+def test_fixture_triggers_exactly_its_rule(fixture, rule_id, lines):
+    findings = lint_fixture(fixture)
+    assert [f.rule_id for f in findings] == [rule_id] * len(lines)
+    assert [f.line for f in findings] == lines
+
+
+def test_clean_fixture_has_no_findings():
+    assert lint_fixture("clean.py") == []
+
+
+def test_fixture_directory_walk_aggregates_all_rules():
+    # lint_paths sees the real paths (under tests/), so R003 is exempted by
+    # the test-file carve-out; every other seeded rule must fire exactly once
+    findings = LintEngine().lint_paths([str(FIXTURES)])
+    by_rule = {}
+    for f in findings:
+        by_rule.setdefault(f.rule_id, []).append(f)
+    assert set(by_rule) == {"R001", "R002", "R004", "R005", "R006"}
+    assert len(by_rule["R001"]) == 2
+
+
+# -- suppression syntax -------------------------------------------------------
+
+
+def test_noqa_suppresses_matching_rule():
+    src = "def f(spread):\n    return spread == 0.0  # repro: noqa[R001] sentinel\n"
+    assert LintEngine().lint_source(src) == []
+
+
+def test_noqa_with_wrong_rule_id_does_not_suppress():
+    src = "def f(spread):\n    return spread == 0.0  # repro: noqa[R002]\n"
+    findings = LintEngine().lint_source(src)
+    assert [f.rule_id for f in findings] == ["R001"]
+
+
+def test_bare_noqa_suppresses_everything_on_the_line():
+    src = "def f(resistance, delay):\n    return resistance + delay == 0.0  # repro: noqa\n"
+    assert LintEngine().lint_source(src) == []
+
+
+def test_noqa_list_suppresses_multiple_rules():
+    src = (
+        "def f(resistance, delay):\n"
+        "    return resistance + delay == 0.0  # repro: noqa[R001,R006]\n"
+    )
+    assert LintEngine().lint_source(src) == []
+
+
+# -- engine behavior ----------------------------------------------------------
+
+
+def test_syntax_error_reported_as_e999():
+    findings = LintEngine().lint_source("def broken(:\n", path="bad.py")
+    assert [f.rule_id for f in findings] == ["E999"]
+
+
+def test_r003_exempts_test_files():
+    src = "def helper():\n    assert 1 + 1 == 2\n"
+    assert LintEngine().lint_source(src, path="tests/test_foo.py") == []
+    assert len(LintEngine().lint_source(src, path="src/repro/foo.py")) == 1
+
+
+def test_repro_source_tree_is_clean():
+    """The CI gate: repro-lint src/ must exit clean on the shipped tree."""
+    assert LintEngine().lint_paths([str(SRC)]) == []
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def test_cli_exit_codes(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("x = 1.0 == 1.0\n")
+    good = tmp_path / "good.py"
+    good.write_text("x = 1\n")
+    assert lint_main([str(bad)]) == 1
+    assert lint_main([str(good)]) == 0
+    assert lint_main(["--list-rules"]) == 0
+    assert lint_main(["--select", "R999", str(good)]) == 2
+    assert lint_main([str(tmp_path / "no_such_file.py")]) == 2
+
+
+def test_cli_select_and_json(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def f(acc=[]):\n    return 1.0 == 2.0\n")
+    assert lint_main(["--select", "R004", "--format", "json", str(bad)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert [f["rule"] for f in payload] == ["R004"]
+    assert payload[0]["line"] == 1
+    assert payload[0]["severity"] == "error"
+
+
+def test_repro_msri_lint_subcommand(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("x = 1.0 != 2.0\n")
+    assert repro_main(["lint", str(bad)]) == 1
+    assert repro_main(["lint", "--select", "R003", str(bad)]) == 0
+
+
+# -- contracts: enablement ----------------------------------------------------
+
+
+def test_env_var_controls_contracts(monkeypatch):
+    with monkeypatch.context() as m:
+        m.setenv("REPRO_CHECK", "1")
+        set_enabled(None)
+        assert contracts_enabled()
+        m.setenv("REPRO_CHECK", "0")
+        set_enabled(None)
+        assert not contracts_enabled()
+    set_enabled(None)  # restore from the real environment
+
+
+def test_checking_context_restores_previous_state():
+    before = contracts_enabled()
+    with checking():
+        assert contracts_enabled()
+        with checking(False):
+            assert not contracts_enabled()
+        assert contracts_enabled()
+    assert contracts_enabled() == before
+
+
+# -- contracts: injected violations ------------------------------------------
+
+
+def _scalar_solution(cost, cap, lo=0.0, hi=1.0):
+    from repro.tech.terminals import NEVER
+
+    return Solution(
+        cost=cost,
+        cap=cap,
+        q=NEVER,
+        arr=None,
+        diam=None,
+        domain=IntervalSet.single(lo, hi),
+    )
+
+
+def test_injected_pareto_violation_is_caught():
+    dominator = _scalar_solution(cost=1.0, cap=1.0)
+    dominated = _scalar_solution(cost=2.0, cap=2.0)
+    with pytest.raises(ContractViolation, match="strictly dominated"):
+        contracts.verify_pareto([dominator, dominated])
+
+
+def test_incomparable_solutions_pass_pareto_check():
+    cheap_but_heavy = _scalar_solution(cost=1.0, cap=2.0)
+    costly_but_light = _scalar_solution(cost=2.0, cap=1.0)
+    contracts.verify_pareto([cheap_but_heavy, costly_but_light])
+
+
+def test_injected_negative_capacitance_is_caught():
+    analyzer = ElmoreAnalyzer(y_net(), TECH)
+    contracts.verify_nonnegative_caps(analyzer)  # healthy tree passes
+    analyzer._down[1] = -0.5  # corrupt the Eq. 1 pass
+    with pytest.raises(ContractViolation, match="Eq. 1"):
+        contracts.verify_nonnegative_caps(analyzer)
+
+
+def test_injected_negative_upstream_capacitance_is_caught():
+    analyzer = ElmoreAnalyzer(y_net(), TECH)
+    victim = next(v for v in range(len(analyzer.tree))
+                  if analyzer.tree.parent(v) is not None)
+    analyzer._up[victim] = -1e-3
+    with pytest.raises(ContractViolation, match="Eq. 2"):
+        contracts.verify_nonnegative_caps(analyzer)
+
+
+def test_corrupt_pwl_is_caught():
+    p = PWL([Segment(0.0, 1.0, 0.0, 1.0)])
+    p._segments = (
+        Segment(0.5, 2.0, 0.0, 1.0),
+        Segment(0.0, 1.0, 0.0, 1.0),
+    )  # out of order and overlapping
+    with pytest.raises(ContractViolation, match="out of order"):
+        contracts.verify_pwl(p)
+
+
+def test_non_monotone_root_front_is_caught():
+    t = Trace()
+    good = [
+        RootSolution(cost=1.0, ard=100.0, trace=t),
+        RootSolution(cost=2.0, ard=90.0, trace=t),
+    ]
+    contracts.verify_root_front(good)
+    bad = [
+        RootSolution(cost=1.0, ard=100.0, trace=t),
+        RootSolution(cost=2.0, ard=110.0, trace=t),
+    ]
+    with pytest.raises(ContractViolation, match="not strictly monotone"):
+        contracts.verify_root_front(bad)
+
+
+def test_ard_inconsistency_is_caught():
+    tree = y_net()
+    analyzer = ElmoreAnalyzer(tree, TECH)
+    honest = ard(tree, TECH)
+    contracts.verify_ard_consistency(honest, analyzer)  # healthy result passes
+    forged = ARDResult(
+        value=honest.value + 123.0,
+        source=honest.source,
+        sink=honest.sink,
+        timing={},
+    )
+    with pytest.raises(ContractViolation, match="ARD inconsistency"):
+        contracts.verify_ard_consistency(forged, analyzer)
+
+
+# -- contracts: healthy end-to-end runs under REPRO_CHECK ---------------------
+
+
+def test_ard_passes_contracts_end_to_end():
+    with checking():
+        result = ard(y_net(), TECH)
+    assert result.is_finite
+
+
+def test_msri_passes_contracts_end_to_end():
+    with checking():
+        result = insert_repeaters(
+            two_pin_net(length=2000.0), TECH, MSRIOptions(library=LIB)
+        )
+    assert result.solutions
+    # and the same run with the pairwise-pruner ablation
+    with checking():
+        result2 = insert_repeaters(
+            two_pin_net(length=2000.0),
+            TECH,
+            MSRIOptions(library=LIB, use_divide_and_conquer=False),
+        )
+    assert result2.tradeoff() == result.tradeoff()
+
+
+def test_pwl_operations_pass_contracts():
+    with checking():
+        f = PWL.linear(1.0, 2.0, 0.0, 5.0)
+        g = PWL.from_breakpoints([0.0, 2.0, 5.0], [4.0, 1.0, 7.0])
+        h = f.maximum(g).add_linear(0.5, 0.25).shift(1.0)
+    assert not h.is_empty
