@@ -1,6 +1,14 @@
 """Analysis utilities: Pareto minima, oracles, reporting, experiments."""
 
 from .campaign import Campaign, CampaignConfig, load_campaign, run_campaign
+from .executor import (
+    Job,
+    JobFailure,
+    JobMetrics,
+    JobOutcome,
+    JsonlCheckpoint,
+    run_jobs,
+)
 from .exhaustive import (
     ExhaustivePoint,
     enumerate_assignments,
@@ -19,6 +27,12 @@ __all__ = [
     "CampaignConfig",
     "load_campaign",
     "run_campaign",
+    "Job",
+    "JobFailure",
+    "JobMetrics",
+    "JobOutcome",
+    "JsonlCheckpoint",
+    "run_jobs",
     "ExhaustivePoint",
     "enumerate_assignments",
     "exhaustive_frontier",

@@ -1,15 +1,28 @@
-"""Experiment campaigns: parameter sweeps with persistent JSON artifacts.
+"""Experiment campaigns: sharded, resumable parameter sweeps.
 
 Wraps :func:`repro.analysis.experiments.run_instance` into a declarative
 sweep (seeds × net sizes × insertion spacings), records provenance
-(configuration, package version, wall-clock), and serializes everything so
-a full experimental record can be archived, diffed, and re-summarized
-without re-running the optimizer.
+(configuration, package version, wall-clock, per-job metrics), and
+serializes everything so a full experimental record can be archived,
+diffed, and re-summarized without re-running the optimizer.
+
+The execution layer is :mod:`repro.analysis.executor`: ``workers=0`` runs
+the sweep inline (serial fallback), ``workers>=1`` shards it over a pool
+of worker processes with per-job timeouts and retry-with-backoff.  Every
+job is fully determined by its ``(seed, size, spacing)`` key, so the
+parallel path produces results identical to the serial path at any worker
+count — only the runtime fields differ.
+
+With a ``checkpoint_path``, every finished job is appended to a JSONL log
+the moment it completes; ``resume=True`` replays that log and re-runs only
+the jobs that are missing or previously failed.  A job that exhausts its
+retries becomes a structured failure record in ``Campaign.failures``
+instead of crashing the sweep.
 
 Used by the CLI's ``campaign`` subcommand and handy for custom studies:
 
 >>> from repro.analysis.campaign import CampaignConfig, run_campaign
->>> campaign = run_campaign(CampaignConfig(seeds=(0, 1), sizes=(10,)))
+>>> campaign = run_campaign(CampaignConfig(seeds=(0, 1), sizes=(10,)), workers=4)
 ... # doctest: +SKIP
 >>> print(campaign.summary().render())
 ... # doctest: +SKIP
@@ -17,74 +30,139 @@ Used by the CLI's ``campaign`` subcommand and handy for custom studies:
 
 from __future__ import annotations
 
-import dataclasses
 import json
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
+from ..io.serialize import (
+    CAMPAIGN_SCHEMA,
+    campaign_from_dict,
+    campaign_to_dict,
+    instance_result_from_dict,
+    instance_result_to_dict,
+)
+from .executor import (
+    Job,
+    JobFailure,
+    JobMetrics,
+    JobOutcome,
+    JsonlCheckpoint,
+    run_jobs,
+)
 from .experiments import InstanceResult, run_instance, table2, table4
 from .report import Table
 
-__all__ = ["CampaignConfig", "Campaign", "run_campaign", "load_campaign"]
+__all__ = [
+    "CAMPAIGN_SCHEMA",
+    "CampaignConfig",
+    "Campaign",
+    "run_campaign",
+    "load_campaign",
+    "campaign_checkpoint",
+]
 
-CAMPAIGN_SCHEMA = 1
+#: ``(seed, n_pins, spacing)`` — the identity of one sweep job.
+JobKey = Tuple[int, int, float]
 
 
 @dataclass(frozen=True)
 class CampaignConfig:
-    """What to sweep."""
+    """What to sweep.
+
+    ``spacings`` widens the grid to several insertion spacings; when empty
+    the single ``spacing`` value is swept (the original v1 behaviour, and
+    what v1 records deserialize to).
+    """
 
     seeds: Tuple[int, ...] = (0, 1, 2)
     sizes: Tuple[int, ...] = (10, 20)
     spacing: float = 800.0
     label: str = "default"
+    spacings: Tuple[float, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.seeds or not self.sizes:
             raise ValueError("campaign needs at least one seed and one size")
         if self.spacing <= 0.0:
             raise ValueError("spacing must be positive")
+        if any(s <= 0.0 for s in self.spacings):
+            raise ValueError("spacings must be positive")
 
-    def jobs(self) -> List[Tuple[int, int]]:
-        """The (seed, size) grid in execution order."""
-        return [(seed, size) for size in self.sizes for seed in self.seeds]
+    def sweep_spacings(self) -> Tuple[float, ...]:
+        """The spacing axis actually swept."""
+        return self.spacings if self.spacings else (self.spacing,)
+
+    def jobs(self) -> List[JobKey]:
+        """The (seed, size, spacing) grid in deterministic execution order."""
+        return [
+            (seed, size, spacing)
+            for spacing in self.sweep_spacings()
+            for size in self.sizes
+            for seed in self.seeds
+        ]
 
 
 @dataclass
 class Campaign:
-    """A completed (or partially completed) sweep."""
+    """A completed (or partially completed) sweep.
+
+    ``failures`` holds one structured record per job that exhausted its
+    retry budget; ``metrics`` holds per-job wall-clock / peak-RSS records
+    (one per executed job — resumed jobs carry the metrics of the run that
+    actually executed them).
+    """
 
     config: CampaignConfig
     results: List[InstanceResult] = field(default_factory=list)
+    failures: List[JobFailure] = field(default_factory=list)
+    metrics: List[JobMetrics] = field(default_factory=list)
     started_at: float = 0.0
     elapsed_seconds: float = 0.0
     version: str = ""
+    workers: int = 0
 
     def summary(self) -> Table:
         """The Table II-style normalized summary for this campaign."""
         return table2(self.results)
 
     def runtime_summary(self) -> Table:
-        return table4(self.results)
+        """Table IV plus per-job wall-clock / peak-RSS columns when known."""
+        return table4(self.results, metrics=self.metrics or None)
 
-    def result_for(self, seed: int, size: int) -> Optional[InstanceResult]:
-        for r in self.results:
-            if r.seed == seed and r.n_pins == size:
-                return r
+    def result_for(
+        self, seed: int, size: int, spacing: Optional[float] = None
+    ) -> Optional[InstanceResult]:
+        """The result for a grid point; ``spacing=None`` matches any spacing.
+
+        Scans newest-first so duplicate records for a retried or re-merged
+        job resolve to the most recent one.
+        """
+        for r in reversed(self.results):
+            if r.seed != seed or r.n_pins != size:
+                continue
+            # spacing is a grid identity (config value round-tripped through
+            # JSON), not a computed quantity, so exact match is correct
+            if spacing is not None and r.spacing != spacing:  # repro: noqa[R001]
+                continue
+            return r
+        return None
+
+    def failure_for(
+        self, seed: int, size: int, spacing: Optional[float] = None
+    ) -> Optional[JobFailure]:
+        for f in reversed(self.failures):
+            if f.key[0] != seed or f.key[1] != size:
+                continue
+            if spacing is not None and f.key[2] != spacing:
+                continue
+            return f
         return None
 
     # -- persistence -------------------------------------------------------
 
     def to_dict(self) -> Dict:
-        return {
-            "schema": CAMPAIGN_SCHEMA,
-            "config": dataclasses.asdict(self.config),
-            "results": [dataclasses.asdict(r) for r in self.results],
-            "started_at": self.started_at,
-            "elapsed_seconds": self.elapsed_seconds,
-            "version": self.version,
-        }
+        return campaign_to_dict(self)
 
     def save(self, path: str) -> None:
         with open(path, "w") as fh:
@@ -92,44 +170,98 @@ class Campaign:
 
     @classmethod
     def from_dict(cls, data: Dict) -> "Campaign":
-        if data.get("schema") != CAMPAIGN_SCHEMA:
-            raise ValueError(f"unsupported campaign schema: {data.get('schema')!r}")
-        cfg = data["config"]
-        config = CampaignConfig(
-            seeds=tuple(cfg["seeds"]),
-            sizes=tuple(cfg["sizes"]),
-            spacing=float(cfg["spacing"]),
-            label=cfg.get("label", "default"),
-        )
-        results = [InstanceResult(**r) for r in data["results"]]
-        return cls(
-            config=config,
-            results=results,
-            started_at=float(data.get("started_at", 0.0)),
-            elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
-            version=data.get("version", ""),
-        )
+        return campaign_from_dict(data)
+
+
+def campaign_checkpoint(path: str) -> JsonlCheckpoint:
+    """The JSONL checkpoint used by :func:`run_campaign`, result codec wired."""
+    return JsonlCheckpoint(
+        path,
+        encode_result=instance_result_to_dict,
+        decode_result=instance_result_from_dict,
+    )
 
 
 def run_campaign(
     config: CampaignConfig,
     *,
-    progress: Optional[callable] = None,
+    workers: int = 0,
+    timeout: Optional[float] = None,
+    max_retries: int = 0,
+    retry_backoff_s: float = 0.25,
+    checkpoint_path: Optional[str] = None,
+    resume: bool = False,
+    progress: Optional[Callable[[int, int, JobOutcome], None]] = None,
+    job_fn: Optional[Callable[[int, int, float], InstanceResult]] = None,
 ) -> Campaign:
-    """Execute every job in the grid; ``progress(done, total, result)`` is
-    invoked after each instance when given."""
+    """Execute every job in the grid; always returns a complete Campaign.
+
+    ``workers=0`` runs inline; ``workers>=1`` shards the grid over a
+    process pool (bit-identical results, see module docstring).  With
+    ``checkpoint_path`` every outcome is flushed to a JSONL log as it
+    lands; ``resume=True`` additionally replays an existing log first and
+    skips the jobs it already completed (failed jobs are re-run).
+
+    ``progress(done, total, outcome)`` is invoked after each freshly
+    executed job.  ``job_fn`` swaps the per-job callable — the hook the
+    fault-injection tests use; it must be picklable for ``workers>=1``.
+    """
     from .. import __version__
 
+    fn = job_fn if job_fn is not None else run_instance
+    keys = config.jobs()
+    jobs = [Job(key=key, args=key) for key in keys]
+
+    checkpoint: Optional[JsonlCheckpoint] = None
+    completed: Dict[JobKey, JobOutcome] = {}
+    if checkpoint_path is not None:
+        checkpoint = campaign_checkpoint(checkpoint_path)
+        if resume and checkpoint.exists():
+            grid = set(keys)
+            completed = {
+                key: outcome
+                for key, outcome in checkpoint.load().items()
+                if key in grid and outcome.ok
+            }
+
+    pending = [job for job in jobs if job.key not in completed]
+
     campaign = Campaign(
-        config=config, started_at=time.time(), version=__version__
+        config=config,
+        started_at=time.time(),
+        version=__version__,
+        workers=workers,
     )
-    jobs = config.jobs()
-    t0 = time.perf_counter()
-    for k, (seed, size) in enumerate(jobs, start=1):
-        result = run_instance(seed, size, config.spacing)
-        campaign.results.append(result)
+
+    def _progress(done: int, total: int, outcome: JobOutcome) -> None:
         if progress is not None:
-            progress(k, len(jobs), result)
+            progress(done + len(completed), len(jobs), outcome)
+
+    t0 = time.perf_counter()
+    try:
+        executed = run_jobs(
+            fn,
+            pending,
+            workers=workers,
+            timeout=timeout,
+            max_retries=max_retries,
+            retry_backoff_s=retry_backoff_s,
+            checkpoint=checkpoint,
+            progress=_progress,
+        )
+    finally:
+        if checkpoint is not None:
+            checkpoint.close()
+
+    by_key = dict(completed)
+    by_key.update({o.key: o for o in executed})
+    for job in jobs:
+        outcome = by_key[job.key]
+        campaign.metrics.append(outcome.metrics)
+        if outcome.ok:
+            campaign.results.append(outcome.result)
+        else:
+            campaign.failures.append(outcome.failure)
     campaign.elapsed_seconds = time.perf_counter() - t0
     return campaign
 

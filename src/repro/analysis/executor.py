@@ -1,0 +1,572 @@
+"""Fault-tolerant job execution: process pool, timeouts, retries, checkpoints.
+
+The experiment campaigns (and any future sweep) need to run thousands of
+independent jobs without a single hang or crash losing the whole run.  This
+module provides the machinery, decoupled from what a "job" computes:
+
+* :func:`run_jobs` — execute a list of :class:`Job` either inline (serial
+  fallback, ``workers=0``) or on a pool of worker *processes*
+  (``workers>=1``).  Each job runs to completion, raises, or exceeds its
+  deadline; the pool kills and respawns a hung worker, so one pathological
+  instance cannot stall a sweep.
+* retry with exponential backoff — a failed or timed-out job is re-queued
+  up to ``max_retries`` times before a structured :class:`JobFailure` is
+  recorded in its place.  The sweep always completes.
+* :class:`JsonlCheckpoint` — an append-only JSONL log of finished jobs.
+  Every outcome (success or failure) is flushed as soon as it is known, so
+  a killed campaign can be resumed by replaying the log and skipping the
+  keys already done.
+* :class:`JobMetrics` — per-job wall-clock and peak RSS, captured inside
+  the worker, for runtime observability.
+
+Determinism: the pool only changes *where* a job runs, never its inputs —
+every job is fully determined by its ``args`` — so results are identical
+to the serial path at any worker count.  Outcomes are returned in the
+original job order regardless of completion order.
+
+Jobs and their results cross process boundaries, so ``fn``, ``args`` and
+results must be picklable; use module-level functions.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Job",
+    "JobFailure",
+    "JobMetrics",
+    "JobOutcome",
+    "JsonlCheckpoint",
+    "run_jobs",
+]
+
+Key = Tuple  # JSON-representable scalars identifying a job
+
+
+@dataclass(frozen=True)
+class Job:
+    """One unit of work: a stable identity plus the arguments for ``fn``."""
+
+    key: Key
+    args: Tuple = ()
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """Structured record of a job that exhausted its retry budget."""
+
+    key: Key
+    error_type: str
+    message: str
+    attempts: int
+    elapsed_s: float
+
+
+@dataclass(frozen=True)
+class JobMetrics:
+    """Observability record for one finished job (success or failure)."""
+
+    key: Key
+    runtime_s: float
+    max_rss_kb: int
+    attempts: int
+    worker: int  #: worker slot index; -1 for the inline serial path
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """Terminal state of one job: exactly one of ``result``/``failure``."""
+
+    key: Key
+    result: Any
+    failure: Optional[JobFailure]
+    metrics: JobMetrics
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+
+# -- worker side ---------------------------------------------------------------
+
+
+def _max_rss_kb() -> int:
+    """Peak RSS of this process in KiB (0 where resource is unavailable)."""
+    try:
+        import resource
+
+        rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        if sys.platform == "darwin":  # ru_maxrss is bytes on macOS, KiB on Linux
+            rss //= 1024
+        return int(rss)
+    except Exception:
+        return 0
+
+
+def _worker_main(conn, fn) -> None:
+    """Worker loop: receive ``(key, args)``, reply with a tagged payload.
+
+    Replies: ``("ok", key, result, runtime_s, rss_kb)`` or
+    ``("error", key, error_type, message, runtime_s, rss_kb)``.  A ``None``
+    message is the shutdown sentinel.
+    """
+    try:
+        while True:
+            msg = conn.recv()
+            if msg is None:
+                return
+            key, args = msg
+            t0 = time.perf_counter()
+            try:
+                result = fn(*args)
+                payload = ("ok", key, result, time.perf_counter() - t0, _max_rss_kb())
+            except Exception as exc:
+                payload = (
+                    "error",
+                    key,
+                    type(exc).__name__,
+                    _describe_error(exc),
+                    time.perf_counter() - t0,
+                    _max_rss_kb(),
+                )
+            try:
+                conn.send(payload)
+            except Exception as exc:  # e.g. unpicklable result
+                conn.send(
+                    (
+                        "error",
+                        key,
+                        type(exc).__name__,
+                        f"result not transferable: {exc}",
+                        time.perf_counter() - t0,
+                        _max_rss_kb(),
+                    )
+                )
+    except (EOFError, KeyboardInterrupt):
+        return
+
+
+def _describe_error(exc: BaseException) -> str:
+    tb = traceback.format_exception_only(type(exc), exc)
+    return "".join(tb).strip()
+
+
+# -- checkpointing -------------------------------------------------------------
+
+
+class JsonlCheckpoint:
+    """Append-only JSONL log of job outcomes, for kill-safe resumption.
+
+    One JSON object per line; each line is flushed (and fsynced) as soon as
+    the outcome is known, so a killed run loses at most the in-flight jobs.
+    ``load`` replays the log into ``{key: JobOutcome}``; when a key appears
+    more than once (a failure later retried by a resumed run) the *last*
+    line wins.
+
+    ``encode_result``/``decode_result`` translate job results to and from
+    JSON-ready dicts; the identity passthrough is used when omitted.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        encode_result: Optional[Callable[[Any], Any]] = None,
+        decode_result: Optional[Callable[[Any], Any]] = None,
+    ) -> None:
+        self.path = path
+        self._encode = encode_result or (lambda r: r)
+        self._decode = decode_result or (lambda d: d)
+        self._fh = None
+
+    def exists(self) -> bool:
+        return os.path.exists(self.path)
+
+    def load(self) -> Dict[Key, JobOutcome]:
+        """Replay the log; later lines for the same key supersede earlier."""
+        outcomes: Dict[Key, JobOutcome] = {}
+        if not self.exists():
+            return outcomes
+        with open(self.path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn final line from a killed run
+                outcome = self._entry_to_outcome(entry)
+                outcomes[outcome.key] = outcome
+        return outcomes
+
+    def record(self, outcome: JobOutcome) -> None:
+        if self._fh is None:
+            self._fh = open(self.path, "a")
+        json.dump(self._outcome_to_entry(outcome), self._fh)
+        self._fh.write("\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JsonlCheckpoint":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- line codecs -----------------------------------------------------------
+
+    def _outcome_to_entry(self, outcome: JobOutcome) -> Dict[str, Any]:
+        m = outcome.metrics
+        entry: Dict[str, Any] = {
+            "kind": "result" if outcome.ok else "failure",
+            "key": list(outcome.key),
+            "metrics": {
+                "runtime_s": m.runtime_s,
+                "max_rss_kb": m.max_rss_kb,
+                "attempts": m.attempts,
+                "worker": m.worker,
+            },
+        }
+        if outcome.ok:
+            entry["result"] = self._encode(outcome.result)
+        else:
+            f = outcome.failure
+            entry["failure"] = {
+                "error_type": f.error_type,
+                "message": f.message,
+                "attempts": f.attempts,
+                "elapsed_s": f.elapsed_s,
+            }
+        return entry
+
+    def _entry_to_outcome(self, entry: Dict[str, Any]) -> JobOutcome:
+        key = tuple(entry["key"])
+        m = entry.get("metrics", {})
+        metrics = JobMetrics(
+            key=key,
+            runtime_s=float(m.get("runtime_s", 0.0)),
+            max_rss_kb=int(m.get("max_rss_kb", 0)),
+            attempts=int(m.get("attempts", 1)),
+            worker=int(m.get("worker", -1)),
+        )
+        if entry.get("kind") == "failure":
+            f = entry["failure"]
+            failure = JobFailure(
+                key=key,
+                error_type=f["error_type"],
+                message=f["message"],
+                attempts=int(f["attempts"]),
+                elapsed_s=float(f["elapsed_s"]),
+            )
+            return JobOutcome(key=key, result=None, failure=failure, metrics=metrics)
+        return JobOutcome(
+            key=key,
+            result=self._decode(entry["result"]),
+            failure=None,
+            metrics=metrics,
+        )
+
+
+# -- execution -----------------------------------------------------------------
+
+
+def run_jobs(
+    fn: Callable,
+    jobs: Sequence[Job],
+    *,
+    workers: int = 0,
+    timeout: Optional[float] = None,
+    max_retries: int = 0,
+    retry_backoff_s: float = 0.25,
+    checkpoint: Optional[JsonlCheckpoint] = None,
+    progress: Optional[Callable[[int, int, JobOutcome], None]] = None,
+) -> List[JobOutcome]:
+    """Run every job; return one :class:`JobOutcome` per job, in job order.
+
+    ``workers=0`` runs inline in this process (serial fallback; ``timeout``
+    is not enforceable without process isolation and raises if requested).
+    ``workers>=1`` runs on a pool of worker processes; a worker that
+    exceeds ``timeout`` seconds on one job is killed and respawned.
+
+    A job that raises (or times out / crashes its worker) is retried up to
+    ``max_retries`` times with exponential backoff before a
+    :class:`JobFailure` outcome is recorded; the call itself never raises
+    for job-level errors, so a sweep always completes.
+
+    ``checkpoint.record`` is called with each outcome the moment it is
+    final; ``progress(done, total, outcome)`` after that.
+    """
+    if workers < 0:
+        raise ValueError("workers must be >= 0")
+    if max_retries < 0:
+        raise ValueError("max_retries must be >= 0")
+    if timeout is not None and timeout <= 0:
+        raise ValueError("timeout must be positive")
+    keys = [job.key for job in jobs]
+    if len(set(keys)) != len(keys):
+        raise ValueError("job keys must be unique")
+    if not jobs:
+        return []
+    if workers == 0:
+        if timeout is not None:
+            raise ValueError(
+                "per-job timeouts need process isolation; use workers >= 1"
+            )
+        return _run_inline(fn, jobs, max_retries, retry_backoff_s, checkpoint, progress)
+    return _run_pool(
+        fn, jobs, workers, timeout, max_retries, retry_backoff_s, checkpoint, progress
+    )
+
+
+def _finalize(
+    outcome: JobOutcome,
+    done: int,
+    total: int,
+    checkpoint: Optional[JsonlCheckpoint],
+    progress: Optional[Callable],
+) -> None:
+    if checkpoint is not None:
+        checkpoint.record(outcome)
+    if progress is not None:
+        progress(done, total, outcome)
+
+
+def _backoff_delay(retry_backoff_s: float, attempt: int) -> float:
+    """Delay before attempt ``attempt+1`` (exponential in prior retries)."""
+    return retry_backoff_s * (2 ** (attempt - 1))
+
+
+def _run_inline(fn, jobs, max_retries, retry_backoff_s, checkpoint, progress):
+    outcomes: List[JobOutcome] = []
+    total = len(jobs)
+    for job in jobs:
+        attempt = 0
+        t_first = time.perf_counter()
+        while True:
+            attempt += 1
+            t0 = time.perf_counter()
+            try:
+                result = fn(*job.args)
+            except Exception as exc:
+                if attempt <= max_retries:
+                    time.sleep(_backoff_delay(retry_backoff_s, attempt))
+                    continue
+                failure = JobFailure(
+                    key=job.key,
+                    error_type=type(exc).__name__,
+                    message=_describe_error(exc),
+                    attempts=attempt,
+                    elapsed_s=time.perf_counter() - t_first,
+                )
+                metrics = JobMetrics(
+                    key=job.key,
+                    runtime_s=time.perf_counter() - t0,
+                    max_rss_kb=_max_rss_kb(),
+                    attempts=attempt,
+                    worker=-1,
+                )
+                outcomes.append(JobOutcome(job.key, None, failure, metrics))
+                break
+            metrics = JobMetrics(
+                key=job.key,
+                runtime_s=time.perf_counter() - t0,
+                max_rss_kb=_max_rss_kb(),
+                attempts=attempt,
+                worker=-1,
+            )
+            outcomes.append(JobOutcome(job.key, result, None, metrics))
+            break
+        _finalize(outcomes[-1], len(outcomes), total, checkpoint, progress)
+    return outcomes
+
+
+class _Worker:
+    """One pool slot: a process plus its duplex pipe."""
+
+    def __init__(self, fn, slot: int) -> None:
+        import multiprocessing as mp
+
+        self.slot = slot
+        parent_conn, child_conn = mp.Pipe(duplex=True)
+        self.conn = parent_conn
+        self.process = mp.Process(
+            target=_worker_main, args=(child_conn, fn), daemon=True
+        )
+        self.process.start()
+        child_conn.close()
+
+    def send(self, job: Job) -> None:
+        self.conn.send((job.key, job.args))
+
+    def stop(self) -> None:
+        """Graceful shutdown of an idle worker."""
+        try:
+            self.conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        self.process.join(timeout=2.0)
+        self.kill()
+
+    def kill(self) -> None:
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=2.0)
+            if self.process.is_alive():
+                self.process.kill()
+                self.process.join(timeout=2.0)
+        self.conn.close()
+
+
+@dataclass
+class _Assignment:
+    job: Job
+    attempt: int
+    started: float
+    deadline: Optional[float]
+
+
+def _run_pool(
+    fn, jobs, workers, timeout, max_retries, retry_backoff_s, checkpoint, progress
+):
+    from multiprocessing.connection import wait as wait_connections
+
+    total = len(jobs)
+    # (job, attempt, not_before): retried jobs carry a backoff gate
+    pending: List[Tuple[Job, int, float]] = [(job, 1, 0.0) for job in jobs]
+    first_start: Dict[Key, float] = {}
+    outcomes: Dict[Key, JobOutcome] = {}
+    pool: List[_Worker] = [_Worker(fn, i) for i in range(min(workers, total))]
+    busy: Dict[int, _Assignment] = {}  # slot -> assignment
+
+    def settle(assign: _Assignment, outcome: JobOutcome) -> None:
+        outcomes[assign.job.key] = outcome
+        _finalize(outcome, len(outcomes), total, checkpoint, progress)
+
+    def retry_or_fail(
+        slot: int, assign: _Assignment, error_type: str, message: str
+    ) -> None:
+        if assign.attempt <= max_retries:
+            not_before = time.monotonic() + _backoff_delay(
+                retry_backoff_s, assign.attempt
+            )
+            pending.append((assign.job, assign.attempt + 1, not_before))
+            return
+        elapsed = time.monotonic() - first_start[assign.job.key]
+        failure = JobFailure(
+            key=assign.job.key,
+            error_type=error_type,
+            message=message,
+            attempts=assign.attempt,
+            elapsed_s=elapsed,
+        )
+        metrics = JobMetrics(
+            key=assign.job.key,
+            runtime_s=time.monotonic() - assign.started,
+            max_rss_kb=0,
+            attempts=assign.attempt,
+            worker=slot,
+        )
+        settle(assign, JobOutcome(assign.job.key, None, failure, metrics))
+
+    try:
+        while len(outcomes) < total:
+            now = time.monotonic()
+            # hand ready pending jobs to idle workers
+            for w in pool:
+                if w.slot in busy:
+                    continue
+                idx = next(
+                    (i for i, (_, _, nb) in enumerate(pending) if nb <= now), None
+                )
+                if idx is None:
+                    break
+                job, attempt, _ = pending.pop(idx)
+                first_start.setdefault(job.key, now)
+                w.send(job)
+                busy[w.slot] = _Assignment(
+                    job, attempt, now, now + timeout if timeout else None
+                )
+
+            if not busy:
+                # nothing running: wait for the earliest backoff gate
+                gates = [nb for (_, _, nb) in pending if nb > now]
+                if gates:
+                    time.sleep(min(gates) - now)
+                    continue
+                raise RuntimeError("executor stalled with idle workers")  # pragma: no cover
+
+            # wait for a reply or the nearest deadline
+            deadlines = [a.deadline for a in busy.values() if a.deadline is not None]
+            wait_s = None
+            if deadlines:
+                wait_s = max(0.0, min(deadlines) - time.monotonic())
+            by_conn = {w.conn: w for w in pool if w.slot in busy}
+            ready = wait_connections(list(by_conn), timeout=wait_s)
+
+            for conn in ready:
+                w = by_conn[conn]
+                assign = busy.pop(w.slot)
+                try:
+                    payload = conn.recv()
+                except (EOFError, OSError):
+                    # worker died mid-job (hard crash); respawn the slot
+                    w.kill()
+                    pool[pool.index(w)] = _Worker(fn, w.slot)
+                    retry_or_fail(
+                        w.slot, assign, "WorkerCrashed", "worker process died"
+                    )
+                    continue
+                tag = payload[0]
+                if tag == "ok":
+                    _, _key, result, runtime_s, rss_kb = payload
+                    metrics = JobMetrics(
+                        key=assign.job.key,
+                        runtime_s=runtime_s,
+                        max_rss_kb=rss_kb,
+                        attempts=assign.attempt,
+                        worker=w.slot,
+                    )
+                    settle(
+                        assign, JobOutcome(assign.job.key, result, None, metrics)
+                    )
+                else:
+                    _, _key, error_type, message, _runtime_s, _rss = payload
+                    retry_or_fail(w.slot, assign, error_type, message)
+
+            # enforce deadlines on workers that did not reply
+            now = time.monotonic()
+            for w in pool:
+                assign = busy.get(w.slot)
+                if assign is None or assign.deadline is None:
+                    continue
+                if now >= assign.deadline:
+                    busy.pop(w.slot)
+                    w.kill()
+                    pool[pool.index(w)] = _Worker(fn, w.slot)
+                    retry_or_fail(
+                        w.slot,
+                        assign,
+                        "JobTimeout",
+                        f"exceeded {timeout}s deadline",
+                    )
+    finally:
+        for w in pool:
+            if w.slot in busy:
+                w.kill()
+            else:
+                w.stop()
+
+    return [outcomes[job.key] for job in jobs]

@@ -47,6 +47,7 @@ class InstanceResult:
     rep_min_ard_cost: float
     rep_runtime_s: float
     rep_cost_at_sizing_ard: Optional[float]  # cheapest repeater sol <= sizing diam
+    spacing: float = 0.0        # insertion spacing (um) this instance used
 
 
 def run_instance(
@@ -78,6 +79,7 @@ def run_instance(
         rep_min_ard_cost=rep_best.cost,
         rep_runtime_s=repeater.stats.runtime_seconds,
         rep_cost_at_sizing_ard=None if matching is None else matching.cost,
+        spacing=spacing,
     )
 
 
@@ -169,19 +171,35 @@ def table3(results: Sequence[InstanceResult]) -> Table:
     return t
 
 
-def table4(results: Sequence[InstanceResult]) -> Table:
-    """Table IV: average optimizer CPU seconds per net size and mode."""
-    t = Table(
-        "Table IV: average run times (CPU seconds)",
-        ["pins", "repeater insertion", "driver sizing"],
-    )
+def table4(
+    results: Sequence[InstanceResult], metrics: Optional[Sequence] = None
+) -> Table:
+    """Table IV: average optimizer CPU seconds per net size and mode.
+
+    With campaign ``metrics`` (per-job :class:`~repro.analysis.executor.
+    JobMetrics`-shaped records keyed ``(seed, size, spacing)``), two
+    observability columns join the paper's: average end-to-end job
+    wall-clock and the peak worker RSS seen for that size.
+    """
+    columns = ["pins", "repeater insertion", "driver sizing"]
+    if metrics is not None:
+        columns += ["job wall (s)", "peak RSS (MB)"]
+    t = Table("Table IV: average run times (CPU seconds)", columns)
     for n_pins in sorted({r.n_pins for r in results}):
         group = [r for r in results if r.n_pins == n_pins]
-        t.add_row(
+        row = [
             n_pins,
             _avg(r.rep_runtime_s for r in group),
             _avg(r.sizing_runtime_s for r in group),
-        )
+        ]
+        if metrics is not None:
+            mgroup = [m for m in metrics if m.key[1] == n_pins]
+            if mgroup:
+                row.append(_avg(m.runtime_s for m in mgroup))
+                row.append(max(m.max_rss_kb for m in mgroup) / 1024.0)
+            else:
+                row += [float("nan"), float("nan")]
+        t.add_row(*row)
     t.add_note("this machine, pure-Python implementation; the paper used a SPARC 10.")
     return t
 

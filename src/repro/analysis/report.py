@@ -7,6 +7,7 @@ writes a copy under ``benchmarks/results/``.
 
 from __future__ import annotations
 
+import math
 import os
 from typing import List, Optional, Sequence
 
@@ -55,6 +56,8 @@ class Table:
 
 def _fmt(value: object) -> str:
     if isinstance(value, float):
+        if not math.isfinite(value):
+            return "n/a"  # e.g. a size group with no repeater sol at DS diam
         if value == int(value) and abs(value) < 1e15:
             return f"{value:.1f}"
         if abs(value) >= 1000:

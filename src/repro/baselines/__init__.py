@@ -5,6 +5,7 @@ from .pairwise import (
     PairwiseConstraint,
     PairwiseSpec,
     Violation,
+    bruteforce_ard,
     check_constraints,
     greedy_pairwise_repair,
     spec_from_ard,
@@ -18,6 +19,7 @@ __all__ = [
     "PairwiseConstraint",
     "PairwiseSpec",
     "Violation",
+    "bruteforce_ard",
     "check_constraints",
     "greedy_pairwise_repair",
     "spec_from_ard",

@@ -38,9 +38,44 @@ __all__ = [
     "PairwiseSpec",
     "Violation",
     "spec_from_ard",
+    "bruteforce_ard",
     "check_constraints",
     "greedy_pairwise_repair",
 ]
+
+
+def bruteforce_ard(
+    tree: RoutingTree,
+    tech: Technology,
+    assignment: Optional[Dict[int, Repeater]] = None,
+) -> float:
+    """O(n²) all-pairs ARD: the reference the linear Fig. 2 pass must match.
+
+    ``max over sources u, sinks v != u of alpha(u) + PD(u, v) + beta(v)``,
+    each path delay walked explicitly — no subtree decomposition, so this
+    is the independent oracle for the differential tests.  Returns ``-inf``
+    for nets without a source/sink pair.
+    """
+    analyzer = ElmoreAnalyzer(tree, tech, assignment)
+    best = float("-inf")
+    for u in tree.terminal_indices():
+        tu = tree.node(u).terminal
+        if not tu.is_source:
+            continue
+        for v in tree.terminal_indices():
+            if v == u:
+                continue
+            tv = tree.node(v).terminal
+            if not tv.is_sink:
+                continue
+            delay = (
+                tu.arrival_time
+                + analyzer.path_delay(u, v)
+                + tv.downstream_delay
+            )
+            if delay > best:
+                best = delay
+    return best
 
 
 @dataclass(frozen=True)

@@ -148,8 +148,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--sizes", type=int, nargs="+", default=[10, 20], help="net cardinalities"
     )
     c.add_argument("--spacing", type=float, default=PAPER_SPACING_UM)
+    c.add_argument(
+        "--spacings",
+        type=float,
+        nargs="+",
+        help="sweep several insertion spacings (um) instead of --spacing",
+    )
     c.add_argument("--label", default="cli")
     c.add_argument("--output", "-o", required=True, help="campaign JSON path")
+    c.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes (0 = in-process serial; results are identical "
+        "at any worker count)",
+    )
+    c.add_argument(
+        "--timeout",
+        type=float,
+        help="per-job timeout in seconds (requires --workers >= 1)",
+    )
+    c.add_argument(
+        "--max-retries",
+        type=int,
+        default=0,
+        help="re-run a failed or timed-out job up to N times before "
+        "recording a structured failure",
+    )
+    c.add_argument(
+        "--checkpoint",
+        help="JSONL checkpoint path (default: <output>.checkpoint.jsonl)",
+    )
+    c.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay the checkpoint and re-run only missing or failed jobs",
+    )
 
     return parser
 
@@ -343,24 +377,48 @@ def _cmd_campaign(args) -> int:
         sizes=tuple(args.sizes),
         spacing=args.spacing,
         label=args.label,
+        spacings=tuple(args.spacings) if args.spacings else (),
     )
+    checkpoint = args.checkpoint or (args.output + ".checkpoint.jsonl")
 
-    def progress(done, total, result):
-        print(
-            f"[{done}/{total}] seed {result.seed} pins {result.n_pins}: "
-            f"RI diam {result.rep_min_ard / result.base_ard:.3f}x, "
-            f"DS diam {result.sizing_min_ard / result.base_ard:.3f}x "
-            f"({result.rep_runtime_s:.1f}s)"
-        )
+    def progress(done, total, outcome):
+        seed, pins, _spacing = outcome.key
+        if outcome.ok:
+            r = outcome.result
+            print(
+                f"[{done}/{total}] seed {seed} pins {pins}: "
+                f"RI diam {r.rep_min_ard / r.base_ard:.3f}x, "
+                f"DS diam {r.sizing_min_ard / r.base_ard:.3f}x "
+                f"({outcome.metrics.runtime_s:.1f}s)"
+            )
+        else:
+            f = outcome.failure
+            print(
+                f"[{done}/{total}] seed {seed} pins {pins}: FAILED "
+                f"({f.error_type} after {f.attempts} attempt(s): {f.message})"
+            )
 
-    campaign = run_campaign(config, progress=progress)
+    campaign = run_campaign(
+        config,
+        workers=args.workers,
+        timeout=args.timeout,
+        max_retries=args.max_retries,
+        checkpoint_path=checkpoint,
+        resume=args.resume,
+        progress=progress,
+    )
     campaign.save(args.output)
     print()
     print(campaign.summary())
     print()
     print(campaign.runtime_summary())
     print(f"\ncampaign saved to {args.output} "
-          f"({campaign.elapsed_seconds:.1f}s total)")
+          f"({campaign.elapsed_seconds:.1f}s total, "
+          f"checkpoint: {checkpoint})")
+    if campaign.failures:
+        print(f"{len(campaign.failures)} job(s) failed; "
+              f"re-run with --resume to retry them")
+        return 1
     return 0
 
 

@@ -1,23 +1,41 @@
-"""JSON serialization of nets, technologies, libraries and assignments.
+"""JSON serialization of nets, technologies, assignments and campaigns.
 
 Keeps experiment inputs and optimizer outputs on disk in a stable,
 human-inspectable format so runs are reproducible and shareable.  The
 schema is versioned; loaders reject unknown versions rather than guess.
+
+Campaign records are versioned separately (``CAMPAIGN_SCHEMA``):
+
+* **v1** — config + results only (the original serial runner).
+* **v2** — adds per-result insertion spacing, structured failure records,
+  per-job runtime/memory metrics, and the worker count.  v1 files load
+  transparently: per-result spacing is backfilled from the config and the
+  failure/metrics sections default to empty.
+
+The campaign codecs live here (rather than in ``analysis.campaign``) so
+the on-disk format has a single owner; they import the analysis types
+lazily to keep this module import-light.
 """
 
 from __future__ import annotations
 
 import json
 import math
-from typing import Any, Dict
+from typing import TYPE_CHECKING, Any, Dict, List
 
 from ..rctree.topology import Node, NodeKind, RoutingTree
 from ..tech.buffers import Repeater
 from ..tech.parameters import Technology
 from ..tech.terminals import Terminal
 
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..analysis.campaign import Campaign
+    from ..analysis.executor import JobFailure, JobMetrics
+    from ..analysis.experiments import InstanceResult
+
 __all__ = [
     "SCHEMA_VERSION",
+    "CAMPAIGN_SCHEMA",
     "tree_to_dict",
     "tree_from_dict",
     "save_tree",
@@ -28,9 +46,20 @@ __all__ = [
     "repeater_from_dict",
     "assignment_to_dict",
     "assignment_from_dict",
+    "instance_result_to_dict",
+    "instance_result_from_dict",
+    "job_failure_to_dict",
+    "job_failure_from_dict",
+    "job_metrics_to_dict",
+    "job_metrics_from_dict",
+    "campaign_to_dict",
+    "campaign_from_dict",
 ]
 
 SCHEMA_VERSION = 1
+
+#: Current version of the campaign record format (see module docstring).
+CAMPAIGN_SCHEMA = 2
 
 #: JSON has no -inf literal; encode the NEVER sentinel explicitly.
 _NEVER_TOKEN = "never"
@@ -170,3 +199,123 @@ def assignment_to_dict(assignment: Dict[int, Repeater]) -> Dict[str, Any]:
 
 def assignment_from_dict(data: Dict[str, Any]) -> Dict[int, Repeater]:
     return {int(idx): repeater_from_dict(d) for idx, d in data.items()}
+
+
+# -- campaign records (schema v2, v1 read-compat) ------------------------------
+
+
+def instance_result_to_dict(result: "InstanceResult") -> Dict[str, Any]:
+    import dataclasses
+
+    return dataclasses.asdict(result)
+
+
+def instance_result_from_dict(
+    d: Dict[str, Any], *, default_spacing: float = 0.0
+) -> "InstanceResult":
+    """Inverse of :func:`instance_result_to_dict`.
+
+    v1 records carry no per-result spacing; ``default_spacing`` (the
+    campaign-level config value) backfills it.
+    """
+    from ..analysis.experiments import InstanceResult
+
+    d = dict(d)
+    d.setdefault("spacing", default_spacing)
+    return InstanceResult(**d)
+
+
+def job_failure_to_dict(failure: "JobFailure") -> Dict[str, Any]:
+    return {
+        "key": list(failure.key),
+        "error_type": failure.error_type,
+        "message": failure.message,
+        "attempts": failure.attempts,
+        "elapsed_s": failure.elapsed_s,
+    }
+
+
+def job_failure_from_dict(d: Dict[str, Any]) -> "JobFailure":
+    from ..analysis.executor import JobFailure
+
+    return JobFailure(
+        key=tuple(d["key"]),
+        error_type=d["error_type"],
+        message=d["message"],
+        attempts=int(d["attempts"]),
+        elapsed_s=float(d["elapsed_s"]),
+    )
+
+
+def job_metrics_to_dict(metrics: "JobMetrics") -> Dict[str, Any]:
+    return {
+        "key": list(metrics.key),
+        "runtime_s": metrics.runtime_s,
+        "max_rss_kb": metrics.max_rss_kb,
+        "attempts": metrics.attempts,
+        "worker": metrics.worker,
+    }
+
+
+def job_metrics_from_dict(d: Dict[str, Any]) -> "JobMetrics":
+    from ..analysis.executor import JobMetrics
+
+    return JobMetrics(
+        key=tuple(d["key"]),
+        runtime_s=float(d["runtime_s"]),
+        max_rss_kb=int(d["max_rss_kb"]),
+        attempts=int(d["attempts"]),
+        worker=int(d.get("worker", -1)),
+    )
+
+
+def campaign_to_dict(campaign: "Campaign") -> Dict[str, Any]:
+    """The full campaign record, current (v2) schema."""
+    import dataclasses
+
+    return {
+        "schema": CAMPAIGN_SCHEMA,
+        "config": dataclasses.asdict(campaign.config),
+        "results": [instance_result_to_dict(r) for r in campaign.results],
+        "failures": [job_failure_to_dict(f) for f in campaign.failures],
+        "metrics": [job_metrics_to_dict(m) for m in campaign.metrics],
+        "started_at": campaign.started_at,
+        "elapsed_seconds": campaign.elapsed_seconds,
+        "version": campaign.version,
+        "workers": campaign.workers,
+    }
+
+
+def campaign_from_dict(data: Dict[str, Any]) -> "Campaign":
+    """Load a campaign record; accepts schema v1 and v2."""
+    from ..analysis.campaign import Campaign, CampaignConfig
+
+    schema = data.get("schema")
+    if schema not in (1, CAMPAIGN_SCHEMA):
+        raise ValueError(f"unsupported campaign schema: {schema!r}")
+    cfg = data["config"]
+    config = CampaignConfig(
+        seeds=tuple(cfg["seeds"]),
+        sizes=tuple(cfg["sizes"]),
+        spacing=float(cfg["spacing"]),
+        label=cfg.get("label", "default"),
+        spacings=tuple(float(s) for s in cfg.get("spacings", ())),
+    )
+    results = [
+        instance_result_from_dict(r, default_spacing=config.spacing)
+        for r in data["results"]
+    ]
+    failures: List[Any] = [
+        job_failure_from_dict(f) for f in data.get("failures", ())
+    ]
+    metrics: List[Any] = [job_metrics_from_dict(m) for m in data.get("metrics", ())]
+    return Campaign(
+        config=config,
+        results=results,
+        failures=failures,
+        metrics=metrics,
+        started_at=float(data.get("started_at", 0.0)),
+        elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
+        version=data.get("version", ""),
+        workers=int(data.get("workers", 0)),
+    )

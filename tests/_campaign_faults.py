@@ -1,0 +1,98 @@
+"""Picklable job functions for the campaign fault-injection tests.
+
+``run_campaign(job_fn=...)`` jobs cross process boundaries when
+``workers >= 1``, so every injected fault lives here as a module-level
+function.  Cross-process coordination uses environment variables (the
+pool's workers inherit the parent environment) pointing at scratch files.
+
+``REPRO_FAULT_CALL_LOG``  — when set, every invocation appends one
+    ``seed,size,spacing`` line (lets tests assert exactly which jobs ran).
+``REPRO_FAULT_MARKER``    — when set, ``transient_failure_seed1`` fails
+    seed-1 jobs until the marker file exists (created on first failure),
+    so a retry succeeds.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.analysis.experiments import InstanceResult
+
+
+def _log_call(seed: int, size: int, spacing: float) -> None:
+    path = os.environ.get("REPRO_FAULT_CALL_LOG")
+    if not path:
+        return
+    with open(path, "a") as fh:
+        fh.write(f"{seed},{size},{spacing}\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+
+
+def fake_instance(seed: int, size: int, spacing: float) -> InstanceResult:
+    """A deterministic, instant stand-in for ``run_instance``.
+
+    Runtime fields are pinned to 0.0 so two campaigns over the same grid
+    compare exactly equal.
+    """
+    _log_call(seed, size, spacing)
+    return InstanceResult(
+        seed=seed,
+        n_pins=size,
+        n_insertion_points=3 * size,
+        wirelength_um=1000.0 * size + seed,
+        base_cost=2.0 * size,
+        base_ard=100.0 + 10.0 * size + seed,
+        sizing_min_ard=80.0 + seed,
+        sizing_min_ard_cost=3.0 * size,
+        sizing_runtime_s=0.0,
+        rep_min_ard=60.0 + seed,
+        rep_min_ard_cost=4.0 * size,
+        rep_runtime_s=0.0,
+        rep_cost_at_sizing_ard=None,
+        spacing=spacing,
+    )
+
+
+def raise_on_seed1(seed: int, size: int, spacing: float) -> InstanceResult:
+    """Deterministic crash on every seed-1 job."""
+    if seed == 1:
+        _log_call(seed, size, spacing)
+        raise RuntimeError(f"injected failure for seed {seed}")
+    return fake_instance(seed, size, spacing)
+
+
+def hang_on_seed1(seed: int, size: int, spacing: float) -> InstanceResult:
+    """Seed-1 jobs hang far past any sane per-job timeout."""
+    if seed == 1:
+        _log_call(seed, size, spacing)
+        time.sleep(120.0)
+    return fake_instance(seed, size, spacing)
+
+
+def transient_failure_seed1(seed: int, size: int, spacing: float) -> InstanceResult:
+    """Seed-1 jobs fail exactly once, then succeed (exercises retries)."""
+    marker = os.environ["REPRO_FAULT_MARKER"]
+    if seed == 1 and not os.path.exists(marker):
+        open(marker, "w").close()
+        raise RuntimeError("injected transient failure")
+    return fake_instance(seed, size, spacing)
+
+
+def interrupt_on_seed1(seed: int, size: int, spacing: float) -> InstanceResult:
+    """Simulates the operator killing the campaign at the seed-1 job."""
+    if seed == 1:
+        raise KeyboardInterrupt
+    return fake_instance(seed, size, spacing)
+
+
+def die_on_seed1(seed: int, size: int, spacing: float) -> InstanceResult:
+    """Seed-1 jobs kill their worker process outright (segfault stand-in).
+
+    Only meaningful with ``workers >= 1`` — inline it would kill the test
+    runner itself.
+    """
+    if seed == 1:
+        os._exit(13)
+    return fake_instance(seed, size, spacing)

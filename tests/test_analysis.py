@@ -54,6 +54,24 @@ class TestTable:
         assert "1235" in out
         assert "0.123" in out
 
+    def test_non_finite_floats_render(self):
+        # regression: a size group where every rep_cost_at_sizing_ard is
+        # None averages to NaN and must render, not raise
+        t = Table("demo", ["x"])
+        t.add_row(float("nan"))
+        t.add_row(float("inf"))
+        assert t.render().count("n/a") == 2
+
+    def test_table2_all_unmatched_costs_render(self):
+        import dataclasses
+
+        from ._campaign_faults import fake_instance
+
+        r = dataclasses.replace(
+            fake_instance(0, 4, 800.0), rep_cost_at_sizing_ard=None
+        )
+        assert "n/a" in table2([r]).render()
+
     def test_save_text(self, tmp_path):
         path = save_text("t.txt", "hello", directory=str(tmp_path))
         with open(path) as fh:

@@ -1,5 +1,7 @@
-"""Tests for the campaign sweep runner and its persistence."""
+"""Tests for the campaign sweep runner: sharding, persistence, resumption."""
 
+import copy
+import dataclasses
 import json
 
 import pytest
@@ -7,15 +9,39 @@ import pytest
 from repro.analysis.campaign import (
     Campaign,
     CampaignConfig,
+    campaign_checkpoint,
     load_campaign,
     run_campaign,
 )
 
+from ._campaign_faults import fake_instance, interrupt_on_seed1
+
+
+def normalized(campaign: Campaign) -> dict:
+    """``to_dict`` stripped of timestamps and runtime-dependent fields."""
+    d = copy.deepcopy(campaign.to_dict())
+    for key in ("started_at", "elapsed_seconds", "metrics", "workers"):
+        d.pop(key)
+    for r in d["results"]:
+        r.pop("sizing_runtime_s")
+        r.pop("rep_runtime_s")
+    return d
+
 
 class TestConfig:
     def test_jobs_grid(self):
-        cfg = CampaignConfig(seeds=(0, 1), sizes=(4, 5))
-        assert cfg.jobs() == [(0, 4), (1, 4), (0, 5), (1, 5)]
+        cfg = CampaignConfig(seeds=(0, 1), sizes=(4, 5), spacing=700.0)
+        assert cfg.jobs() == [
+            (0, 4, 700.0),
+            (1, 4, 700.0),
+            (0, 5, 700.0),
+            (1, 5, 700.0),
+        ]
+
+    def test_jobs_grid_spacing_axis(self):
+        cfg = CampaignConfig(seeds=(0,), sizes=(4,), spacings=(400.0, 800.0))
+        assert cfg.jobs() == [(0, 4, 400.0), (0, 4, 800.0)]
+        assert cfg.sweep_spacings() == (400.0, 800.0)
 
     def test_validation(self):
         with pytest.raises(ValueError):
@@ -24,6 +50,8 @@ class TestConfig:
             CampaignConfig(sizes=())
         with pytest.raises(ValueError):
             CampaignConfig(spacing=0.0)
+        with pytest.raises(ValueError):
+            CampaignConfig(spacings=(800.0, -1.0))
 
 
 @pytest.fixture(scope="module")
@@ -35,16 +63,29 @@ def small_campaign():
 class TestRun:
     def test_all_jobs_completed(self, small_campaign):
         assert len(small_campaign.results) == 2
+        assert small_campaign.failures == []
+        assert len(small_campaign.metrics) == 2
         assert small_campaign.elapsed_seconds > 0
         assert small_campaign.version
+
+    def test_results_carry_spacing(self, small_campaign):
+        assert {r.spacing for r in small_campaign.results} == {
+            small_campaign.config.spacing
+        }
+
+    def test_metrics_are_populated(self, small_campaign):
+        for m in small_campaign.metrics:
+            assert m.runtime_s > 0
+            assert m.attempts == 1
+            assert m.worker == -1  # inline serial path
 
     def test_progress_callback(self):
         calls = []
         run_campaign(
             CampaignConfig(seeds=(0,), sizes=(4,)),
-            progress=lambda done, total, r: calls.append((done, total, r.seed)),
+            progress=lambda done, total, o: calls.append((done, total, o.key)),
         )
-        assert calls == [(1, 1, 0)]
+        assert calls == [(1, 1, (0, 4, 800.0))]
 
     def test_result_lookup(self, small_campaign):
         assert small_campaign.result_for(1, 4).seed == 1
@@ -54,6 +95,95 @@ class TestRun:
         assert "Table II" in small_campaign.summary().render()
         assert "run times" in small_campaign.runtime_summary().render()
 
+    def test_runtime_summary_has_metrics_columns(self, small_campaign):
+        rendered = small_campaign.runtime_summary().render()
+        assert "job wall" in rendered
+        assert "peak RSS" in rendered
+
+
+class TestResultForKeying:
+    """Regression: ``result_for`` keys on spacing and de-duplicates."""
+
+    def _campaign_with_duplicates(self):
+        cfg = CampaignConfig(seeds=(0,), sizes=(4,), spacings=(400.0, 800.0))
+        stale = dataclasses.replace(
+            fake_instance(0, 4, 800.0), rep_min_ard=999.0
+        )
+        fresh = fake_instance(0, 4, 800.0)
+        other_spacing = fake_instance(0, 4, 400.0)
+        return Campaign(
+            config=cfg, results=[other_spacing, stale, fresh]
+        )
+
+    def test_keys_on_spacing(self):
+        campaign = self._campaign_with_duplicates()
+        assert campaign.result_for(0, 4, 400.0).spacing == 400.0
+        assert campaign.result_for(0, 4, 800.0).spacing == 800.0
+        assert campaign.result_for(0, 4, 600.0) is None
+
+    def test_deduplicates_retried_jobs(self):
+        # the re-run (newest) record must win over the stale one
+        campaign = self._campaign_with_duplicates()
+        assert campaign.result_for(0, 4, 800.0).rep_min_ard != 999.0
+
+
+class TestDeterminism:
+    """Sharding must not perturb seeding: serial == pool at any width."""
+
+    CFG = CampaignConfig(seeds=(0, 1), sizes=(4,), label="determinism")
+
+    def test_worker_count_invariance(self):
+        serial = run_campaign(self.CFG)  # inline fallback, no pool
+        one = run_campaign(self.CFG, workers=1)
+        four = run_campaign(self.CFG, workers=4)
+        assert normalized(serial) == normalized(one) == normalized(four)
+
+    def test_pool_metrics_report_worker_slots(self):
+        pooled = run_campaign(self.CFG, workers=2)
+        assert {m.worker for m in pooled.metrics} <= {0, 1}
+        assert all(m.max_rss_kb > 0 for m in pooled.metrics)
+
+
+class TestCheckpointRoundTrip:
+    CFG = CampaignConfig(seeds=(0, 1, 2), sizes=(4, 5), label="ckpt")
+
+    def test_killed_campaign_resumes_to_identical_record(self, tmp_path):
+        ckpt = str(tmp_path / "campaign.checkpoint.jsonl")
+        # the operator's ctrl-C lands at the seed-1 job
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(
+                self.CFG, checkpoint_path=ckpt, job_fn=interrupt_on_seed1
+            )
+        partial = campaign_checkpoint(ckpt).load()
+        assert 0 < len(partial) < len(self.CFG.jobs())
+
+        resumed = run_campaign(
+            self.CFG, checkpoint_path=ckpt, resume=True, job_fn=fake_instance
+        )
+        uninterrupted = run_campaign(self.CFG, job_fn=fake_instance)
+        assert resumed.failures == []
+        assert normalized(resumed) == normalized(uninterrupted)
+
+    def test_resume_skips_completed_jobs(self, tmp_path, monkeypatch):
+        ckpt = str(tmp_path / "c.jsonl")
+        run_campaign(self.CFG, checkpoint_path=ckpt, job_fn=fake_instance)
+
+        log = tmp_path / "calls.log"
+        monkeypatch.setenv("REPRO_FAULT_CALL_LOG", str(log))
+        resumed = run_campaign(
+            self.CFG, checkpoint_path=ckpt, resume=True, job_fn=fake_instance
+        )
+        assert len(resumed.results) == len(self.CFG.jobs())
+        assert not log.exists()  # nothing re-executed
+
+    def test_checkpoint_survives_torn_final_line(self, tmp_path):
+        ckpt = str(tmp_path / "c.jsonl")
+        run_campaign(self.CFG, checkpoint_path=ckpt, job_fn=fake_instance)
+        with open(ckpt, "a") as fh:
+            fh.write('{"kind": "result", "key": [9, 9')  # kill -9 mid-write
+        loaded = campaign_checkpoint(ckpt).load()
+        assert set(loaded) == set(self.CFG.jobs())
+
 
 class TestPersistence:
     def test_roundtrip(self, small_campaign, tmp_path):
@@ -62,6 +192,8 @@ class TestPersistence:
         loaded = load_campaign(path)
         assert loaded.config == small_campaign.config
         assert loaded.results == small_campaign.results
+        assert loaded.failures == small_campaign.failures
+        assert loaded.metrics == small_campaign.metrics
         assert loaded.version == small_campaign.version
 
     def test_json_is_plain(self, small_campaign, tmp_path):
@@ -69,12 +201,30 @@ class TestPersistence:
         small_campaign.save(path)
         with open(path) as fh:
             data = json.load(fh)
-        assert data["schema"] == 1
+        assert data["schema"] == 2
         assert len(data["results"]) == 2
+        assert data["failures"] == []
+        assert len(data["metrics"]) == 2
 
     def test_schema_check(self):
         with pytest.raises(ValueError, match="schema"):
             Campaign.from_dict({"schema": 99})
+
+    def test_schema_v1_load_compat(self, small_campaign):
+        """v1 records (no spacing/failures/metrics) still load."""
+        v1 = copy.deepcopy(small_campaign.to_dict())
+        v1["schema"] = 1
+        for key in ("failures", "metrics", "workers"):
+            v1.pop(key)
+        v1["config"].pop("spacings")
+        for r in v1["results"]:
+            r.pop("spacing")
+        loaded = Campaign.from_dict(v1)
+        assert loaded.config == small_campaign.config
+        assert loaded.results == small_campaign.results  # spacing backfilled
+        assert loaded.failures == []
+        assert loaded.metrics == []
+        assert loaded.result_for(0, 4, small_campaign.config.spacing) is not None
 
     def test_summary_from_loaded(self, small_campaign, tmp_path):
         path = str(tmp_path / "campaign.json")

@@ -163,3 +163,33 @@ class TestCampaign:
         with open(out_path) as fh:
             data = json.load(fh)
         assert len(data["results"]) == 1
+
+    def test_campaign_workers_and_resume(self, tmp_path, capsys):
+        out_path = str(tmp_path / "campaign.json")
+        argv = ["campaign", "--seeds", "1", "--sizes", "4", "--workers", "2",
+                "-o", out_path]
+        assert main(argv) == 0
+        assert (tmp_path / "campaign.json.checkpoint.jsonl").exists()
+        capsys.readouterr()
+
+        # resuming a finished sweep executes nothing and still reports
+        assert main(argv + ["--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "[1/1]" not in out  # no job re-ran
+        assert "campaign saved" in out
+        with open(out_path) as fh:
+            data = json.load(fh)
+        assert data["schema"] == 2
+        assert data["workers"] == 2
+        assert data["failures"] == []
+
+    def test_campaign_spacings_axis(self, tmp_path):
+        out_path = str(tmp_path / "campaign.json")
+        rc = main(
+            ["campaign", "--seeds", "1", "--sizes", "4",
+             "--spacings", "600", "1200", "-o", out_path]
+        )
+        assert rc == 0
+        with open(out_path) as fh:
+            data = json.load(fh)
+        assert sorted(r["spacing"] for r in data["results"]) == [600.0, 1200.0]

@@ -1,0 +1,145 @@
+"""Differential property layer: linear-time ARD vs the all-pairs baseline.
+
+The paper's Fig. 2 recursion computes the augmented RC-diameter in one
+O(n) traversal; :func:`repro.baselines.pairwise.bruteforce_ard` walks
+every (source, sink) path explicitly with no subtree decomposition.  The
+two share only the Elmore engine, so agreement over hundreds of seeded
+random nets — bare, repeater-laden, and with randomized boundary
+penalties — pins the recursion down against an independent oracle.
+
+The whole layer runs under ``REPRO_CHECK=1`` (forced via the contracts
+context manager), so the runtime invariant contracts are armed for every
+evaluation as well.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import random
+
+import pytest
+
+from repro.baselines.pairwise import bruteforce_ard
+from repro.check import contracts
+from repro.core.ard import ard
+from repro.netgen.random_nets import random_net
+from repro.netgen.workloads import (
+    paper_net_spec,
+    paper_repeater_library,
+    paper_technology,
+)
+from repro.rctree.elmore import ElmoreAnalyzer
+from repro.rctree.topology import Node, RoutingTree
+
+N_NETS = 200
+SPACING_CHOICES = (400.0, 800.0, 1600.0, None)
+
+
+def _random_case(seed: int):
+    """One seeded net plus a random (possibly empty) repeater assignment."""
+    rng = random.Random(seed)
+    n_pins = rng.randint(3, 7)
+    spacing = SPACING_CHOICES[rng.randrange(len(SPACING_CHOICES))]
+    tree = random_net(seed, n_pins, paper_net_spec(), spacing=spacing)
+    options = paper_repeater_library().oriented_options()
+    assignment = {
+        idx: rng.choice(options)
+        for idx in tree.insertion_indices()
+        if rng.random() < 0.3
+    }
+    return tree, assignment
+
+
+def _with_random_penalties(tree: RoutingTree, rng: random.Random) -> RoutingTree:
+    """The same topology with randomized per-terminal alpha/beta."""
+    nodes = []
+    for node in tree.nodes:
+        if node.terminal is None:
+            nodes.append(node)
+            continue
+        term = dataclasses.replace(
+            node.terminal,
+            arrival_time=rng.uniform(0.0, 200.0),
+            downstream_delay=rng.uniform(0.0, 200.0),
+        )
+        nodes.append(Node(node.index, node.x, node.y, node.kind, term))
+    parent = [tree.parent(i) for i in range(len(tree))]
+    lengths = [tree.edge_length(i) for i in range(len(tree))]
+    return RoutingTree(nodes, parent, lengths)
+
+
+def _assert_close(linear: float, brute: float, context) -> None:
+    assert math.isclose(linear, brute, rel_tol=1e-9, abs_tol=1e-9), (
+        f"{context}: linear {linear!r} != brute-force {brute!r}"
+    )
+
+
+class TestARDDifferential:
+    def test_agrees_with_all_pairs_baseline_on_200_nets(self):
+        tech = paper_technology()
+        with contracts.checking():
+            for seed in range(N_NETS):
+                tree, assignment = _random_case(seed)
+                linear = ard(tree, tech, assignment)
+                brute = bruteforce_ard(tree, tech, assignment)
+                _assert_close(linear.value, brute, f"seed {seed}")
+
+    def test_agrees_under_random_boundary_penalties(self):
+        tech = paper_technology()
+        with contracts.checking():
+            for seed in range(0, N_NETS, 4):
+                rng = random.Random(10_000 + seed)
+                tree, assignment = _random_case(seed)
+                tree = _with_random_penalties(tree, rng)
+                linear = ard(tree, tech, assignment)
+                brute = bruteforce_ard(tree, tech, assignment)
+                _assert_close(linear.value, brute, f"penalized seed {seed}")
+
+    def test_critical_pair_achieves_the_reported_value(self):
+        tech = paper_technology()
+        with contracts.checking():
+            for seed in range(0, N_NETS, 4):
+                tree, assignment = _random_case(seed)
+                result = ard(tree, tech, assignment)
+                analyzer = ElmoreAnalyzer(tree, tech, assignment)
+                src_t = tree.node(result.source).terminal
+                snk_t = tree.node(result.sink).terminal
+                achieved = (
+                    src_t.arrival_time
+                    + analyzer.path_delay(result.source, result.sink)
+                    + snk_t.downstream_delay
+                )
+                _assert_close(result.value, achieved, f"argmax seed {seed}")
+
+    def test_sink_only_terminals_keep_modes_consistent(self):
+        """Mixed source/sink roles: the oracle honours the same role mask."""
+        tech = paper_technology()
+        with contracts.checking():
+            for seed in range(0, N_NETS, 8):
+                rng = random.Random(20_000 + seed)
+                tree, assignment = _random_case(seed)
+                nodes = []
+                for node in tree.nodes:
+                    term = node.terminal
+                    # the root must stay a source for the net to be driveable
+                    if (
+                        term is not None
+                        and node.index != tree.root
+                        and rng.random() < 0.3
+                    ):
+                        term = term.as_sink_only()
+                    nodes.append(
+                        node
+                        if term is node.terminal
+                        else Node(node.index, node.x, node.y, node.kind, term)
+                    )
+                parent = [tree.parent(i) for i in range(len(tree))]
+                lengths = [tree.edge_length(i) for i in range(len(tree))]
+                masked = RoutingTree(nodes, parent, lengths)
+                linear = ard(masked, tech, assignment)
+                brute = bruteforce_ard(masked, tech, assignment)
+                if not linear.is_finite:
+                    assert brute == -math.inf
+                    continue
+                _assert_close(linear.value, brute, f"masked seed {seed}")

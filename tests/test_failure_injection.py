@@ -2,7 +2,10 @@
 
 A production library's error surface is part of its API: every constructor
 and entry point should reject inconsistent inputs with a clear exception
-rather than silently producing wrong timing numbers.
+rather than silently producing wrong timing numbers.  The campaign section
+goes further and injects *runtime* faults — raising, hanging, and crashing
+workers — asserting the sweep still completes with structured failure
+records and resumes cleanly.
 """
 
 import json
@@ -10,6 +13,8 @@ import math
 
 import pytest
 
+from repro.analysis.campaign import CampaignConfig, run_campaign
+from repro.analysis.executor import Job, run_jobs
 from repro.core.msri import MSRIOptions, insert_repeaters
 from repro.io import tree_from_dict, tree_to_dict
 from repro.rctree import ElmoreAnalyzer, TreeBuilder
@@ -22,6 +27,7 @@ from repro.tech import (
     Terminal,
 )
 
+from . import _campaign_faults as faults
 from .conftest import make_terminal, two_pin_net, y_net
 
 TECH = Technology(0.1, 0.01)
@@ -150,6 +156,86 @@ class TestDegenerateOptimizationInputs:
         t = two_pin_net()
         res = insert_repeaters(t, TECH, MSRIOptions(library=RepeaterLibrary([REP])))
         assert res.min_cost_meeting(math.inf).cost == res.min_cost().cost
+
+
+class TestCampaignFaultInjection:
+    """Injected worker faults: the sweep completes, records, and resumes."""
+
+    CFG = CampaignConfig(seeds=(0, 1, 2), sizes=(4,), label="faults")
+
+    def test_raising_job_becomes_structured_failure(self):
+        campaign = run_campaign(self.CFG, job_fn=faults.raise_on_seed1)
+        assert len(campaign.results) == 2
+        assert len(campaign.failures) == 1
+        failure = campaign.failure_for(1, 4)
+        assert failure.error_type == "RuntimeError"
+        assert "injected failure" in failure.message
+        assert failure.attempts == 1
+        assert campaign.result_for(1, 4) is None
+
+    def test_raising_job_in_pool_mode(self):
+        campaign = run_campaign(
+            self.CFG, workers=2, job_fn=faults.raise_on_seed1
+        )
+        assert len(campaign.results) == 2
+        assert campaign.failure_for(1, 4).error_type == "RuntimeError"
+
+    def test_hung_worker_is_killed_at_the_deadline(self):
+        campaign = run_campaign(
+            self.CFG, workers=2, timeout=1.0, job_fn=faults.hang_on_seed1
+        )
+        assert len(campaign.results) == 2
+        failure = campaign.failure_for(1, 4)
+        assert failure.error_type == "JobTimeout"
+        assert "1.0s deadline" in failure.message
+
+    def test_crashed_worker_is_respawned(self):
+        campaign = run_campaign(
+            self.CFG, workers=2, job_fn=faults.die_on_seed1
+        )
+        assert len(campaign.results) == 2  # the pool survived the crash
+        assert campaign.failure_for(1, 4).error_type == "WorkerCrashed"
+
+    def test_transient_failure_is_retried_to_success(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_MARKER", str(tmp_path / "marker"))
+        campaign = run_campaign(
+            self.CFG,
+            max_retries=1,
+            retry_backoff_s=0.01,
+            job_fn=faults.transient_failure_seed1,
+        )
+        assert campaign.failures == []
+        assert len(campaign.results) == 3
+        attempts = {m.key[0]: m.attempts for m in campaign.metrics}
+        assert attempts == {0: 1, 1: 2, 2: 1}
+
+    def test_resume_reruns_only_the_failed_job(self, tmp_path, monkeypatch):
+        ckpt = str(tmp_path / "c.jsonl")
+        failed = run_campaign(
+            self.CFG, checkpoint_path=ckpt, job_fn=faults.raise_on_seed1
+        )
+        assert len(failed.failures) == 1
+
+        log = tmp_path / "calls.log"
+        monkeypatch.setenv("REPRO_FAULT_CALL_LOG", str(log))
+        resumed = run_campaign(
+            self.CFG,
+            checkpoint_path=ckpt,
+            resume=True,
+            job_fn=faults.fake_instance,
+        )
+        assert resumed.failures == []
+        assert len(resumed.results) == 3
+        executed = log.read_text().splitlines()
+        assert executed == ["1,4,800.0"]  # only the failed grid point
+
+    def test_timeout_without_workers_is_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            run_campaign(self.CFG, timeout=1.0)
+
+    def test_duplicate_job_keys_are_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            run_jobs(len, [Job(key=(1,), args=("a",))] * 2)
 
 
 class TestTerminalEdgeCases:
