@@ -63,8 +63,17 @@ from .netgen import (
     random_points,
     repeater_insertion_options,
 )
-from .rctree import ElmoreAnalyzer, RoutingTree, SlewAnalyzer, SlewModel, TreeBuilder
-from .sim import simulate_all, simulate_transaction, simulated_ard
+from .rctree import (
+    ElmoreAnalyzer,
+    EvalContext,
+    IncrementalARD,
+    RoutingTree,
+    SlewAnalyzer,
+    SlewModel,
+    TimingEngine,
+    TreeBuilder,
+)
+from .sim import SimulationEngine, simulate_all, simulate_transaction, simulated_ard
 from .steiner import add_insertion_points, build_steiner_topology
 from .tech import (
     DEFAULT_BUFFER,
@@ -95,8 +104,12 @@ __all__ = [
     "DriverOption",
     "make_driver_options",
     "ElmoreAnalyzer",
+    "EvalContext",
+    "IncrementalARD",
+    "TimingEngine",
     "SlewAnalyzer",
     "SlewModel",
+    "SimulationEngine",
     "simulate_all",
     "simulate_transaction",
     "simulated_ard",

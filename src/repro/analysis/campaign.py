@@ -228,6 +228,10 @@ def run_campaign(
 
     campaign = Campaign(
         config=config,
+        # epoch wall clock, for display/provenance only: it can jump (NTP,
+        # DST).  Every duration metric — elapsed_seconds below and the
+        # per-job JobMetrics.runtime_s in the executor — is measured on
+        # time.perf_counter(), which is monotonic.
         started_at=time.time(),
         version=__version__,
         workers=workers,

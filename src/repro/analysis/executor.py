@@ -441,6 +441,10 @@ class _Assignment:
 def _run_pool(
     fn, jobs, workers, timeout, max_retries, retry_backoff_s, checkpoint, progress
 ):
+    # every timestamp here is time.perf_counter(): monotonic (safe for the
+    # backoff gates and deadlines) and the same clock the workers and the
+    # inline path use for JobMetrics.runtime_s, so duration metrics are
+    # comparable across execution modes
     from multiprocessing.connection import wait as wait_connections
 
     total = len(jobs)
@@ -459,12 +463,12 @@ def _run_pool(
         slot: int, assign: _Assignment, error_type: str, message: str
     ) -> None:
         if assign.attempt <= max_retries:
-            not_before = time.monotonic() + _backoff_delay(
+            not_before = time.perf_counter() + _backoff_delay(
                 retry_backoff_s, assign.attempt
             )
             pending.append((assign.job, assign.attempt + 1, not_before))
             return
-        elapsed = time.monotonic() - first_start[assign.job.key]
+        elapsed = time.perf_counter() - first_start[assign.job.key]
         failure = JobFailure(
             key=assign.job.key,
             error_type=error_type,
@@ -474,7 +478,7 @@ def _run_pool(
         )
         metrics = JobMetrics(
             key=assign.job.key,
-            runtime_s=time.monotonic() - assign.started,
+            runtime_s=time.perf_counter() - assign.started,
             max_rss_kb=0,
             attempts=assign.attempt,
             worker=slot,
@@ -483,7 +487,7 @@ def _run_pool(
 
     try:
         while len(outcomes) < total:
-            now = time.monotonic()
+            now = time.perf_counter()
             # hand ready pending jobs to idle workers
             for w in pool:
                 if w.slot in busy:
@@ -512,7 +516,7 @@ def _run_pool(
             deadlines = [a.deadline for a in busy.values() if a.deadline is not None]
             wait_s = None
             if deadlines:
-                wait_s = max(0.0, min(deadlines) - time.monotonic())
+                wait_s = max(0.0, min(deadlines) - time.perf_counter())
             by_conn = {w.conn: w for w in pool if w.slot in busy}
             ready = wait_connections(list(by_conn), timeout=wait_s)
 
@@ -547,7 +551,7 @@ def _run_pool(
                     retry_or_fail(w.slot, assign, error_type, message)
 
             # enforce deadlines on workers that did not reply
-            now = time.monotonic()
+            now = time.perf_counter()
             for w in pool:
                 assign = busy.get(w.slot)
                 if assign is None or assign.deadline is None:

@@ -19,6 +19,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from ..core.ard import compute_ard
 from ..core.driver_sizing import DriverOption
 from ..rctree.elmore import ElmoreAnalyzer
+from ..rctree.engine import EvalContext
 from ..rctree.topology import NodeKind, RoutingTree
 from ..tech.buffers import Repeater, RepeaterLibrary
 from ..tech.parameters import Technology
@@ -113,7 +114,9 @@ def enumerate_assignments(
                     widths = {}
                     wire_cost = 0.0
                 analyzer = ElmoreAnalyzer(
-                    work_tree, tech, assignment, wire_widths=widths
+                    work_tree,
+                    tech,
+                    context=EvalContext(assignment=assignment, wire_widths=widths),
                 )
                 ard = compute_ard(analyzer).value
                 points.append(

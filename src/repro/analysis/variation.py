@@ -23,8 +23,9 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..core.ard import ard
-from ..rctree.topology import Node, NodeKind, RoutingTree
+from ..rctree.engine import EvalContext
+from ..rctree.incremental import IncrementalARD
+from ..rctree.topology import NodeKind, RoutingTree
 from ..tech.buffers import Repeater
 from ..tech.parameters import Technology
 
@@ -79,26 +80,47 @@ def monte_carlo_ard(
     samples: int = 100,
     seed: int = 0,
 ) -> VariationResult:
-    """Sample the ARD under die-to-die parameter variation."""
+    """Sample the ARD under die-to-die parameter variation.
+
+    All samples run on one persistent
+    :class:`~repro.rctree.incremental.IncrementalARD` engine: a sample is a
+    :meth:`set_wire_scale` (die-to-die wire corner) plus per-terminal and
+    per-repeater device overrides — no tree or engine rebuild per sample.
+    """
     if samples < 1:
         raise ValueError("need at least one sample")
     rng = np.random.default_rng(seed)
-    nominal = ard(tree, tech, assignment).value
+    base_assignment = dict(assignment or {})
+    engine = IncrementalARD(
+        tree, tech, context=EvalContext(assignment=base_assignment)
+    )
+    nominal = engine.evaluate(tree).value
+    terminals = [
+        (idx, tree.node(idx).terminal)
+        for idx in range(len(tree))
+        if tree.node(idx).kind is NodeKind.TERMINAL
+    ]
     values: List[float] = []
     for _ in range(samples):
         f_wr = _factor(rng, model.wire_resistance_spread)
         f_wc = _factor(rng, model.wire_capacitance_spread)
         f_dr = _factor(rng, model.device_resistance_spread)
         f_dc = _factor(rng, model.device_capacitance_spread)
-        var_tech = Technology(
-            tech.unit_resistance * f_wr,
-            tech.unit_capacitance * f_wc,
-            name=f"{tech.name}+var",
-            extras=dict(tech.extras),
+        engine.set_wire_scale(
+            resistance_factor=f_wr, capacitance_factor=f_wc
         )
-        var_tree = _scaled_devices(tree, f_dr, f_dc)
-        var_assignment = _scaled_repeaters(assignment or {}, f_dr, f_dc)
-        values.append(ard(var_tree, var_tech, var_assignment).value)
+        for idx, base in terminals:
+            engine.set_terminal(
+                idx,
+                dataclasses.replace(
+                    base,
+                    resistance=base.resistance * f_dr,
+                    capacitance=base.capacitance * f_dc,
+                ),
+            )
+        for idx, rep in _scaled_repeaters(base_assignment, f_dr, f_dc).items():
+            engine.set_assignment(idx, rep)
+        values.append(engine.evaluate(tree).value)
     arr = np.asarray(values)
     return VariationResult(
         nominal=nominal,
@@ -114,25 +136,6 @@ def _factor(rng, spread: float) -> float:
     if spread == 0.0:  # repro: noqa[R001] exact zero is the "disabled" sentinel, validated non-negative
         return 1.0
     return float(np.exp(rng.normal(0.0, spread / 3.0)))
-
-
-def _scaled_devices(tree: RoutingTree, f_r: float, f_c: float) -> RoutingTree:
-    nodes = []
-    for n in tree.nodes:
-        if n.kind is NodeKind.TERMINAL:
-            t = dataclasses.replace(
-                n.terminal,
-                resistance=n.terminal.resistance * f_r,
-                capacitance=n.terminal.capacitance * f_c,
-            )
-            nodes.append(Node(n.index, n.x, n.y, n.kind, t))
-        else:
-            nodes.append(n)
-    return RoutingTree(
-        nodes,
-        [tree.parent(i) for i in range(len(tree))],
-        [tree.edge_length(i) for i in range(len(tree))],
-    )
 
 
 def _scaled_repeaters(

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..rctree.elmore import ElmoreAnalyzer
+from ..rctree.engine import EvalContext
 from ..rctree.topology import RoutingTree
 from ..tech.buffers import Repeater, RepeaterLibrary
 from ..tech.parameters import Technology
@@ -56,7 +57,7 @@ def bruteforce_ard(
     is the independent oracle for the differential tests.  Returns ``-inf``
     for nets without a source/sink pair.
     """
-    analyzer = ElmoreAnalyzer(tree, tech, assignment)
+    analyzer = ElmoreAnalyzer(tree, tech, context=EvalContext(assignment=assignment))
     best = float("-inf")
     for u in tree.terminal_indices():
         tu = tree.node(u).terminal
@@ -160,7 +161,7 @@ def check_constraints(
     assignment: Optional[Dict[int, Repeater]] = None,
 ) -> List[Violation]:
     """All violated constraints under the given assignment (may be empty)."""
-    analyzer = ElmoreAnalyzer(spec.tree, tech, assignment)
+    analyzer = ElmoreAnalyzer(spec.tree, tech, context=EvalContext(assignment=assignment))
     violations = []
     for c in spec.constraints:
         actual = analyzer.path_delay(c.source, c.sink)
@@ -175,7 +176,7 @@ def worst_slack(
     assignment: Optional[Dict[int, Repeater]] = None,
 ) -> float:
     """Minimum ``bound - actual`` over all constraints (negative = violated)."""
-    analyzer = ElmoreAnalyzer(spec.tree, tech, assignment)
+    analyzer = ElmoreAnalyzer(spec.tree, tech, context=EvalContext(assignment=assignment))
     return min(
         c.bound - analyzer.path_delay(c.source, c.sink) for c in spec.constraints
     )

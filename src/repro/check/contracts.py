@@ -41,6 +41,7 @@ __all__ = [
     "verify_pareto",
     "verify_root_front",
     "verify_ard_consistency",
+    "verify_incremental_consistency",
 ]
 
 _ENV_VAR = "REPRO_CHECK"
@@ -196,3 +197,26 @@ def verify_ard_consistency(
                 f"critical pair ({result.source}, {result.sink}) reproduces "
                 f"{via_pair}, not the reported ARD {result.value}"
             )
+
+
+def verify_incremental_consistency(result, engine) -> None:
+    """An incremental evaluation equals a fresh full pass — *bit for bit*.
+
+    ``engine.fresh_result()`` rebuilds every record from the engine's
+    current state with the same shared combine step, so value and critical
+    pair must match exactly (no tolerance): any difference is a
+    dirty-tracking bug in the incremental path, never float drift.
+    """
+    fresh = engine.fresh_result()
+    both_undefined = not result.is_finite and not fresh.is_finite
+    # exact comparison is the contract: the two paths share one arithmetic
+    if not both_undefined and result.value != fresh.value:  # repro: noqa[R001]
+        raise ContractViolation(
+            f"incremental ARD {result.value!r} != fresh full pass "
+            f"{fresh.value!r} (dirty-path invalidation bug)"
+        )
+    if (result.source, result.sink) != (fresh.source, fresh.sink):
+        raise ContractViolation(
+            f"incremental critical pair ({result.source}, {result.sink}) != "
+            f"fresh full pass ({fresh.source}, {fresh.sink})"
+        )

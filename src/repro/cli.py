@@ -38,6 +38,7 @@ from typing import Optional, Sequence
 from .analysis.render import render_tree
 from .analysis.report import Table
 from .core.ard import ard
+from .rctree.engine import EvalContext
 from .core.msri import MSRIOptions, insert_repeaters
 from .io.serialize import (
     assignment_from_dict,
@@ -241,7 +242,7 @@ def _load_assignment(path: Optional[str]):
 def _cmd_ard(args) -> int:
     tree = load_tree(args.net)
     assignment = _load_assignment(args.assignment)
-    result = ard(tree, paper_technology(), assignment)
+    result = ard(tree, paper_technology(), context=EvalContext(assignment=assignment))
     if not result.is_finite:
         print("net has no source/sink pair; ARD is undefined")
         return 1

@@ -27,72 +27,60 @@ own source/sink roles join in and ``ARD(T) = z(root)``.
 The implementation also tracks the arg-max terminals, so callers get the
 *critical source/sink pair* for free — the quantity the paper's Fig. 11
 annotates on its example solutions.
+
+The DFS combine step itself lives in :mod:`repro.rctree.incremental` as an
+algebra over *linear records* (candidates parameterized by the subtree's
+external load), shared verbatim with :class:`~repro.rctree.incremental.
+IncrementalARD` — which is why the incremental engine is bit-identical to
+this full pass.  This module evaluates those records at the analyzer's
+Eq. 2 loads to materialize the classic per-node scalar ``timing`` table.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 from ..check import contracts
 from ..rctree.elmore import ElmoreAnalyzer
-from ..rctree.topology import NodeKind, RoutingTree
-from ..tech.buffers import Repeater
+from ..rctree.engine import (
+    ARDResult,
+    EvalContext,
+    SubtreeTiming,
+    UNSET,
+    resolve_eval_context,
+)
+from ..rctree.incremental import (
+    EvalState,
+    build_records,
+    finish_root,
+    timing_from_record,
+)
+from ..rctree.topology import RoutingTree
 from ..tech.parameters import Technology
 from ..tech.terminals import NEVER
 
 __all__ = ["ARDResult", "SubtreeTiming", "compute_ard", "ard"]
 
 
-@dataclass(frozen=True)
-class SubtreeTiming:
-    """Per-subtree quantities of the Fig. 2 recursion, with arg-max tracking.
-
-    ``arrival``/``required``/``diameter`` are ``-inf`` when the subtree holds
-    no source / no sink / no source-sink pair respectively; the companion
-    index fields are ``None`` in those cases.
-    """
-
-    arrival: float
-    arrival_source: Optional[int]
-    required: float
-    required_sink: Optional[int]
-    diameter: float
-    diameter_pair: Optional[Tuple[int, int]]
-
-
-@dataclass(frozen=True)
-class ARDResult:
-    """Outcome of an ARD computation.
-
-    ``value`` is ``-inf`` for nets with no source/sink pair.  ``source`` and
-    ``sink`` are the node indices of the critical pair achieving the ARD.
-    ``timing`` exposes the per-subtree table for diagnostics and tests.
-    """
-
-    value: float
-    source: Optional[int]
-    sink: Optional[int]
-    timing: Dict[int, SubtreeTiming]
-
-    @property
-    def is_finite(self) -> bool:
-        return math.isfinite(self.value)
-
-
 def compute_ard(analyzer: ElmoreAnalyzer) -> ARDResult:
-    """ARD(T) for the analyzer's tree and repeater assignment — O(n)."""
-    tree = analyzer.tree
-    timing: Dict[int, SubtreeTiming] = {}
+    """ARD(T) for the analyzer's tree and evaluation context — O(n).
 
+    Runs the shared record algebra once bottom-up, then evaluates each
+    node's record at its actual external load (the analyzer's Eq. 2 value)
+    to populate the per-subtree ``timing`` table.
+    """
+    tree = analyzer.tree
+    state = EvalState(tree, analyzer.technology, analyzer.context)
+    records = build_records(state)
+
+    timing: Dict[int, SubtreeTiming] = {}
     for v in tree.dfs_postorder():
-        node = tree.node(v)
-        if node.kind is NodeKind.TERMINAL and v != tree.root:
-            timing[v] = _leaf_timing(analyzer, v)
-        elif v != tree.root:
-            timing[v] = _internal_timing(analyzer, v, timing)
-    result = _finish_at_root(analyzer, timing)
+        if v != tree.root:
+            timing[v] = timing_from_record(records[v], analyzer.upstream_cap(v))
+
+    best, src, snk = finish_root(state, records)
+    timing[tree.root] = SubtreeTiming(NEVER, None, NEVER, None, best, (src, snk))
+    result = ARDResult(best, src, snk, timing)
     if contracts.contracts_enabled():
         contracts.verify_ard_consistency(result, analyzer)
     return result
@@ -101,153 +89,23 @@ def compute_ard(analyzer: ElmoreAnalyzer) -> ARDResult:
 def ard(
     tree: RoutingTree,
     tech: Technology,
-    assignment: Optional[Dict[int, Repeater]] = None,
+    assignment: object = UNSET,
     *,
-    include_companion_cap: bool = False,
-    wire_widths: Optional[Dict[int, float]] = None,
+    include_companion_cap: object = UNSET,
+    wire_widths: object = UNSET,
+    context: Optional[EvalContext] = None,
 ) -> ARDResult:
-    """Convenience wrapper building the analyzer and running Fig. 2."""
-    analyzer = ElmoreAnalyzer(
-        tree,
-        tech,
-        assignment,
+    """Convenience wrapper building the analyzer and running Fig. 2.
+
+    Pass ``context=EvalContext(...)``; the individual ``assignment`` /
+    ``include_companion_cap`` / ``wire_widths`` arguments are deprecated
+    shims kept for backward compatibility.
+    """
+    context = resolve_eval_context(
+        context,
+        assignment=assignment,
         include_companion_cap=include_companion_cap,
         wire_widths=wire_widths,
+        caller="ard()",
     )
-    return compute_ard(analyzer)
-
-
-# -- recursion cases ----------------------------------------------------------
-
-
-def _leaf_timing(analyzer: ElmoreAnalyzer, v: int) -> SubtreeTiming:
-    tree = analyzer.tree
-    term = tree.node(v).terminal
-    if term is None:
-        raise RuntimeError(f"leaf node {v} carries no terminal")
-    parent = tree.parent(v)
-    if parent is None:
-        raise RuntimeError(f"leaf node {v} has no parent edge")
-
-    arrival, arrival_source = NEVER, None
-    if term.is_source:
-        load = term.capacitance + analyzer.cap_into(v, parent)
-        arrival = term.arrival_time + term.driver_delay(load)
-        arrival_source = v
-
-    required, required_sink = NEVER, None
-    if term.is_sink:
-        required = term.downstream_delay
-        required_sink = v
-
-    return SubtreeTiming(arrival, arrival_source, required, required_sink, NEVER, None)
-
-
-def _internal_timing(
-    analyzer: ElmoreAnalyzer, v: int, timing: Dict[int, SubtreeTiming]
-) -> SubtreeTiming:
-    tree = analyzer.tree
-    parent = tree.parent(v)
-    if parent is None:
-        raise RuntimeError(f"internal node {v} has no parent edge")
-    children = tree.children(v)
-
-    # per-child quantities measured at v (below any repeater at v)
-    ups = []    # (arrival at v via child, source index, child)
-    downs = []  # (delay from v to sink via child, sink index, child)
-    diameter, diameter_pair = NEVER, None
-    for u in children:
-        tu = timing[u]
-        if tu.arrival != NEVER:
-            ups.append((tu.arrival + analyzer.wire_delay(u, v), tu.arrival_source, u))
-        if tu.required != NEVER:
-            downs.append((analyzer.wire_delay(v, u) + tu.required, tu.required_sink, u))
-        if tu.diameter > diameter:
-            diameter, diameter_pair = tu.diameter, tu.diameter_pair
-
-    arrival, arrival_source = _best(ups)
-    required, required_sink = _best(downs)
-
-    # cross-child paths: best up from child i + best down into child j != i
-    cross, cross_pair = _best_cross(ups, downs)
-    if cross > diameter:
-        diameter, diameter_pair = cross, cross_pair
-
-    if analyzer.has_repeater(v):
-        # measured values move to the repeater's parent (A) side
-        (child,) = children
-        if arrival != NEVER:
-            arrival += analyzer.repeater_delay_through(v, child, parent)
-        if required != NEVER:
-            required += analyzer.repeater_delay_through(v, parent, child)
-
-    return SubtreeTiming(
-        arrival, arrival_source, required, required_sink, diameter, diameter_pair
-    )
-
-
-def _finish_at_root(
-    analyzer: ElmoreAnalyzer, timing: Dict[int, SubtreeTiming]
-) -> ARDResult:
-    tree = analyzer.tree
-    root = tree.root
-    term = tree.node(root).terminal
-    if term is None:
-        raise RuntimeError("trees are rooted at a terminal")
-    (child,) = tree.children(root)
-    tc = timing[child]
-
-    best, src, snk = tc.diameter, None, None
-    if tc.diameter_pair is not None:
-        src, snk = tc.diameter_pair
-
-    # root as sink: arrivals from inside the child subtree terminate here
-    if term.is_sink and tc.arrival != NEVER:
-        cand = tc.arrival + analyzer.wire_delay(child, root) + term.downstream_delay
-        if cand > best:
-            best, src, snk = cand, tc.arrival_source, root
-
-    # root as source: drive down into the child subtree
-    if term.is_source and tc.required != NEVER:
-        load = term.capacitance + analyzer.cap_into(root, child)
-        cand = (
-            term.arrival_time
-            + term.driver_delay(load)
-            + analyzer.wire_delay(root, child)
-            + tc.required
-        )
-        if cand > best:
-            best, src, snk = cand, root, tc.required_sink
-
-    timing[root] = SubtreeTiming(NEVER, None, NEVER, None, best, (src, snk))
-    return ARDResult(best, src, snk, timing)
-
-
-# -- small helpers -------------------------------------------------------------
-
-
-def _best(entries) -> Tuple[float, Optional[int]]:
-    """Max value with its arg terminal; (-inf, None) when empty."""
-    value, arg = NEVER, None
-    for val, terminal, _child in entries:
-        if val > value:
-            value, arg = val, terminal
-    return value, arg
-
-
-def _best_cross(ups, downs) -> Tuple[float, Optional[Tuple[int, int]]]:
-    """max over pairs with distinct children of up_i + down_j.
-
-    Uses the top two entries of each list so a shared-child argmax can fall
-    back to the runner-up — O(#children) overall.
-    """
-    top_ups = sorted(ups, key=lambda e: e[0], reverse=True)[:2]
-    top_downs = sorted(downs, key=lambda e: e[0], reverse=True)[:2]
-    best, pair = NEVER, None
-    for uval, usrc, uchild in top_ups:
-        for dval, dsnk, dchild in top_downs:
-            if uchild == dchild:
-                continue
-            if uval + dval > best:
-                best, pair = uval + dval, (usrc, dsnk)
-    return best, pair
+    return compute_ard(ElmoreAnalyzer(tree, tech, context=context))

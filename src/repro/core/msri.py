@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..check import contracts
+from ..rctree.engine import EvalContext
 from ..rctree.topology import NodeKind, RoutingTree
 from ..tech.buffers import RepeaterLibrary
 from ..tech.parameters import Technology
@@ -156,11 +157,38 @@ def insert_repeaters(
     tree: RoutingTree,
     tech: Technology,
     options: MSRIOptions,
+    *,
+    context: Optional[EvalContext] = None,
 ) -> MSRIResult:
-    """Run the MSRI dynamic program and return the (cost, ARD) suite."""
+    """Run the MSRI dynamic program and return the (cost, ARD) suite.
+
+    ``context`` carries the evaluation knobs shared with the timing
+    engines.  Only ``wire_widths`` is meaningful here (fixed per-edge width
+    factors the DP optimizes *around*); a pre-set ``assignment`` or the
+    companion-capacitance model is rejected — the DP derives the assignment
+    itself and prices repeaters under the paper's Fig. 8 model.
+    """
+    widths: Dict[int, float] = {}
+    if context is not None:
+        if context.assignment:
+            raise ValueError(
+                "insert_repeaters derives the repeater assignment; "
+                "context.assignment must be empty"
+            )
+        if context.include_companion_cap:
+            raise ValueError(
+                "insert_repeaters prices repeaters under the paper's "
+                "decoupled model; include_companion_cap is not supported"
+            )
+        for idx, w in dict(context.wire_widths or {}).items():
+            if not (0 <= idx < len(tree)) or tree.parent(idx) is None:
+                raise ValueError(f"context.wire_widths[{idx}] does not name an edge")
+            if w <= 0.0:
+                raise ValueError(f"wire width factor must be positive, got {w}")
+            widths[idx] = float(w)
     t0 = time.perf_counter()
     stats = MSRIStats()
-    c_max = _domain_bound(tree, tech, options)
+    c_max = _domain_bound(tree, tech, options, widths)
     prune = _make_pruner(options)
 
     root = tree.root
@@ -172,9 +200,9 @@ def insert_repeaters(
         if node.kind is NodeKind.TERMINAL:
             raw = _leaf_set(node, v, c_max, options)
         elif node.kind is NodeKind.STEINER:
-            raw = _branch_set(tree, tech, v, sets, c_max, prune, options)
+            raw = _branch_set(tree, tech, v, sets, c_max, prune, options, widths)
         else:  # insertion point
-            raw = _insertion_set(tree, tech, v, sets, c_max, options)
+            raw = _insertion_set(tree, tech, v, sets, c_max, options, widths)
         generated = len(raw)
         pruned = prune(raw)
         stats.record(v, generated, pruned)
@@ -182,7 +210,7 @@ def insert_repeaters(
         for u in tree.children(v):
             del sets[u]  # children fully consumed; free memory
 
-    roots = _root_set(tree, tech, sets, c_max, options)
+    roots = _root_set(tree, tech, sets, c_max, options, widths)
     stats.runtime_seconds = time.perf_counter() - t0
     return MSRIResult(solutions=tuple(roots), stats=stats, tree=tree)
 
@@ -216,17 +244,20 @@ def _augment_over_edge(
     solutions: List[Solution],
     c_max: float,
     options: MSRIOptions,
+    widths: Optional[Dict[int, float]] = None,
 ) -> List[Solution]:
     """Extend a child's solutions across the wire toward its parent.
 
     Without a wire library this is one plain Fig. 10 augment per solution;
     with one, every positive-length segment fans out over the width menu
     (the wire-sizing extension), charging each class's area cost and
-    recording the choice against the edge's child node.
+    recording the choice against the edge's child node.  A fixed context
+    width factor on the edge rescales the base wire before either path.
     """
     length = tree.edge_length(child)
-    r = tech.wire_resistance(length)
-    c = tech.wire_capacitance(length)
+    w = (widths or {}).get(child, 1.0)
+    r = tech.wire_resistance(length) / w
+    c = tech.wire_capacitance(length) * w
     if options.wire_library is None or length <= 0.0:
         out = []
         for s in solutions:
@@ -259,10 +290,11 @@ def _augmented_child_sets(
     sets: Dict[int, List[Solution]],
     c_max: float,
     options: MSRIOptions,
+    widths: Optional[Dict[int, float]] = None,
 ) -> List[List[Solution]]:
     """Each child's solution set extended across its wire up to ``v``."""
     return [
-        _augment_over_edge(tree, tech, u, sets[u], c_max, options)
+        _augment_over_edge(tree, tech, u, sets[u], c_max, options, widths)
         for u in tree.children(v)
     ]
 
@@ -275,8 +307,9 @@ def _branch_set(
     c_max: float,
     prune,
     options: MSRIOptions,
+    widths: Optional[Dict[int, float]] = None,
 ) -> List[Solution]:
-    child_sets = _augmented_child_sets(tree, tech, v, sets, c_max, options)
+    child_sets = _augmented_child_sets(tree, tech, v, sets, c_max, options, widths)
     current = child_sets[0]
     for other in child_sets[1:]:
         combined = []
@@ -299,8 +332,9 @@ def _insertion_set(
     sets: Dict[int, List[Solution]],
     c_max: float,
     options: MSRIOptions,
+    widths: Optional[Dict[int, float]] = None,
 ) -> List[Solution]:
-    (unbuffered,) = _augmented_child_sets(tree, tech, v, sets, c_max, options)
+    (unbuffered,) = _augmented_child_sets(tree, tech, v, sets, c_max, options, widths)
     out = list(unbuffered)
     if options.library is not None:
         for rep in options.library.oriented_options():
@@ -317,6 +351,7 @@ def _root_set(
     sets: Dict[int, List[Solution]],
     c_max: float,
     options: MSRIOptions,
+    widths: Optional[Dict[int, float]] = None,
 ) -> List[RootSolution]:
     root = tree.root
     term = tree.node(root).terminal
@@ -325,7 +360,7 @@ def _root_set(
     (child,) = tree.children(root)
 
     candidates: List[RootSolution] = []
-    for a in _augment_over_edge(tree, tech, child, sets[child], c_max, options):
+    for a in _augment_over_edge(tree, tech, child, sets[child], c_max, options, widths):
         if options.driver_options is None:
             rs = evaluate_at_root(a, root, term)
             if rs is not None:
@@ -363,11 +398,16 @@ def _pareto_root(candidates: List[RootSolution]) -> List[RootSolution]:
 
 
 def _domain_bound(
-    tree: RoutingTree, tech: Technology, options: MSRIOptions
+    tree: RoutingTree,
+    tech: Technology,
+    options: MSRIOptions,
+    widths: Optional[Dict[int, float]] = None,
 ) -> float:
     """Upper bound on any external capacitance seen during the DP."""
+    widths = widths or {}
     wires = sum(
-        tech.wire_capacitance(tree.edge_length(i)) for i in range(len(tree))
+        tech.wire_capacitance(tree.edge_length(i)) * widths.get(i, 1.0)
+        for i in range(len(tree))
     )
     pins = sum(t.capacitance for t in tree.terminals())
     if options.wire_library is not None:

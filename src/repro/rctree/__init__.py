@@ -1,14 +1,21 @@
-"""Routing-tree data structures and delay engines (Elmore + slew-aware)."""
+"""Routing-tree data structures and delay engines (Elmore, slew, incremental)."""
 
 from .builder import TreeBuilder, manhattan
 from .elmore import ElmoreAnalyzer
+from .engine import ARDResult, EvalContext, SubtreeTiming, TimingEngine
+from .incremental import IncrementalARD
 from .slew import SlewAnalyzer, SlewModel
 from .topology import Node, NodeKind, RoutingTree
 
 __all__ = [
     "TreeBuilder",
     "manhattan",
+    "ARDResult",
+    "EvalContext",
+    "SubtreeTiming",
+    "TimingEngine",
     "ElmoreAnalyzer",
+    "IncrementalARD",
     "SlewAnalyzer",
     "SlewModel",
     "Node",

@@ -29,6 +29,12 @@ from ..check import contracts
 from ..tech.buffers import Repeater
 from ..tech.parameters import Technology
 from ..tech.terminals import NEVER
+from .engine import (
+    EvalContext,
+    UNSET,
+    check_engine_tree,
+    resolve_eval_context,
+)
 from .topology import NodeKind, RoutingTree
 
 __all__ = ["ElmoreAnalyzer"]
@@ -47,33 +53,40 @@ class ElmoreAnalyzer:
         The routing tree (rooted at a terminal).
     tech:
         Wire constants.
-    assignment:
-        Mapping from insertion-node index to the oriented
-        :class:`~repro.tech.buffers.Repeater` placed there (A-side facing
-        the root).  Missing indices carry no repeater.
-    include_companion_cap:
-        When True, a repeater's crossing delay also drives the anti-parallel
-        companion buffer's input capacitance.
-    wire_widths:
-        Optional per-edge width factors (edge index — i.e. the child node of
-        the edge — to factor ``w``): a ``w``-wide wire has resistance
-        ``R/w`` and capacitance ``w*C``.  Supports the wire-sizing extension
-        the paper's conclusions call for; missing edges default to 1.
+    context:
+        The evaluation knobs as one
+        :class:`~repro.rctree.engine.EvalContext` — repeater ``assignment``
+        (A-side facing the root), per-edge ``wire_widths`` factors (a
+        ``w``-wide wire has resistance ``R/w`` and capacitance ``w*C``),
+        and the ``include_companion_cap`` crossing-delay model.
+
+    The individual ``assignment`` / ``include_companion_cap`` /
+    ``wire_widths`` arguments are deprecated shims for the pre-context
+    signature; they emit a :class:`DeprecationWarning`.
     """
 
     def __init__(
         self,
         tree: RoutingTree,
         tech: Technology,
-        assignment: Optional[Dict[int, Repeater]] = None,
+        assignment: object = UNSET,
         *,
-        include_companion_cap: bool = False,
-        wire_widths: Optional[Dict[int, float]] = None,
+        include_companion_cap: object = UNSET,
+        wire_widths: object = UNSET,
+        context: Optional[EvalContext] = None,
     ):
+        context = resolve_eval_context(
+            context,
+            assignment=assignment,
+            include_companion_cap=include_companion_cap,
+            wire_widths=wire_widths,
+            caller="ElmoreAnalyzer()",
+        )
         self._tree = tree
         self._tech = tech
-        self._assignment: Dict[int, Repeater] = dict(assignment or {})
-        self._companion = include_companion_cap
+        self._assignment: Dict[int, Repeater] = dict(context.assignment or {})
+        self._companion = bool(context.include_companion_cap)
+        wire_widths = context.wire_widths
         for idx, w in (wire_widths or {}).items():
             if w <= 0.0:
                 raise ValueError(f"wire width factor must be positive, got {w}")
@@ -332,6 +345,38 @@ class ElmoreAnalyzer:
     @property
     def assignment(self) -> Dict[int, Repeater]:
         return dict(self._assignment)
+
+    @property
+    def wire_widths(self) -> Dict[int, float]:
+        return dict(self._wire_widths)
+
+    @property
+    def include_companion_cap(self) -> bool:
+        return self._companion
+
+    @property
+    def context(self) -> EvalContext:
+        """The analyzer's evaluation knobs as one :class:`EvalContext`.
+
+        Empty knobs normalize to ``None`` so a round-tripped context
+        compares equal to the one passed in.
+        """
+        return EvalContext(
+            assignment=dict(self._assignment) or None,
+            wire_widths=dict(self._wire_widths) or None,
+            include_companion_cap=self._companion,
+        )
+
+    def evaluate(self, tree: Optional[RoutingTree] = None):
+        """The full Fig. 2 ARD pass (:class:`TimingEngine` conformance).
+
+        Returns an :class:`~repro.rctree.engine.ARDResult` with the
+        per-subtree ``timing`` table populated.
+        """
+        check_engine_tree(self._tree, tree)
+        from ..core.ard import compute_ard
+
+        return compute_ard(self)
 
     def _sole_neighbor(self, leaf: int) -> int:
         nbrs = self._tree.neighbors(leaf)

@@ -1,0 +1,194 @@
+"""The unified timing-engine surface: ``TimingEngine`` and ``EvalContext``.
+
+The repository grew four ways to ask "what is the ARD of this tree?" —
+:func:`repro.core.ard.ard`, :class:`~repro.rctree.elmore.ElmoreAnalyzer`,
+:class:`~repro.rctree.slew.SlewAnalyzer` and
+:func:`repro.sim.propagation.simulated_ard` — each with its own calling
+convention.  This module defines the one surface they all share:
+
+* :class:`EvalContext` — the evaluation knobs (repeater assignment, wire
+  widths, companion-capacitance model) as a single frozen value object,
+  replacing the scattered positional/keyword arguments;
+* :class:`TimingEngine` — a :class:`typing.Protocol` with ``evaluate()``
+  returning an :class:`ARDResult` and ``path_delay(u, v)``, so consumers
+  (baselines, analysis, reporting) can take *an engine* instead of
+  hard-coding one implementation;
+* :class:`ARDResult` / :class:`SubtreeTiming` — the result types, moved
+  here from ``repro.core.ard`` (which re-exports them) so every engine can
+  return them without importing the optimizer core.
+
+Engines implementing the protocol: ``ElmoreAnalyzer`` (full Fig. 2 pass),
+``SlewAnalyzer`` (slew-aware pair enumeration), ``IncrementalARD``
+(persistent, edit-friendly Fig. 2 records) and ``SimulationEngine``
+(event-driven cross-check).
+"""
+
+from __future__ import annotations
+
+import math
+import warnings
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+try:  # pragma: no cover - Protocol is typing_extensions-free on >=3.8
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover
+    Protocol = object  # type: ignore[assignment]
+
+    def runtime_checkable(cls):  # type: ignore[no-redef]
+        return cls
+
+
+__all__ = [
+    "ARDResult",
+    "SubtreeTiming",
+    "EvalContext",
+    "TimingEngine",
+    "resolve_eval_context",
+    "UNSET",
+]
+
+
+@dataclass(frozen=True)
+class SubtreeTiming:
+    """Per-subtree quantities of the Fig. 2 recursion, with arg-max tracking.
+
+    ``arrival``/``required``/``diameter`` are ``-inf`` when the subtree holds
+    no source / no sink / no source-sink pair respectively; the companion
+    index fields are ``None`` in those cases.
+    """
+
+    arrival: float
+    arrival_source: Optional[int]
+    required: float
+    required_sink: Optional[int]
+    diameter: float
+    diameter_pair: Optional[Tuple[int, int]]
+
+
+@dataclass(frozen=True)
+class ARDResult:
+    """Outcome of an ARD computation.
+
+    ``value`` is ``-inf`` for nets with no source/sink pair.  ``source`` and
+    ``sink`` are the node indices of the critical pair achieving the ARD.
+    ``timing`` exposes the per-subtree table for diagnostics and tests; only
+    the full :func:`repro.core.ard.compute_ard` pass populates it — engines
+    that never materialize per-node scalars (``IncrementalARD``,
+    ``SlewAnalyzer``, ``SimulationEngine``) return it empty.
+    """
+
+    value: float
+    source: Optional[int]
+    sink: Optional[int]
+    timing: Dict[int, SubtreeTiming]
+
+    @property
+    def is_finite(self) -> bool:
+        return math.isfinite(self.value)
+
+
+@dataclass(frozen=True)
+class EvalContext:
+    """Everything that parameterizes one timing evaluation of a tree.
+
+    Construct with keyword arguments only.  The three fields were previously
+    scattered positional/keyword knobs on ``ard()``, ``ElmoreAnalyzer`` and
+    ``insert_repeaters``:
+
+    ``assignment``
+        Insertion-node index → oriented :class:`~repro.tech.buffers.Repeater`
+        (A-side facing the root).  Missing indices carry no repeater.
+    ``wire_widths``
+        Edge index (the child node of the edge) → width factor ``w``; a
+        ``w``-wide wire has resistance ``R/w`` and capacitance ``w·C``.
+        Missing edges default to 1.
+    ``include_companion_cap``
+        When True, a repeater's crossing delay also drives the anti-parallel
+        companion buffer's input capacitance (sensitivity-study model).
+    """
+
+    assignment: Optional[Mapping[int, object]] = field(default=None, kw_only=True)
+    wire_widths: Optional[Mapping[int, float]] = field(default=None, kw_only=True)
+    include_companion_cap: bool = field(default=False, kw_only=True)
+
+
+#: Sentinel distinguishing "argument not supplied" from an explicit ``None``
+#: in the deprecation shims below.
+UNSET = object()
+
+
+def resolve_eval_context(
+    context: Optional[EvalContext],
+    *,
+    assignment: object = UNSET,
+    include_companion_cap: object = UNSET,
+    wire_widths: object = UNSET,
+    caller: str = "this function",
+) -> EvalContext:
+    """Merge a modern ``context`` with legacy per-knob arguments.
+
+    The legacy arguments (``assignment`` / ``include_companion_cap`` /
+    ``wire_widths``) are accepted for backward compatibility and emit a
+    :class:`DeprecationWarning`; mixing them with ``context`` is an error
+    because the intent would be ambiguous.
+    """
+    legacy = {
+        name: value
+        for name, value in (
+            ("assignment", assignment),
+            ("include_companion_cap", include_companion_cap),
+            ("wire_widths", wire_widths),
+        )
+        if value is not UNSET
+    }
+    if not legacy:
+        return context if context is not None else EvalContext()
+    if context is not None:
+        raise TypeError(
+            f"{caller}: pass either context=EvalContext(...) or the legacy "
+            f"arguments {sorted(legacy)}, not both"
+        )
+    warnings.warn(
+        f"{caller}: the {sorted(legacy)} argument(s) are deprecated; pass "
+        "context=EvalContext(...) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return EvalContext(
+        assignment=legacy.get("assignment"),
+        wire_widths=legacy.get("wire_widths"),
+        include_companion_cap=bool(legacy.get("include_companion_cap", False)),
+    )
+
+
+@runtime_checkable
+class TimingEngine(Protocol):
+    """What every timing engine offers consumers.
+
+    ``evaluate(tree=None)`` returns the engine's ARD as an
+    :class:`ARDResult`; engines are bound to one tree at construction, so
+    ``tree`` is accepted only as a consistency check (pass the engine's own
+    tree or ``None``).  ``path_delay(u, v)`` is the engine's notion of
+    ``PD(u, v)`` between two terminals, driver delay included.
+    """
+
+    def evaluate(self, tree: object = None) -> ARDResult:
+        """The ARD of the engine's tree under its current context."""
+        ...  # pragma: no cover - protocol
+
+    def path_delay(self, src: int, dst: int) -> float:
+        """Source-to-sink delay ``PD(src, dst)`` in ps."""
+        ...  # pragma: no cover - protocol
+
+
+def check_engine_tree(engine_tree: object, tree: object) -> None:
+    """Raise if ``tree`` names a different tree than the engine is bound to.
+
+    Shared by every :class:`TimingEngine` implementation's ``evaluate``.
+    """
+    if tree is not None and tree is not engine_tree:
+        raise ValueError(
+            "this engine is bound to its construction tree; build a new "
+            "engine to evaluate a different tree"
+        )

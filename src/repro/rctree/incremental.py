@@ -1,0 +1,765 @@
+"""Incremental ARD: persistent Fig. 2 records with dirty-path invalidation.
+
+The paper's Fig. 2 algorithm computes the augmented RC-diameter in one
+linear pass, but every optimization loop in this repository re-runs that
+pass from scratch per candidate edit — O(n) per probe, O(n²) outer loops.
+This module makes the pass *persistent and editable*.
+
+The obstacle is that the scalar per-subtree quantities (arrival ``a(v)``,
+diameter ``z(v)``) are **not** functions of the subtree alone: a source
+inside ``T_v`` drives the whole net, so its Elmore terms include the
+capacitance *outside* the subtree, and a single edit anywhere invalidates
+scalar caches tree-wide.  The fix is to store each subtree's candidates as
+**linear functions of the external load** ``t_v`` (the Eq. 2 quantity —
+everything above ``v``'s parent edge, the wire itself excluded):
+
+* ``ups``    — arrival candidates ``(base, slope, source)`` with value
+  ``base + slope · t_v`` measured on the parent side of ``v``;
+* ``req``    — the required time ``d(v)``, a genuine subtree-local scalar;
+* ``diams``  — diameter candidates ``(base, slope, (source, sink))``: an
+  internal pair's up-leg still sees the external load, so ``z(v)`` is
+  linear in ``t_v`` too (slope 0 once a repeater decouples the path);
+* ``down``   — the Eq. 1 subtree load.
+
+So defined, a record is a pure function of subtree-local state (its own
+wire, terminal, repeater, and children's records), which makes dirty
+tracking exact: an edit at ``v`` invalidates the records on the root path
+of ``v`` and nothing else.  Re-propagation costs O(depth · branching ·
+front) per edit, and batched edits coalesce shared path prefixes because a
+node re-propagates at most once per :meth:`IncrementalARD.evaluate`.
+
+Candidate fronts stay small through upper-envelope (Pareto) pruning on the
+domain ``t ≥ 0``: a candidate whose base *and* slope are both dominated can
+never win the max.  In practice deeper sources dominate shallower ones on
+the same path, collapsing the front to a handful of entries.
+
+:func:`repro.core.ard.compute_ard` runs this same record algebra for its
+full pass (evaluating the records at the analyzer's Eq. 2 loads to fill
+the legacy per-node timing table), so the full and incremental paths share
+one implementation and agree **bit-identically** — the REPRO_CHECK contract
+(:func:`repro.check.contracts.verify_incremental_consistency`) asserts
+exactly that after every incremental evaluation.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+from ..check import contracts
+from ..tech.buffers import Repeater
+from ..tech.parameters import Technology
+from ..tech.terminals import NEVER, Terminal
+from .engine import (
+    ARDResult,
+    EvalContext,
+    SubtreeTiming,
+    check_engine_tree,
+    resolve_eval_context,
+)
+from .topology import NodeKind, RoutingTree
+
+__all__ = [
+    "IncrementalARD",
+    "EvalState",
+    "SubtreeRecord",
+    "build_records",
+    "record_for",
+    "finish_root",
+    "timing_from_record",
+]
+
+
+#: Arrival candidate ``(base, slope, source)``: value ``base + slope · t``.
+UpCandidate = Tuple[float, float, int]
+#: Diameter candidate ``(base, slope, (source, sink))``.
+DiamCandidate = Tuple[float, float, Tuple[int, int]]
+
+
+class SubtreeRecord(NamedTuple):
+    """The Fig. 2 state of one subtree as linear functions of its external load."""
+
+    down: float                            # Eq. 1 load seen from the parent
+    ups: Tuple[UpCandidate, ...]           # arrival candidates at v (parent side)
+    req: float                             # d(v); NEVER when the subtree has no sink
+    req_sink: Optional[int]
+    diams: Tuple[DiamCandidate, ...]       # internal-pair candidates
+
+
+class EvalState(object):
+    """Mutable evaluation state: one tree + technology + editable knobs.
+
+    Owns the per-edge wire resistance/capacitance arrays (width factors and
+    the global variation scalars applied), the repeater assignment, and the
+    terminal overrides.  Both the full pass (:func:`build_records` via
+    ``compute_ard``) and :class:`IncrementalARD` compute records from this
+    state with identical arithmetic, which is what makes them bit-identical.
+    """
+
+    __slots__ = (
+        "tree",
+        "tech",
+        "assignment",
+        "companion",
+        "widths",
+        "terminal_overrides",
+        "res_scale",
+        "cap_scale",
+        "wire_cap",
+        "wire_res",
+    )
+
+    def __init__(
+        self,
+        tree: RoutingTree,
+        tech: Technology,
+        context: Optional[EvalContext] = None,
+    ):
+        context = context if context is not None else EvalContext()
+        self.tree = tree
+        self.tech = tech
+        self.companion = bool(context.include_companion_cap)
+        self.terminal_overrides: Dict[int, Terminal] = {}
+        self.res_scale = 1.0
+        self.cap_scale = 1.0
+
+        self.assignment: Dict[int, Repeater] = {}
+        for idx, rep in dict(context.assignment or {}).items():
+            self.set_repeater(idx, rep)
+
+        self.widths: Dict[int, float] = {}
+        self.wire_cap: List[float] = [0.0] * len(tree)
+        self.wire_res: List[float] = [0.0] * len(tree)
+        for idx, w in dict(context.wire_widths or {}).items():
+            self._check_edge(idx)
+            if w <= 0.0:
+                raise ValueError(f"wire width factor must be positive, got {w}")
+            self.widths[idx] = float(w)
+        for i in range(len(tree)):
+            self.refresh_edge(i)
+
+    # -- mutation primitives (validated; no dirty tracking here) ---------------
+
+    def set_repeater(self, idx: int, rep: Optional[Repeater]) -> None:
+        if rep is None:
+            self.assignment.pop(idx, None)
+            return
+        if not (0 <= idx < len(self.tree)):
+            raise ValueError(f"assignment names unknown node {idx}")
+        node = self.tree.node(idx)
+        if node.kind is not NodeKind.INSERTION:
+            raise ValueError(
+                f"repeater assigned to node {idx} which is a "
+                f"{node.kind.value}, not an insertion point"
+            )
+        if not isinstance(rep, Repeater):
+            raise TypeError(f"assignment[{idx}] is not a Repeater: {rep!r}")
+        self.assignment[idx] = rep
+
+    def set_width(self, edge: int, width: Optional[float]) -> None:
+        self._check_edge(edge)
+        if width is None:
+            self.widths.pop(edge, None)
+        else:
+            if width <= 0.0:
+                raise ValueError(f"wire width factor must be positive, got {width}")
+            self.widths[edge] = float(width)
+        self.refresh_edge(edge)
+
+    def set_terminal_override(self, idx: int, terminal: Terminal) -> None:
+        if not (0 <= idx < len(self.tree)):
+            raise ValueError(f"unknown node {idx}")
+        if self.tree.node(idx).kind is not NodeKind.TERMINAL:
+            raise ValueError(f"node {idx} is not a terminal")
+        if not isinstance(terminal, Terminal):
+            raise TypeError(f"terminal override for node {idx} is {terminal!r}")
+        self.terminal_overrides[idx] = terminal
+
+    def set_scales(self, res_scale: float, cap_scale: float) -> None:
+        if res_scale <= 0.0 or cap_scale <= 0.0:
+            raise ValueError("wire variation scalars must be positive")
+        self.res_scale = float(res_scale)
+        self.cap_scale = float(cap_scale)
+        for i in range(len(self.tree)):
+            self.refresh_edge(i)
+
+    def refresh_edge(self, i: int) -> None:
+        # multiplying by a unit width/scale is IEEE-exact, so the arrays are
+        # bitwise identical to ElmoreAnalyzer's when no knob is active
+        length = self.tree.edge_length(i)
+        w = self.widths.get(i, 1.0)
+        self.wire_cap[i] = self.tech.wire_capacitance(length) * w * self.cap_scale
+        self.wire_res[i] = self.tech.wire_resistance(length) / w * self.res_scale
+
+    def _check_edge(self, idx: int) -> None:
+        if not (0 <= idx < len(self.tree)) or self.tree.parent(idx) is None:
+            raise ValueError(f"wire edge {idx} does not name an edge")
+
+    # -- queries ----------------------------------------------------------------
+
+    def terminal(self, idx: int) -> Terminal:
+        override = self.terminal_overrides.get(idx)
+        if override is not None:
+            return override
+        term = self.tree.node(idx).terminal
+        if term is None:
+            raise ValueError(f"node {idx} is not a terminal")
+        return term
+
+    def own_cap(self, idx: int) -> float:
+        node = self.tree.node(idx)
+        if node.terminal is None:
+            return 0.0
+        return self.terminal(idx).capacitance
+
+
+# -- the shared combine step ---------------------------------------------------
+
+
+def record_for(
+    state: EvalState, v: int, records: List[Optional[SubtreeRecord]]
+) -> SubtreeRecord:
+    """The record of node ``v`` from its children's records — the one DFS
+    combine step shared by the full and incremental passes."""
+    tree = state.tree
+    if tree.node(v).kind is NodeKind.TERMINAL:
+        return _leaf_record(state, v)
+    return _internal_record(state, v, records)
+
+
+def _leaf_record(state: EvalState, v: int) -> SubtreeRecord:
+    term = state.terminal(v)
+    ups: Tuple[UpCandidate, ...] = ()
+    if term.is_source:
+        # driver load = own cap + parent wire + external load t_v
+        base = term.arrival_time + term.driver_delay(
+            term.capacitance + state.wire_cap[v]
+        )
+        ups = ((base, term.resistance, v),)
+    if term.is_sink:
+        req, req_sink = term.downstream_delay, v
+    else:
+        req, req_sink = NEVER, None
+    return SubtreeRecord(term.capacitance, ups, req, req_sink, ())
+
+
+def _internal_record(
+    state: EvalState, v: int, records: List[Optional[SubtreeRecord]]
+) -> SubtreeRecord:
+    tree = state.tree
+    children = tree.children(v)
+    wire_cap = state.wire_cap
+    wire_res = state.wire_res
+    rep = state.assignment.get(v)
+
+    child_load = [wire_cap[u] + records[u].down for u in children]
+    if rep is not None:
+        down = rep.c_a
+    else:
+        down = sum(child_load)
+
+    # per-child downward delay (scalar): wire into the child + its required
+    downs: List[Tuple[float, int, int]] = []
+    for k, u in enumerate(children):
+        rec = records[u]
+        if rec.req != NEVER:
+            downs.append(
+                (
+                    wire_res[u] * (0.5 * wire_cap[u] + rec.down) + rec.req,
+                    rec.req_sink,
+                    u,
+                )
+            )
+
+    if rep is not None:
+        return _repeater_record(state, v, children[0], records[children[0]], downs, rep)
+
+    # external load of child u:  t_u = side_u + t_v
+    ups: List[UpCandidate] = []
+    diams: List[DiamCandidate] = []
+    lifted_per_child: List[Tuple[int, List[UpCandidate]]] = []
+    total_side = sum(child_load)
+    for k, u in enumerate(children):
+        rec = records[u]
+        side = wire_cap[v] + (total_side - child_load[k])
+        # recompute the sibling sum exactly (no subtraction tricks) so the
+        # incremental path reproduces the full pass bit for bit
+        side = wire_cap[v] + sum(
+            child_load[j] for j in range(len(children)) if j != k
+        )
+        lifted: List[UpCandidate] = []
+        for base, slope, source in rec.ups:
+            lifted.append(
+                (
+                    base
+                    + slope * side
+                    + wire_res[u] * (0.5 * wire_cap[u] + side),
+                    slope + wire_res[u],
+                    source,
+                )
+            )
+        lifted_per_child.append((u, lifted))
+        ups.extend(lifted)
+        for base, slope, pair in rec.diams:
+            diams.append((base + slope * side, slope, pair))
+
+    # cross-child pairs: every lifted up candidate + the best down of a
+    # *different* child (top-two downs give the distinct-child fallback)
+    best_down, second_down = _top_two(downs)
+    for u, lifted in lifted_per_child:
+        for base, slope, source in lifted:
+            chosen = best_down
+            if chosen is not None and chosen[2] == u:
+                chosen = second_down
+            if chosen is None:
+                continue
+            diams.append((base + chosen[0], slope, (source, chosen[1])))
+
+    req, req_sink = _best_scalar(downs)
+    return SubtreeRecord(
+        down, _prune(ups), req, req_sink, _prune(diams)
+    )
+
+
+def _repeater_record(
+    state: EvalState,
+    v: int,
+    child: int,
+    rec: SubtreeRecord,
+    downs: List[Tuple[float, int, int]],
+    rep: Repeater,
+) -> SubtreeRecord:
+    """Record of a repeater node: the repeater decouples, so candidates are
+    evaluated at its B-side input cap and re-launched with its own slope."""
+    wire_cap = state.wire_cap
+    wire_res = state.wire_res
+
+    ups: Tuple[UpCandidate, ...] = ()
+    if rec.ups:
+        # arrivals below the repeater become scalars at t_child = c_b ...
+        best_arrival, best_source = NEVER, None
+        for base, slope, source in rec.ups:
+            arrival = (
+                base
+                + slope * rep.c_b
+                + wire_res[child] * (0.5 * wire_cap[child] + rep.c_b)
+            )
+            if arrival > best_arrival:
+                best_arrival, best_source = arrival, source
+        # ... and relaunch upward (B -> A) against the parent wire + t_v
+        up_load = wire_cap[v] + rep.c_a if state.companion else wire_cap[v]
+        ups = ((best_arrival + rep.d_ba + rep.r_ba * up_load, rep.r_ba, best_source),)
+
+    req, req_sink = _best_scalar(downs)
+    if req != NEVER:
+        cross_load = wire_cap[child] + rec.down
+        if state.companion:
+            cross_load = cross_load + rep.c_b
+        req = req + rep.delay(a_to_b=True, load_pf=cross_load)
+
+    # internal pairs are frozen: beyond c_b the external load is invisible
+    diams = tuple(
+        (base + slope * rep.c_b, 0.0, pair) for base, slope, pair in rec.diams
+    )
+    return SubtreeRecord(rep.c_a, ups, req, req_sink, _prune(diams))
+
+
+def _top_two(downs):
+    """First-strict top two downward entries (used for distinct-child pairs)."""
+    best = second = None
+    for entry in downs:
+        if best is None or entry[0] > best[0]:
+            best, second = entry, best
+        elif second is None or entry[0] > second[0]:
+            second = entry
+    return best, second
+
+
+def _best_scalar(entries) -> Tuple[float, Optional[int]]:
+    value, arg = NEVER, None
+    for val, terminal, _child in entries:
+        if val > value:
+            value, arg = val, terminal
+    return value, arg
+
+
+def _prune(candidates):
+    """Upper-envelope (Pareto) filter on the domain ``t >= 0``.
+
+    A candidate is redundant when another has base **and** slope at least as
+    large — it can then never exceed the dominator at any non-negative
+    external load.  Keep-first on exact ties, so the first-strict arg-max
+    over the surviving list is deterministic.
+    """
+    if len(candidates) <= 1:
+        return tuple(candidates)
+    kept: List = []
+    for cand in candidates:
+        dominated = False
+        for other in kept:
+            if other[0] >= cand[0] and other[1] >= cand[1]:
+                dominated = True
+                break
+        if dominated:
+            continue
+        kept = [
+            other
+            for other in kept
+            if not (cand[0] >= other[0] and cand[1] >= other[1])
+        ]
+        kept.append(cand)
+    return tuple(kept)
+
+
+def _eval_at(candidates, external_cap: float):
+    """First-strict arg-max of ``base + slope · external_cap``."""
+    value, arg = NEVER, None
+    for base, slope, tag in candidates:
+        cand = base + slope * external_cap
+        if cand > value:
+            value, arg = cand, tag
+    return value, arg
+
+
+def build_records(state: EvalState) -> List[Optional[SubtreeRecord]]:
+    """Records for every non-root node, children before parents."""
+    tree = state.tree
+    records: List[Optional[SubtreeRecord]] = [None] * len(tree)
+    for v in tree.dfs_postorder():
+        if v != tree.root:
+            records[v] = record_for(state, v, records)
+    return records
+
+
+def finish_root(
+    state: EvalState, records: List[Optional[SubtreeRecord]]
+) -> Tuple[float, Optional[int], Optional[int]]:
+    """Fold the root terminal's own source/sink roles in — ``ARD = z(root)``."""
+    tree = state.tree
+    root = tree.root
+    term = state.terminal(root)
+    (child,) = tree.children(root)
+    rec = records[child]
+    root_cap = term.capacitance
+    wire_cap = state.wire_cap[child]
+    wire_res = state.wire_res[child]
+
+    # the external load of the root's child is the root's own input cap
+    best, pair = _eval_at(rec.diams, root_cap)
+    src, snk = pair if pair is not None else (None, None)
+
+    # root as sink: arrivals from inside the child subtree terminate here
+    if term.is_sink and rec.ups:
+        arrival, arrival_source = _eval_at(rec.ups, root_cap)
+        cand = (
+            arrival
+            + wire_res * (0.5 * wire_cap + root_cap)
+            + term.downstream_delay
+        )
+        if cand > best:
+            best, src, snk = cand, arrival_source, root
+
+    # root as source: drive down into the child subtree
+    if term.is_source and rec.req != NEVER:
+        load = term.capacitance + (wire_cap + rec.down)
+        cand = (
+            term.arrival_time
+            + term.driver_delay(load)
+            + wire_res * (0.5 * wire_cap + rec.down)
+            + rec.req
+        )
+        if cand > best:
+            best, src, snk = cand, root, rec.req_sink
+    return best, src, snk
+
+
+def timing_from_record(
+    record: SubtreeRecord, external_cap: float
+) -> SubtreeTiming:
+    """The legacy scalar :class:`SubtreeTiming` of one record, evaluated at
+    the node's actual Eq. 2 external load (used by the full pass only)."""
+    arrival, arrival_source = _eval_at(record.ups, external_cap)
+    diameter, diameter_pair = _eval_at(record.diams, external_cap)
+    return SubtreeTiming(
+        arrival, arrival_source, record.req, record.req_sink, diameter, diameter_pair
+    )
+
+
+# -- the persistent engine -----------------------------------------------------
+
+
+class IncrementalARD:
+    """A persistent :class:`~repro.rctree.engine.TimingEngine` over one tree.
+
+    Construction runs one full record pass (O(n)); afterwards the mutation
+    ops — :meth:`set_assignment`, :meth:`set_terminal`,
+    :meth:`set_wire_width`, :meth:`set_wire_scale`, :meth:`reroot` — mark
+    the minimal dirty set and :meth:`evaluate` re-propagates only the dirty
+    root paths (deepest first, so batched edits coalesce shared prefixes
+    and a node recomputes at most once).  Re-propagation stops early when a
+    recomputed record is unchanged.
+
+    With ``REPRO_CHECK=1`` every evaluation is cross-checked against a
+    fresh full pass (:meth:`fresh_result`) for bit-identical value and
+    critical pair.
+
+    ``evaluate`` returns an :class:`~repro.rctree.engine.ARDResult` with an
+    empty ``timing`` table — the per-node scalar table is a full-pass
+    product; use :func:`repro.core.ard.compute_ard` when you need it.
+    """
+
+    def __init__(
+        self,
+        tree: RoutingTree,
+        tech: Technology,
+        *,
+        context: Optional[EvalContext] = None,
+    ):
+        self._state = EvalState(tree, tech, context)
+        self._rebuild()
+
+    # -- engine protocol --------------------------------------------------------
+
+    @property
+    def tree(self) -> RoutingTree:
+        return self._state.tree
+
+    @property
+    def technology(self) -> Technology:
+        return self._state.tech
+
+    @property
+    def assignment(self) -> Dict[int, Repeater]:
+        return dict(self._state.assignment)
+
+    def evaluate(self, tree: Optional[RoutingTree] = None) -> ARDResult:
+        """The current ARD, re-propagating only dirty root paths."""
+        check_engine_tree(self._state.tree, tree)
+        self._refresh()
+        if self._result is None:
+            value, src, snk = finish_root(self._state, self._records)
+            self._result = ARDResult(value, src, snk, {})
+            if contracts.contracts_enabled():
+                contracts.verify_incremental_consistency(self._result, self)
+        return self._result
+
+    def path_delay(self, src: int, dst: int) -> float:
+        """``PD(src, dst)`` under the engine's current state (Def. 2.1)."""
+        self._refresh()
+        tree = self._state.tree
+        if tree.node(src).terminal is None or tree.node(dst).terminal is None:
+            raise ValueError("path_delay endpoints must be terminals")
+        if src == dst:
+            raise ValueError("source and sink must differ")
+        src_t = self._state.terminal(src)
+        if not src_t.is_source:
+            raise ValueError(f"terminal {src_t.name} cannot drive")
+
+        path = tree.path_between(src, dst)
+        total = src_t.driver_delay(
+            src_t.capacitance + self._cap_into(src, path[1])
+        )
+        for k in range(1, len(path)):
+            a, b = path[k - 1], path[k]
+            total += self._wire_delay(a, b)
+            if k < len(path) - 1 and b in self._state.assignment:
+                total += self._crossing_delay(b, a, path[k + 1])
+        return total
+
+    # -- mutation ops -----------------------------------------------------------
+
+    def set_assignment(self, node: int, repeater: Optional[Repeater]) -> None:
+        """Place (or with ``None`` remove) a repeater at an insertion node."""
+        self._state.set_repeater(node, repeater)
+        self._mark(node)
+
+    def set_terminal(self, node: int, terminal: Terminal) -> None:
+        """Override the terminal payload of a terminal node."""
+        self._state.set_terminal_override(node, terminal)
+        if node != self._state.tree.root:
+            self._mark(node)
+        else:
+            self._result = None  # the root finish reads the terminal directly
+
+    def set_wire_width(self, edge: int, width) -> None:
+        """Set the width factor of one edge (named by its child node).
+
+        ``width`` is a positive factor, an object with a ``width`` attribute
+        (e.g. :class:`~repro.tech.buffers.WireClass`), or ``None`` to restore
+        unit width.
+        """
+        factor = getattr(width, "width", width)
+        self._state.set_width(edge, factor)
+        # the edge's own record carries its wire in every driver-load term,
+        # and the parent's combine reads the edge arrays directly
+        self._mark(edge)
+        parent = self._state.tree.parent(edge)
+        if parent is not None:
+            self._mark(parent)
+
+    def set_wire_scale(
+        self, *, resistance_factor: float = 1.0, capacitance_factor: float = 1.0
+    ) -> None:
+        """Set (absolutely, not cumulatively) global wire variation scalars.
+
+        Models die-to-die process variation of the wire constants without
+        rebuilding tree or engine; every record is invalidated, so the next
+        :meth:`evaluate` is a full O(n) pass — the win over rebuilding is
+        skipping tree validation and engine construction.
+        """
+        self._state.set_scales(resistance_factor, capacitance_factor)
+        tree = self._state.tree
+        for v in range(len(tree)):
+            if v != tree.root:
+                self._mark(v)
+
+    def reroot(self, node: int) -> None:
+        """Re-orient the tree at ``node`` (terminal or branch point).
+
+        Changes every parent relation, so this is a full O(n) rebuild; edge
+        width overrides are remapped to the re-oriented edge carriers.
+        """
+        old = self._state.tree
+        new_tree = old.rerooted(node)
+        remapped: Dict[int, float] = {}
+        for idx, w in self._state.widths.items():
+            parent = old.parent(idx)
+            if new_tree.parent(idx) == parent:
+                remapped[idx] = w
+            else:  # the edge flipped: its carrier is now the old parent
+                remapped[parent] = w
+        self._state.tree = new_tree
+        self._state.widths = remapped
+        self._rebuild()
+
+    # -- verification hooks -----------------------------------------------------
+
+    def fresh_result(self) -> ARDResult:
+        """A from-scratch full record pass over the current state.
+
+        The REPRO_CHECK contract compares every incremental evaluation
+        against this; since the full pass shares :func:`record_for`, any
+        disagreement pinpoints a dirty-tracking bug, not float drift.
+        """
+        records = build_records(self._state)
+        value, src, snk = finish_root(self._state, records)
+        return ARDResult(value, src, snk, {})
+
+    # -- internals --------------------------------------------------------------
+
+    def _rebuild(self) -> None:
+        tree = self._state.tree
+        for i in range(len(tree)):
+            self._state.refresh_edge(i)
+        pos = [0] * len(tree)
+        for k, v in enumerate(tree.dfs_postorder()):
+            pos[v] = k
+        self._pos = pos
+        self._records = build_records(self._state)
+        self._dirty: set = set()
+        self._result: Optional[ARDResult] = None
+
+    def _mark(self, node: int) -> None:
+        self._dirty.add(node)
+        self._result = None
+
+    def _refresh(self) -> None:
+        """Re-propagate dirty records, deepest (postorder-earliest) first."""
+        if not self._dirty:
+            return
+        tree = self._state.tree
+        root = tree.root
+        heap = [(self._pos[v], v) for v in sorted(self._dirty) if v != root]
+        heapq.heapify(heap)
+        queued = {v for _, v in heap}
+        self._dirty.clear()
+        while heap:
+            _, v = heapq.heappop(heap)
+            queued.discard(v)
+            record = record_for(self._state, v, self._records)
+            if record == self._records[v]:
+                continue
+            self._records[v] = record
+            parent = tree.parent(v)
+            if parent is not None and parent != root and parent not in queued:
+                heapq.heappush(heap, (self._pos[parent], parent))
+                queued.add(parent)
+
+    # path-delay plumbing: Elmore views recomputed from the cached records
+
+    def _external_above(self, v: int) -> float:
+        """Eq. 2 at ``v``: load above ``v``'s parent edge (wire excluded)."""
+        tree = self._state.tree
+        chain = []
+        x = v
+        while True:
+            p = tree.parent(x)
+            if p is None:
+                raise ValueError("the root has no upstream")
+            chain.append(x)
+            if p in self._state.assignment or p == tree.root:
+                break
+            x = p
+        top = tree.parent(chain[-1])
+        rep = self._state.assignment.get(top)
+        if rep is not None:
+            acc = rep.c_b
+        else:
+            acc = self._state.own_cap(top)  # top is the root terminal
+        for x in reversed(chain[:-1]):
+            p = tree.parent(x)
+            acc = (
+                self._state.wire_cap[p]
+                + acc
+                + sum(
+                    self._state.wire_cap[w] + self._records[w].down
+                    for w in tree.children(p)
+                    if w != x
+                )
+            )
+        return acc
+
+    def _view_into(self, v: int, entered_from: int) -> float:
+        tree = self._state.tree
+        if entered_from == tree.parent(v):
+            return self._records[v].down
+        rep = self._state.assignment.get(v)
+        if rep is not None:
+            return rep.c_b
+        if tree.node(v).kind is NodeKind.TERMINAL:
+            return self._state.own_cap(v)  # root terminal seen from its child
+        total = 0.0
+        if tree.parent(v) is not None:
+            total += self._state.wire_cap[v] + self._external_above(v)
+        total += sum(
+            self._state.wire_cap[u] + self._records[u].down
+            for u in tree.children(v)
+            if u != entered_from
+        )
+        return total
+
+    def _edge_index(self, a: int, b: int) -> int:
+        tree = self._state.tree
+        if tree.parent(b) == a:
+            return b
+        if tree.parent(a) == b:
+            return a
+        raise ValueError(f"nodes {a} and {b} are not adjacent")
+
+    def _cap_into(self, frm: int, to: int) -> float:
+        e = self._edge_index(frm, to)
+        return self._state.wire_cap[e] + self._view_into(to, frm)
+
+    def _wire_delay(self, frm: int, to: int) -> float:
+        e = self._edge_index(frm, to)
+        return self._state.wire_res[e] * (
+            0.5 * self._state.wire_cap[e] + self._view_into(to, frm)
+        )
+
+    def _crossing_delay(self, at: int, came_from: int, going_to: int) -> float:
+        rep = self._state.assignment[at]
+        downward = came_from == self._state.tree.parent(at)
+        load = self._cap_into(at, going_to)
+        if self._state.companion:
+            load += rep.c_b if downward else rep.c_a
+        return rep.delay(a_to_b=downward, load_pf=load)

@@ -32,6 +32,7 @@ from ..tech.buffers import Repeater
 from ..tech.parameters import Technology
 from ..tech.terminals import NEVER
 from .elmore import ElmoreAnalyzer
+from .engine import ARDResult, EvalContext, check_engine_tree
 from .topology import RoutingTree
 
 __all__ = ["SlewModel", "SlewAnalyzer"]
@@ -69,13 +70,21 @@ class SlewAnalyzer:
         assignment: Optional[Dict[int, Repeater]] = None,
         model: SlewModel = SlewModel(),
     ):
-        self._an = ElmoreAnalyzer(tree, tech, assignment)
+        self._an = ElmoreAnalyzer(tree, tech, context=EvalContext(assignment=assignment))
         self._model = model
         self._tree = tree
 
     @property
     def elmore(self) -> ElmoreAnalyzer:
         return self._an
+
+    def evaluate(self, tree: Optional[RoutingTree] = None) -> ARDResult:
+        """Slew-aware ARD as an :class:`~repro.rctree.engine.ARDResult`
+        (:class:`TimingEngine` conformance; per-node ``timing`` stays empty —
+        this engine enumerates pairs, it has no subtree recursion)."""
+        check_engine_tree(self._tree, tree)
+        best, src, snk = self.ard()
+        return ARDResult(best, src, snk, {})
 
     def path_delay(self, src: int, dst: int) -> float:
         """Slew-aware delay from the driver at ``src`` to terminal ``dst``.

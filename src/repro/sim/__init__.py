@@ -1,6 +1,7 @@
 """Event-driven functional simulation of bus transactions."""
 
 from .propagation import (
+    SimulationEngine,
     SinkEvent,
     TransactionResult,
     simulate_all,
@@ -9,6 +10,7 @@ from .propagation import (
 )
 
 __all__ = [
+    "SimulationEngine",
     "SinkEvent",
     "TransactionResult",
     "simulate_all",

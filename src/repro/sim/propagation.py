@@ -21,11 +21,19 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..rctree.elmore import ElmoreAnalyzer
+from ..rctree.engine import ARDResult, EvalContext, check_engine_tree
 from ..rctree.topology import RoutingTree
 from ..tech.buffers import Repeater
 from ..tech.parameters import Technology
+from ..tech.terminals import NEVER
 
-__all__ = ["SinkEvent", "TransactionResult", "simulate_transaction", "simulate_all"]
+__all__ = [
+    "SinkEvent",
+    "TransactionResult",
+    "SimulationEngine",
+    "simulate_transaction",
+    "simulate_all",
+]
 
 
 @dataclass(frozen=True)
@@ -76,7 +84,9 @@ def simulate_transaction(
     term = tree.node(source).terminal
     if term is None or not term.is_source:
         raise ValueError(f"node {source} cannot drive the net")
-    an = analyzer or ElmoreAnalyzer(tree, tech, assignment)
+    an = analyzer or ElmoreAnalyzer(
+        tree, tech, context=EvalContext(assignment=assignment)
+    )
     assignment = an.assignment
 
     result = TransactionResult(source=source)
@@ -119,7 +129,7 @@ def simulate_all(
     assignment: Optional[Dict[int, Repeater]] = None,
 ) -> Dict[int, TransactionResult]:
     """One transaction per source terminal (shared analyzer)."""
-    an = ElmoreAnalyzer(tree, tech, assignment)
+    an = ElmoreAnalyzer(tree, tech, context=EvalContext(assignment=assignment))
     out = {}
     for idx in tree.terminal_indices():
         t = tree.node(idx).terminal
@@ -143,6 +153,70 @@ def simulated_ard(
             beta = tree.node(sink).terminal.downstream_delay
             best = max(best, alpha + ev.time + beta)
     return best
+
+
+class SimulationEngine:
+    """Event-driven :class:`~repro.rctree.engine.TimingEngine` wrapper.
+
+    Binds one tree + context to a shared :class:`ElmoreAnalyzer` backbone
+    and answers ``evaluate`` / ``path_delay`` by running transactions —
+    the genuine cross-check engine (hop-by-hop, not closed formulas).
+    """
+
+    def __init__(
+        self,
+        tree: RoutingTree,
+        tech: Technology,
+        *,
+        context: Optional[EvalContext] = None,
+    ):
+        context = context if context is not None else EvalContext()
+        self._tree = tree
+        self._tech = tech
+        self._an = ElmoreAnalyzer(tree, tech, context=context)
+
+    @property
+    def tree(self) -> RoutingTree:
+        return self._tree
+
+    @property
+    def analyzer(self) -> ElmoreAnalyzer:
+        return self._an
+
+    def evaluate(self, tree: Optional[RoutingTree] = None) -> ARDResult:
+        """ARD from simulation events, with the critical pair tracked.
+
+        ``timing`` stays empty — the simulator produces per-node event
+        times, not the Fig. 2 subtree table.
+        """
+        check_engine_tree(self._tree, tree)
+        best, best_src, best_snk = NEVER, None, None
+        for src in self._tree.terminal_indices():
+            term = self._tree.node(src).terminal
+            if not term.is_source:
+                continue
+            result = simulate_transaction(
+                self._tree, self._tech, src, analyzer=self._an
+            )
+            for sink, ev in result.events.items():
+                if sink == src:
+                    continue
+                beta = self._tree.node(sink).terminal.downstream_delay
+                cand = term.arrival_time + ev.time + beta
+                if cand > best:
+                    best, best_src, best_snk = cand, src, sink
+        return ARDResult(best, best_src, best_snk, {})
+
+    def path_delay(self, src: int, dst: int) -> float:
+        """``PD(src, dst)`` from the simulated transaction driven at ``src``."""
+        if src == dst:
+            raise ValueError("source and sink must differ")
+        result = simulate_transaction(self._tree, self._tech, src, analyzer=self._an)
+        if dst in result.events:
+            return result.events[dst].time
+        if dst in result.node_times:
+            return result.node_times[dst]
+        raise ValueError(f"node {dst} was not reached from {src}")
 
 
 def _sole(tree: RoutingTree, leaf: int) -> int:

@@ -24,10 +24,11 @@ wirelength-only topologies on diameter (see
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import Callable, List, Optional, Sequence, Set, Tuple
 
-from ..core.ard import ard
 from ..rctree.builder import TreeBuilder
+from ..rctree.engine import TimingEngine
+from ..rctree.incremental import IncrementalARD
 from ..rctree.topology import RoutingTree
 from ..tech.parameters import Technology
 from ..tech.terminals import Terminal
@@ -80,23 +81,35 @@ def synthesize_topology(
     wirelength_weight: float = 0.0,
     max_iterations: int = 50,
     root: int = 0,
+    engine_factory: Optional[Callable[[RoutingTree], TimingEngine]] = None,
 ) -> SynthesisResult:
     """Search terminal spanning trees for low ARD (plus optional WL term).
 
     ``wirelength_weight`` (ps per µm) trades routing resources against
     diameter: 0 optimizes diameter alone; large values recover the MST.
+
+    ``engine_factory`` builds the timing oracle scoring each candidate
+    topology (every candidate is a *different* tree, so the oracle is
+    rebuilt per candidate).  The default is
+    :class:`~repro.rctree.incremental.IncrementalARD`, whose single-pass
+    record build skips the Eq. 2 pass and the per-node scalar table that a
+    full ``ard()`` would also materialize.
     """
     if len(terminals) < 2:
         raise ValueError("topology synthesis needs at least two terminals")
     if wirelength_weight < 0.0:
         raise ValueError("wirelength_weight must be non-negative")
 
+    if engine_factory is None:
+        def engine_factory(tree: RoutingTree) -> TimingEngine:
+            return IncrementalARD(tree, tech)
+
     points = [(t.x, t.y) for t in terminals]
     edges: List[Edge] = list(rectilinear_mst(points))
 
     def score_of(edge_list: Sequence[Edge]) -> Tuple[float, float, float]:
         tree = tree_from_terminal_edges(terminals, edge_list, root=root)
-        value = ard(tree, tech).value
+        value = engine_factory(tree).evaluate(tree).value
         wl = tree.total_wire_length()
         return value + wirelength_weight * wl, value, wl
 
