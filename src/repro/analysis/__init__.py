@@ -17,7 +17,7 @@ from .exhaustive import (
 )
 from .experiments import InstanceResult, run_instance, table1, table2, table3, table4
 from .pareto import is_dominated, minima_2d, minima_3d, minima_nd
-from .render import render_tree
+from .render import render_flame_svg, render_trace_summary, render_tree
 from .svg import render_svg, save_svg
 from .report import Table, results_dir, save_text
 from .variation import VariationModel, VariationResult, monte_carlo_ard
@@ -48,6 +48,8 @@ __all__ = [
     "minima_3d",
     "minima_nd",
     "render_tree",
+    "render_trace_summary",
+    "render_flame_svg",
     "render_svg",
     "save_svg",
     "Table",

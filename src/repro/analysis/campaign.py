@@ -42,6 +42,7 @@ from ..io.serialize import (
     instance_result_from_dict,
     instance_result_to_dict,
 )
+from ..obs import core as obs
 from .executor import (
     Job,
     JobFailure,
@@ -243,16 +244,19 @@ def run_campaign(
 
     t0 = time.perf_counter()
     try:
-        executed = run_jobs(
-            fn,
-            pending,
-            workers=workers,
-            timeout=timeout,
-            max_retries=max_retries,
-            retry_backoff_s=retry_backoff_s,
-            checkpoint=checkpoint,
-            progress=_progress,
-        )
+        with obs.trace(
+            "campaign.run", label=config.label, jobs=len(jobs), workers=workers
+        ):
+            executed = run_jobs(
+                fn,
+                pending,
+                workers=workers,
+                timeout=timeout,
+                max_retries=max_retries,
+                retry_backoff_s=retry_backoff_s,
+                checkpoint=checkpoint,
+                progress=_progress,
+            )
     finally:
         if checkpoint is not None:
             checkpoint.close()

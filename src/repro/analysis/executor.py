@@ -17,7 +17,13 @@ module provides the machinery, decoupled from what a "job" computes:
   a killed campaign can be resumed by replaying the log and skipping the
   keys already done.
 * :class:`JobMetrics` — per-job wall-clock and peak RSS, captured inside
-  the worker, for runtime observability.
+  the worker, for runtime observability.  With ``REPRO_OBS=1`` each job
+  additionally carries a compact observability summary (``metrics.obs``):
+  counter totals and per-path span aggregates recorded while the job ran.
+  Workers snapshot-and-reset their per-process buffers around every job
+  and ship the snapshot back over the result pipe, where the parent folds
+  it into its own buffers — so a single trace of a parallel campaign sees
+  every worker's spans, tagged with the source pid.
 
 Determinism: the pool only changes *where* a job runs, never its inputs —
 every job is fully determined by its ``args`` — so results are identical
@@ -37,6 +43,8 @@ import time
 import traceback
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..obs import core as obs
 
 __all__ = [
     "Job",
@@ -78,6 +86,10 @@ class JobMetrics:
     max_rss_kb: int
     attempts: int
     worker: int  #: worker slot index; -1 for the inline serial path
+    #: Compact observability summary of the job's final attempt — counter
+    #: totals and per-path span aggregates ``{path: [count, total_s]}`` —
+    #: or ``None`` when the run was not traced (see docs/OBSERVABILITY.md).
+    obs: Optional[Dict[str, Any]] = None
 
 
 @dataclass(frozen=True)
@@ -113,10 +125,15 @@ def _max_rss_kb() -> int:
 def _worker_main(conn, fn) -> None:
     """Worker loop: receive ``(key, args)``, reply with a tagged payload.
 
-    Replies: ``("ok", key, result, runtime_s, rss_kb)`` or
-    ``("error", key, error_type, message, runtime_s, rss_kb)``.  A ``None``
-    message is the shutdown sentinel.
+    Replies: ``("ok", key, result, runtime_s, rss_kb, obs_snap)`` or
+    ``("error", key, error_type, message, runtime_s, rss_kb, obs_snap)``.
+    ``obs_snap`` is the worker's observability snapshot for this job (the
+    buffers are reset around every job so snapshots are per-job deltas), or
+    ``None`` when observability is off.  A ``None`` message is the shutdown
+    sentinel.
     """
+    if obs.enabled():
+        obs.reset()  # drop buffers inherited across fork
     try:
         while True:
             msg = conn.recv()
@@ -125,9 +142,15 @@ def _worker_main(conn, fn) -> None:
             key, args = msg
             t0 = time.perf_counter()
             try:
-                result = fn(*args)
-                payload = ("ok", key, result, time.perf_counter() - t0, _max_rss_kb())
+                with obs.trace("executor.job", key=list(key)):
+                    result = fn(*args)
+                obs_snap = obs.snapshot(reset=True) if obs.enabled() else None
+                payload = (
+                    "ok", key, result, time.perf_counter() - t0, _max_rss_kb(),
+                    obs_snap,
+                )
             except Exception as exc:
+                obs_snap = obs.snapshot(reset=True) if obs.enabled() else None
                 payload = (
                     "error",
                     key,
@@ -135,6 +158,7 @@ def _worker_main(conn, fn) -> None:
                     _describe_error(exc),
                     time.perf_counter() - t0,
                     _max_rss_kb(),
+                    obs_snap,
                 )
             try:
                 conn.send(payload)
@@ -147,6 +171,7 @@ def _worker_main(conn, fn) -> None:
                         f"result not transferable: {exc}",
                         time.perf_counter() - t0,
                         _max_rss_kb(),
+                        None,
                     )
                 )
     except (EOFError, KeyboardInterrupt):
@@ -240,6 +265,8 @@ class JsonlCheckpoint:
                 "worker": m.worker,
             },
         }
+        if m.obs is not None:
+            entry["metrics"]["obs"] = m.obs
         if outcome.ok:
             entry["result"] = self._encode(outcome.result)
         else:
@@ -261,6 +288,7 @@ class JsonlCheckpoint:
             max_rss_kb=int(m.get("max_rss_kb", 0)),
             attempts=int(m.get("attempts", 1)),
             worker=int(m.get("worker", -1)),
+            obs=m.get("obs"),
         )
         if entry.get("kind") == "failure":
             f = entry["failure"]
@@ -325,10 +353,15 @@ def run_jobs(
             raise ValueError(
                 "per-job timeouts need process isolation; use workers >= 1"
             )
-        return _run_inline(fn, jobs, max_retries, retry_backoff_s, checkpoint, progress)
-    return _run_pool(
-        fn, jobs, workers, timeout, max_retries, retry_backoff_s, checkpoint, progress
-    )
+        with obs.trace("executor.run", workers=0, jobs=len(jobs)):
+            return _run_inline(
+                fn, jobs, max_retries, retry_backoff_s, checkpoint, progress
+            )
+    with obs.trace("executor.run", workers=workers, jobs=len(jobs)):
+        return _run_pool(
+            fn, jobs, workers, timeout, max_retries, retry_backoff_s, checkpoint,
+            progress,
+        )
 
 
 def _finalize(
@@ -358,8 +391,13 @@ def _run_inline(fn, jobs, max_retries, retry_backoff_s, checkpoint, progress):
         while True:
             attempt += 1
             t0 = time.perf_counter()
+            # per-job delta via mark/summary_since: the buffers are shared
+            # with enclosing campaign-level spans, so resetting them here
+            # (the worker-process strategy) would destroy the outer trace
+            m = obs.mark() if obs.enabled() else None
             try:
-                result = fn(*job.args)
+                with obs.trace("executor.job", key=list(job.key)):
+                    result = fn(*job.args)
             except Exception as exc:
                 if attempt <= max_retries:
                     time.sleep(_backoff_delay(retry_backoff_s, attempt))
@@ -377,6 +415,7 @@ def _run_inline(fn, jobs, max_retries, retry_backoff_s, checkpoint, progress):
                     max_rss_kb=_max_rss_kb(),
                     attempts=attempt,
                     worker=-1,
+                    obs=obs.summary_since(m) if m is not None else None,
                 )
                 outcomes.append(JobOutcome(job.key, None, failure, metrics))
                 break
@@ -386,6 +425,7 @@ def _run_inline(fn, jobs, max_retries, retry_backoff_s, checkpoint, progress):
                 max_rss_kb=_max_rss_kb(),
                 attempts=attempt,
                 worker=-1,
+                obs=obs.summary_since(m) if m is not None else None,
             )
             outcomes.append(JobOutcome(job.key, result, None, metrics))
             break
@@ -460,7 +500,11 @@ def _run_pool(
         _finalize(outcome, len(outcomes), total, checkpoint, progress)
 
     def retry_or_fail(
-        slot: int, assign: _Assignment, error_type: str, message: str
+        slot: int,
+        assign: _Assignment,
+        error_type: str,
+        message: str,
+        obs_summary: Optional[Dict[str, Any]] = None,
     ) -> None:
         if assign.attempt <= max_retries:
             not_before = time.perf_counter() + _backoff_delay(
@@ -482,6 +526,7 @@ def _run_pool(
             max_rss_kb=0,
             attempts=assign.attempt,
             worker=slot,
+            obs=obs_summary,
         )
         settle(assign, JobOutcome(assign.job.key, None, failure, metrics))
 
@@ -535,20 +580,29 @@ def _run_pool(
                     continue
                 tag = payload[0]
                 if tag == "ok":
-                    _, _key, result, runtime_s, rss_kb = payload
+                    _, _key, result, runtime_s, rss_kb, obs_snap = payload
+                    obs.merge(obs_snap)  # fold the worker's trace into ours
                     metrics = JobMetrics(
                         key=assign.job.key,
                         runtime_s=runtime_s,
                         max_rss_kb=rss_kb,
                         attempts=assign.attempt,
                         worker=w.slot,
+                        obs=obs.summarize(obs_snap) if obs_snap else None,
                     )
                     settle(
                         assign, JobOutcome(assign.job.key, result, None, metrics)
                     )
                 else:
-                    _, _key, error_type, message, _runtime_s, _rss = payload
-                    retry_or_fail(w.slot, assign, error_type, message)
+                    _, _key, error_type, message, _runtime_s, _rss, obs_snap = payload
+                    obs.merge(obs_snap)
+                    retry_or_fail(
+                        w.slot,
+                        assign,
+                        error_type,
+                        message,
+                        obs.summarize(obs_snap) if obs_snap else None,
+                    )
 
             # enforce deadlines on workers that did not reply
             now = time.perf_counter()

@@ -179,11 +179,20 @@ def table4(
     With campaign ``metrics`` (per-job :class:`~repro.analysis.executor.
     JobMetrics`-shaped records keyed ``(seed, size, spacing)``), two
     observability columns join the paper's: average end-to-end job
-    wall-clock and the peak worker RSS seen for that size.
+    wall-clock and the peak worker RSS seen for that size.  When any metric
+    additionally carries a per-job observability summary (``metrics[i].obs``
+    — a campaign run under ``repro-msri trace``/``REPRO_OBS=1``), two DP
+    columns follow: total MSRI candidate solutions generated and kept for
+    that size, the paper's pruning-effectiveness numbers per instance.
     """
     columns = ["pins", "repeater insertion", "driver sizing"]
+    with_obs = metrics is not None and any(
+        getattr(m, "obs", None) for m in metrics
+    )
     if metrics is not None:
         columns += ["job wall (s)", "peak RSS (MB)"]
+    if with_obs:
+        columns += ["DP generated", "DP kept"]
     t = Table("Table IV: average run times (CPU seconds)", columns)
     for n_pins in sorted({r.n_pins for r in results}):
         group = [r for r in results if r.n_pins == n_pins]
@@ -199,6 +208,9 @@ def table4(
                 row.append(max(m.max_rss_kb for m in mgroup) / 1024.0)
             else:
                 row += [float("nan"), float("nan")]
+            if with_obs:
+                row.append(_obs_total(mgroup, "msri.solutions.generated"))
+                row.append(_obs_total(mgroup, "msri.solutions.kept"))
         t.add_row(*row)
     t.add_note("this machine, pure-Python implementation; the paper used a SPARC 10.")
     return t
@@ -207,3 +219,14 @@ def table4(
 def _avg(values: Iterable[float]) -> float:
     vals = list(values)
     return sum(vals) / len(vals)
+
+
+def _obs_total(metrics: Sequence, counter: str) -> float:
+    """Sum of one observability counter over a group of job metrics."""
+    return float(
+        sum(
+            (m.obs or {}).get("counters", {}).get(counter, 0)
+            for m in metrics
+            if getattr(m, "obs", None)
+        )
+    )

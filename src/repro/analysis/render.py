@@ -1,18 +1,25 @@
-"""ASCII rendering of routing trees and repeater assignments.
+"""ASCII rendering of routing trees, assignments, and trace summaries.
 
 Used by the Fig. 11 benchmark and the examples to visualize how the
 optimizer spends its repeaters: terminals appear as letters, Steiner points
 as ``+``, free insertion points as ``.``, and placed repeaters as ``#``,
 with wires drawn along their L-shaped routes.
+
+Also renders observability captures (``repro.obs`` snapshots):
+:func:`render_trace_summary` prints a text flame tree — span paths nested
+by their ``/``-joined name stacks with count / total / self durations —
+followed by the counter and histogram sections, and
+:func:`render_flame_svg` writes the same span tree as a standalone SVG
+flame graph.  See docs/OBSERVABILITY.md for the snapshot format.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..rctree.topology import NodeKind, RoutingTree
 
-__all__ = ["render_tree"]
+__all__ = ["render_tree", "render_trace_summary", "render_flame_svg"]
 
 
 def render_tree(
@@ -77,3 +84,149 @@ def render_tree(
     return "\n".join(line for line in lines if True) + "\n" + footer + (
         "\n" + legend if legend else ""
     )
+
+
+# -- observability rendering ---------------------------------------------------
+
+
+def _span_tree(snap: Dict[str, Any]) -> Dict[str, List[float]]:
+    """Aggregate a snapshot's spans into ``{path: [count, total_s]}``."""
+    agg: Dict[str, List[float]] = {}
+    for entry in snap.get("spans", ()):
+        node = agg.setdefault(entry["path"], [0, 0.0])
+        node[0] += 1
+        node[1] += entry["dur_s"]
+    return agg
+
+
+def _children_of(agg: Dict[str, List[float]], path: str) -> List[str]:
+    prefix = path + "/"
+    depth = path.count("/") + 1
+    kids = [p for p in agg if p.startswith(prefix) and p.count("/") == depth]
+    return sorted(kids, key=lambda p: -agg[p][1])
+
+
+def _self_seconds(agg: Dict[str, List[float]], path: str) -> float:
+    return agg[path][1] - sum(agg[k][1] for k in _children_of(agg, path))
+
+
+def _fmt_s(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds * 1e6:.0f}us"
+
+
+def render_trace_summary(snap: Dict[str, Any]) -> str:
+    """A text flame summary of one ``repro.obs`` snapshot.
+
+    Three sections: the span tree (paths nested by their name stacks, with
+    call count, total and self time), counters, and histograms.  Works on a
+    live :func:`repro.obs.snapshot` or a :func:`repro.obs.load_jsonl`
+    round-trip of one.
+    """
+    lines: List[str] = []
+    agg = _span_tree(snap)
+    if agg:
+        lines.append("spans (count  total  self):")
+        roots = sorted(
+            (p for p in agg if "/" not in p), key=lambda p: -agg[p][1]
+        )
+
+        def walk(path: str, depth: int) -> None:
+            count, total = agg[path]
+            self_s = _self_seconds(agg, path)
+            # children running concurrently in worker processes can sum past
+            # the parent's wall-clock; a negative "self" is meaningless then
+            self_col = _fmt_s(self_s) if self_s >= 0 else "(conc)"
+            lines.append(
+                f"  {'  ' * depth}{path.rsplit('/', 1)[-1]:<28}"
+                f"{int(count):>6}  {_fmt_s(total):>8}  "
+                f"{self_col:>8}"
+            )
+            for kid in _children_of(agg, path):
+                walk(kid, depth + 1)
+
+        for root in roots:
+            walk(root, 0)
+    counters = {k: v for k, v in snap.get("counters", {}).items() if v}
+    if counters:
+        lines.append("counters:")
+        for name in sorted(counters):
+            value = counters[name]
+            shown = int(value) if value == int(value) else value
+            lines.append(f"  {name:<40}{shown:>12}")
+    hists = snap.get("hists", {})
+    if hists:
+        lines.append("histograms (count  mean  min  max):")
+        for name in sorted(hists):
+            count, total, lo, hi = hists[name]
+            mean = total / count if count else 0.0
+            lines.append(
+                f"  {name:<36}{int(count):>6}  {mean:>8.2f}  {lo:>6g}  {hi:>6g}"
+            )
+    dropped = snap.get("dropped", 0)
+    if dropped:
+        lines.append(f"warning: {dropped} record(s) dropped at the buffer cap")
+    if not lines:
+        return "(empty trace)"
+    return "\n".join(lines)
+
+
+def render_flame_svg(snap: Dict[str, Any], path: str, *, width: int = 960) -> None:
+    """Write the snapshot's span tree as a standalone SVG flame graph.
+
+    Horizontal extent is proportional to total seconds per span path;
+    children nest one row below their parent.  Zero-dependency output:
+    plain ``<rect>``/``<text>`` elements with ``<title>`` tooltips.
+    """
+    agg = _span_tree(snap)
+    row_h = 22
+    roots = sorted((p for p in agg if "/" not in p), key=lambda p: -agg[p][1])
+    total = sum(agg[p][1] for p in roots) or 1.0
+    depth_max = max((p.count("/") for p in agg), default=0)
+    height = (depth_max + 1) * row_h + 30
+    palette = ["#d9534f", "#f0ad4e", "#5bc0de", "#5cb85c", "#9b7fd4", "#e38dc1"]
+    rects: List[str] = []
+
+    def emit(p: str, x0: float, span_w: float, depth: int) -> None:
+        count, secs = agg[p]
+        w = max(span_w, 1.0)
+        y = depth * row_h + 24
+        color = palette[hash(p.rsplit("/", 1)[-1]) % len(palette)]
+        label = p.rsplit("/", 1)[-1]
+        rects.append(
+            f'<g><rect x="{x0:.1f}" y="{y}" width="{w:.1f}" height="{row_h - 2}" '
+            f'fill="{color}" stroke="#fff"/>'
+            f"<title>{p}: {int(count)} call(s), {_fmt_s(secs)}</title>"
+            + (
+                f'<text x="{x0 + 3:.1f}" y="{y + 15}" font-size="11" '
+                f'font-family="monospace">{label}</text>'
+                if w > 8 * len(label)
+                else ""
+            )
+            + "</g>"
+        )
+        kids = _children_of(agg, p)
+        scale = span_w / agg[p][1] if agg[p][1] > 0 else 0.0
+        x = x0
+        for kid in kids:
+            kw = agg[kid][1] * scale
+            emit(kid, x, kw, depth + 1)
+            x += kw
+
+    x = 0.0
+    for root in roots:
+        rw = agg[root][1] / total * width
+        emit(root, x, rw, 0)
+        x += rw
+
+    svg = (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="sans-serif">'
+        f'<text x="4" y="16" font-size="13">trace flame graph '
+        f"({_fmt_s(total)} total)</text>" + "".join(rects) + "</svg>"
+    )
+    with open(path, "w") as fh:
+        fh.write(svg)

@@ -38,6 +38,7 @@ __all__ = [
     "checking",
     "verify_pwl",
     "verify_nonnegative_caps",
+    "verify_msri_node_conservation",
     "verify_pareto",
     "verify_root_front",
     "verify_ard_consistency",
@@ -128,6 +129,27 @@ def verify_nonnegative_caps(analyzer, *, atol: float = 1e-9) -> None:
                     f"Eq. 2 violation: upstream capacitance at node {v} is "
                     f"{up} pF (negative)"
                 )
+
+
+def verify_msri_node_conservation(node: int, generated: int, kept: int) -> None:
+    """MSRI per-node solution accounting: ``pruned + kept == generated``.
+
+    The DP reports, for every vertex, how many candidate solutions it
+    generated and how many survived pruning; the difference is the pruned
+    count.  A pruner that *invents* solutions (``kept > generated``) or a
+    negative count means the bookkeeping — and therefore every published
+    pruning-effectiveness number — is wrong.
+    """
+    if generated < 0 or kept < 0:
+        raise ContractViolation(
+            f"MSRI node {node}: negative solution count "
+            f"(generated={generated}, kept={kept})"
+        )
+    if kept > generated:
+        raise ContractViolation(
+            f"MSRI node {node}: pruning returned {kept} solutions from "
+            f"{generated} candidates — pruned + kept != generated"
+        )
 
 
 def verify_pareto(

@@ -1,0 +1,124 @@
+"""Relative-link checker for the repository's markdown documentation.
+
+The docs cross-reference each other heavily (README → docs/*, docs/* →
+source files); a rename silently strands those links.  This module walks
+every ``[text](target)`` and ``![alt](target)`` in the given markdown
+files and verifies that
+
+* relative file targets exist on disk (resolved against the file that
+  contains the link), and
+* intra-file anchors (``#section`` or ``other.md#section``) match a
+  heading in the target file, using GitHub's slug rules (lowercase,
+  spaces to dashes, punctuation dropped).
+
+External schemes (``http://``, ``https://``, ``mailto:``) are skipped —
+CI must not depend on the network.  Inline code spans and fenced code
+blocks are ignored so documentation *about* link syntax never trips the
+checker.
+
+Run it as::
+
+    python -m repro.check.links README.md docs/*.md
+
+Exit status is the number of broken links (0 = clean), one ``file:line``
+diagnostic per finding.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from typing import Iterable, List, Set, Tuple
+
+__all__ = ["check_file", "main"]
+
+# [text](target) or ![alt](target); target ends at the first unescaped ')'
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+_CODE_SPAN_RE = re.compile(r"`[^`]*`")
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def _slug(heading: str) -> str:
+    """GitHub-style anchor slug for a heading line."""
+    text = _CODE_SPAN_RE.sub(lambda m: m.group(0).strip("`"), heading)
+    text = re.sub(r"[^\w\s-]", "", text.strip().lower())
+    return re.sub(r"[\s]+", "-", text)
+
+
+def _headings(path: str) -> Set[str]:
+    slugs: Set[str] = set()
+    in_fence = False
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = _HEADING_RE.match(line)
+            if m:
+                slugs.add(_slug(m.group(1)))
+    return slugs
+
+
+def _iter_links(path: str) -> Iterable[Tuple[int, str]]:
+    """Yield ``(line_number, target)`` for every markdown link in *path*."""
+    in_fence = False
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            scrubbed = _CODE_SPAN_RE.sub("", line)
+            for m in _LINK_RE.finditer(scrubbed):
+                yield lineno, m.group(1)
+
+
+def check_file(path: str) -> List[str]:
+    """Return ``file:line: message`` diagnostics for broken links in *path*."""
+    import os
+
+    problems: List[str] = []
+    base = os.path.dirname(os.path.abspath(path))
+    for lineno, target in _iter_links(path):
+        if target.startswith(_EXTERNAL):
+            continue
+        file_part, _, anchor = target.partition("#")
+        if file_part:
+            resolved = os.path.normpath(os.path.join(base, file_part))
+            if not os.path.exists(resolved):
+                problems.append(
+                    f"{path}:{lineno}: broken link target {file_part!r}"
+                )
+                continue
+            anchor_file = resolved
+        else:
+            anchor_file = os.path.abspath(path)
+        if anchor and anchor_file.endswith(".md"):
+            if _slug(anchor) not in _headings(anchor_file):
+                problems.append(
+                    f"{path}:{lineno}: anchor #{anchor} not found in "
+                    f"{file_part or path}"
+                )
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    if not argv:
+        print("usage: python -m repro.check.links FILE.md [FILE.md ...]")
+        return 2
+    problems: List[str] = []
+    for path in argv:
+        problems.extend(check_file(path))
+    for p in problems:
+        print(p)
+    if not problems:
+        print(f"links: {len(argv)} file(s) clean")
+    return len(problems)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

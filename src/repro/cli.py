@@ -26,6 +26,12 @@ Subcommands
     Run the repo-specific static analysis (rules R001-R006, see
     ``docs/STATIC_ANALYSIS.md``) over files or directories; also installed
     standalone as ``repro-lint``.
+``trace``
+    Run any other subcommand with observability enabled
+    (``repro-msri trace [-o trace.jsonl] campaign ...``): spans, counters
+    and per-node DP metrics are captured — worker processes included —
+    exported as JSONL, and summarized as a text flame tree (optionally an
+    SVG flame graph with ``--svg``).  See ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -186,6 +192,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay the checkpoint and re-run only missing or failed jobs",
     )
 
+    t = sub.add_parser(
+        "trace",
+        help="run another subcommand with observability enabled "
+        "(spans + DP metrics), export JSONL, print a flame summary",
+    )
+    t.add_argument(
+        "--trace-output",
+        "-o",
+        dest="trace_output",
+        default="trace.jsonl",
+        help="JSONL trace path (default: trace.jsonl)",
+    )
+    t.add_argument(
+        "--svg", dest="trace_svg", help="also write an SVG flame graph here"
+    )
+    t.add_argument(
+        "rest",
+        nargs=argparse.REMAINDER,
+        help="the traced subcommand and its arguments, e.g. "
+        "'campaign --seeds 2 --sizes 6 -o camp.json'",
+    )
+
     return parser
 
 
@@ -200,6 +228,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "synthesize": _cmd_synthesize,
         "campaign": _cmd_campaign,
         "lint": _cmd_lint,
+        "trace": _cmd_trace,
     }[args.command]
     return handler(args)
 
@@ -368,6 +397,47 @@ def _cmd_lint(args) -> int:
     from .check.cli import run_lint
 
     return run_lint(args.paths, fmt=args.format, select=args.select)
+
+
+def _cmd_trace(args) -> int:
+    import os
+
+    from .analysis.render import render_flame_svg, render_trace_summary
+    from .obs import core as obs
+    from .obs.export import export_jsonl
+
+    rest = list(args.rest)
+    if rest and rest[0] == "--":  # argparse.REMAINDER keeps a leading --
+        rest = rest[1:]
+    if not rest:
+        print("trace: missing the subcommand to run", file=sys.stderr)
+        return 2
+    if rest[0] == "trace":
+        print("trace: cannot nest trace inside trace", file=sys.stderr)
+        return 2
+
+    # set the env var (inherited by campaign worker processes) and flip the
+    # in-process flag for code that already imported the obs module
+    prev_env = os.environ.get("REPRO_OBS")
+    os.environ["REPRO_OBS"] = "1"
+    obs.set_enabled(True)
+    obs.reset()
+    try:
+        status = main(rest)
+    finally:
+        snap = obs.snapshot(reset=True)
+        if prev_env is None:
+            os.environ.pop("REPRO_OBS", None)
+        else:
+            os.environ["REPRO_OBS"] = prev_env
+        obs.set_enabled(None)
+        export_jsonl(args.trace_output, snap)
+        print(f"\ntrace written to {args.trace_output}")
+        if args.trace_svg:
+            render_flame_svg(snap, args.trace_svg)
+            print(f"flame graph written to {args.trace_svg}")
+        print(render_trace_summary(snap))
+    return status
 
 
 def _cmd_campaign(args) -> int:

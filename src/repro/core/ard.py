@@ -41,6 +41,7 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from ..check import contracts
+from ..obs import core as obs
 from ..rctree.elmore import ElmoreAnalyzer
 from ..rctree.engine import (
     ARDResult,
@@ -61,6 +62,11 @@ from ..tech.terminals import NEVER
 
 __all__ = ["ARDResult", "SubtreeTiming", "compute_ard", "ard"]
 
+# Nodes visited by the Fig. 2 record pass (naming contract:
+# docs/OBSERVABILITY.md).  Linear growth per full pass is the paper's O(n)
+# claim made observable.
+_OBS_RECORD_PASS_NODES = obs.Counter("ard.record_pass.nodes")
+
 
 def compute_ard(analyzer: ElmoreAnalyzer) -> ARDResult:
     """ARD(T) for the analyzer's tree and evaluation context — O(n).
@@ -70,17 +76,20 @@ def compute_ard(analyzer: ElmoreAnalyzer) -> ARDResult:
     to populate the per-subtree ``timing`` table.
     """
     tree = analyzer.tree
-    state = EvalState(tree, analyzer.technology, analyzer.context)
-    records = build_records(state)
+    with obs.trace("ard.full_pass", nodes=len(tree)):
+        if obs.enabled():
+            _OBS_RECORD_PASS_NODES.add(len(tree))
+        state = EvalState(tree, analyzer.technology, analyzer.context)
+        records = build_records(state)
 
-    timing: Dict[int, SubtreeTiming] = {}
-    for v in tree.dfs_postorder():
-        if v != tree.root:
-            timing[v] = timing_from_record(records[v], analyzer.upstream_cap(v))
+        timing: Dict[int, SubtreeTiming] = {}
+        for v in tree.dfs_postorder():
+            if v != tree.root:
+                timing[v] = timing_from_record(records[v], analyzer.upstream_cap(v))
 
-    best, src, snk = finish_root(state, records)
-    timing[tree.root] = SubtreeTiming(NEVER, None, NEVER, None, best, (src, snk))
-    result = ARDResult(best, src, snk, timing)
+        best, src, snk = finish_root(state, records)
+        timing[tree.root] = SubtreeTiming(NEVER, None, NEVER, None, best, (src, snk))
+        result = ARDResult(best, src, snk, timing)
     if contracts.contracts_enabled():
         contracts.verify_ard_consistency(result, analyzer)
     return result

@@ -35,11 +35,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..check import contracts
+from ..obs import core as obs
 from ..rctree.engine import EvalContext
 from ..rctree.topology import NodeKind, RoutingTree
 from ..tech.buffers import RepeaterLibrary
 from ..tech.parameters import Technology
 from .mfs import mfs, mfs_pairwise
+from .pwl import max_segment_count
 from .solution import (
     Placement,
     RootSolution,
@@ -53,6 +55,16 @@ from .solution import (
 )
 
 __all__ = ["MSRIOptions", "MSRIStats", "MSRIResult", "insert_repeaters"]
+
+# Observability metrics (naming contract: docs/OBSERVABILITY.md).  All are
+# free while REPRO_OBS is off; the DP loop additionally hoists the enabled
+# check out of its per-node body.
+_OBS_NODES = obs.Counter("msri.nodes")
+_OBS_GENERATED = obs.Counter("msri.solutions.generated")
+_OBS_KEPT = obs.Counter("msri.solutions.kept")
+_OBS_PRUNED = obs.Counter("msri.solutions.pruned")
+_OBS_FRONT_WIDTH = obs.Histogram("msri.front_width")
+_OBS_PWL_SEGMENTS = obs.Histogram("msri.pwl_segments")
 
 
 @dataclass(frozen=True)
@@ -110,9 +122,9 @@ class MSRIStats:
         self.max_set_size = max(self.max_set_size, len(after))
         self.set_sizes[node] = len(after)
         for s in after:
-            for f in (s.arr, s.diam):
-                if f is not None:
-                    self.max_segments = max(self.max_segments, f.num_segments)
+            widest = max_segment_count((s.arr, s.diam))
+            if widest > self.max_segments:
+                self.max_segments = widest
 
 
 @dataclass(frozen=True)
@@ -190,27 +202,58 @@ def insert_repeaters(
     stats = MSRIStats()
     c_max = _domain_bound(tree, tech, options, widths)
     prune = _make_pruner(options)
+    checking = contracts.contracts_enabled()
+    observing = obs.enabled()  # hoisted: the per-node loop stays obs-free when off
 
     root = tree.root
     sets: Dict[int, List[Solution]] = {}
-    for v in tree.dfs_postorder():
-        if v == root:
-            continue
-        node = tree.node(v)
-        if node.kind is NodeKind.TERMINAL:
-            raw = _leaf_set(node, v, c_max, options)
-        elif node.kind is NodeKind.STEINER:
-            raw = _branch_set(tree, tech, v, sets, c_max, prune, options, widths)
-        else:  # insertion point
-            raw = _insertion_set(tree, tech, v, sets, c_max, options, widths)
-        generated = len(raw)
-        pruned = prune(raw)
-        stats.record(v, generated, pruned)
-        sets[v] = pruned
-        for u in tree.children(v):
-            del sets[u]  # children fully consumed; free memory
+    with obs.trace("msri.run", nodes=len(tree)) as span:
+        for v in tree.dfs_postorder():
+            if v == root:
+                continue
+            node = tree.node(v)
+            with obs.trace("msri.prune", node=v) if observing else obs.NULL_SPAN:
+                if node.kind is NodeKind.TERMINAL:
+                    raw = _leaf_set(node, v, c_max, options)
+                elif node.kind is NodeKind.STEINER:
+                    raw = _branch_set(
+                        tree, tech, v, sets, c_max, prune, options, widths
+                    )
+                else:  # insertion point
+                    raw = _insertion_set(tree, tech, v, sets, c_max, options, widths)
+                generated = len(raw)
+                pruned = prune(raw)
+            if checking:
+                contracts.verify_msri_node_conservation(v, generated, len(pruned))
+            stats.record(v, generated, pruned)
+            if observing:
+                obs.point(
+                    "msri.node",
+                    node=v,
+                    generated=generated,
+                    kept=len(pruned),
+                    pruned=generated - len(pruned),
+                )
+                _OBS_FRONT_WIDTH.observe(len(pruned))
+            sets[v] = pruned
+            for u in tree.children(v):
+                del sets[u]  # children fully consumed; free memory
 
-    roots = _root_set(tree, tech, sets, c_max, options, widths)
+        roots = _root_set(tree, tech, sets, c_max, options, widths)
+        if observing:
+            _OBS_NODES.add(stats.nodes_processed)
+            _OBS_GENERATED.add(stats.solutions_generated)
+            _OBS_KEPT.add(stats.solutions_after_pruning)
+            _OBS_PRUNED.add(
+                stats.solutions_generated - stats.solutions_after_pruning
+            )
+            _OBS_PWL_SEGMENTS.observe(stats.max_segments)
+            span.set(
+                nodes=stats.nodes_processed,
+                generated=stats.solutions_generated,
+                kept=stats.solutions_after_pruning,
+                front=stats.max_set_size,
+            )
     stats.runtime_seconds = time.perf_counter() - t0
     return MSRIResult(solutions=tuple(roots), stats=stats, tree=tree)
 

@@ -34,7 +34,7 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 from ..check import contracts
 from .intervals import ATOL, Interval, IntervalSet
 
-__all__ = ["Segment", "PWL", "maximum_all"]
+__all__ = ["Segment", "PWL", "maximum_all", "max_segment_count"]
 
 #: Tolerance used when merging collinear segments and comparing breakpoints.
 _EPS = 1e-9
@@ -450,3 +450,18 @@ def maximum_all(functions: Sequence[PWL]) -> PWL:
             nxt.append(items[-1])
         items = nxt
     return items[0]
+
+
+def max_segment_count(functions: Iterable[Optional["PWL"]]) -> int:
+    """The widest segment list among ``functions`` (``None`` entries skipped).
+
+    The paper leans on PWL representations staying *small* in practice
+    (Sec. VIII observes ~4 segments on its workloads); this is the quantity
+    the MSRI statistics and the ``msri.pwl_segments`` observability
+    histogram report per node.
+    """
+    widest = 0
+    for f in functions:
+        if f is not None and f.num_segments > widest:
+            widest = f.num_segments
+    return widest

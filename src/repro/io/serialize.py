@@ -11,6 +11,11 @@ Campaign records are versioned separately (``CAMPAIGN_SCHEMA``):
   per-job runtime/memory metrics, and the worker count.  v1 files load
   transparently: per-result spacing is backfilled from the config and the
   failure/metrics sections default to empty.
+* **v3** — each job-metrics record gains an optional ``obs`` field: the
+  compact observability summary (counter totals plus per-path span
+  aggregates, see docs/OBSERVABILITY.md) captured when the campaign ran
+  under ``REPRO_OBS=1``/``repro-msri trace``.  v1 and v2 files load
+  transparently: ``obs`` defaults to absent (``None``).
 
 The campaign codecs live here (rather than in ``analysis.campaign``) so
 the on-disk format has a single owner; they import the analysis types
@@ -59,7 +64,7 @@ __all__ = [
 SCHEMA_VERSION = 1
 
 #: Current version of the campaign record format (see module docstring).
-CAMPAIGN_SCHEMA = 2
+CAMPAIGN_SCHEMA = 3
 
 #: JSON has no -inf literal; encode the NEVER sentinel explicitly.
 _NEVER_TOKEN = "never"
@@ -201,7 +206,7 @@ def assignment_from_dict(data: Dict[str, Any]) -> Dict[int, Repeater]:
     return {int(idx): repeater_from_dict(d) for idx, d in data.items()}
 
 
-# -- campaign records (schema v2, v1 read-compat) ------------------------------
+# -- campaign records (schema v3, v1/v2 read-compat) ---------------------------
 
 
 def instance_result_to_dict(result: "InstanceResult") -> Dict[str, Any]:
@@ -248,13 +253,16 @@ def job_failure_from_dict(d: Dict[str, Any]) -> "JobFailure":
 
 
 def job_metrics_to_dict(metrics: "JobMetrics") -> Dict[str, Any]:
-    return {
+    d = {
         "key": list(metrics.key),
         "runtime_s": metrics.runtime_s,
         "max_rss_kb": metrics.max_rss_kb,
         "attempts": metrics.attempts,
         "worker": metrics.worker,
     }
+    if metrics.obs is not None:
+        d["obs"] = metrics.obs
+    return d
 
 
 def job_metrics_from_dict(d: Dict[str, Any]) -> "JobMetrics":
@@ -266,11 +274,12 @@ def job_metrics_from_dict(d: Dict[str, Any]) -> "JobMetrics":
         max_rss_kb=int(d["max_rss_kb"]),
         attempts=int(d["attempts"]),
         worker=int(d.get("worker", -1)),
+        obs=d.get("obs"),
     )
 
 
 def campaign_to_dict(campaign: "Campaign") -> Dict[str, Any]:
-    """The full campaign record, current (v2) schema."""
+    """The full campaign record, current (v3) schema."""
     import dataclasses
 
     return {
@@ -287,11 +296,11 @@ def campaign_to_dict(campaign: "Campaign") -> Dict[str, Any]:
 
 
 def campaign_from_dict(data: Dict[str, Any]) -> "Campaign":
-    """Load a campaign record; accepts schema v1 and v2."""
+    """Load a campaign record; accepts schema v1, v2 and v3."""
     from ..analysis.campaign import Campaign, CampaignConfig
 
     schema = data.get("schema")
-    if schema not in (1, CAMPAIGN_SCHEMA):
+    if schema not in (1, 2, CAMPAIGN_SCHEMA):
         raise ValueError(f"unsupported campaign schema: {schema!r}")
     cfg = data["config"]
     config = CampaignConfig(

@@ -1,0 +1,47 @@
+"""repro.obs — zero-dependency observability: spans, counters, JSONL traces.
+
+Usage in instrumented code::
+
+    from ..obs import core as obs
+
+    _NODES = obs.Counter("msri.nodes")
+
+    with obs.trace("msri.run", nodes=len(tree)):
+        ...
+        _NODES.add(count)
+
+All recording is off by default; enable with ``REPRO_OBS=1``, the
+``repro-msri trace`` subcommand, or :func:`repro.obs.core.observing` in
+tests.  The naming contract lives in ``docs/OBSERVABILITY.md``.
+"""
+
+from .core import (
+    Counter,
+    Histogram,
+    enabled,
+    merge,
+    observing,
+    point,
+    reset,
+    set_enabled,
+    snapshot,
+    summarize,
+    trace,
+)
+from .export import export_jsonl, load_jsonl
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "enabled",
+    "merge",
+    "observing",
+    "point",
+    "reset",
+    "set_enabled",
+    "snapshot",
+    "summarize",
+    "trace",
+    "export_jsonl",
+    "load_jsonl",
+]

@@ -1,0 +1,130 @@
+"""JSONL export/import of observability snapshots.
+
+One JSON object per line, discriminated by ``"type"``:
+
+* ``meta``    — first line: schema version, source pid, dropped-record count;
+* ``counter`` — ``{"type": "counter", "name": ..., "value": ...}``;
+* ``hist``    — ``{"type": "hist", "name", "count", "sum", "min", "max"}``;
+* ``point``   — ``{"type": "point", "name", "attrs"}``;
+* ``span``    — ``{"type": "span", "name", "path", "dur_s", "attrs"[, "pid"]}``.
+
+The format (names, field sets, and the span ``path`` convention) is part of
+the observability contract — see ``docs/OBSERVABILITY.md``.  Loading is
+forgiving in the same way the campaign checkpoint loader is: blank lines
+and a torn final line from a killed process are skipped, unknown record
+types are preserved under their type key so newer traces degrade gracefully
+in older readers.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from . import core
+
+__all__ = ["TRACE_SCHEMA", "export_jsonl", "load_jsonl"]
+
+#: Version of the JSONL trace format.
+TRACE_SCHEMA = 1
+
+
+def export_jsonl(path: str, snap: Optional[Dict[str, Any]] = None) -> str:
+    """Write a snapshot (default: the current process state) to ``path``.
+
+    Returns the path.  Attributes that are not JSON types are stringified
+    rather than failing the export.
+    """
+    if snap is None:
+        snap = core.snapshot()
+    with open(path, "w") as fh:
+        _line(fh, {
+            "type": "meta",
+            "schema": TRACE_SCHEMA,
+            "pid": snap.get("pid"),
+            "dropped": snap.get("dropped", 0),
+        })
+        for name in sorted(snap.get("counters", {})):
+            _line(fh, {
+                "type": "counter",
+                "name": name,
+                "value": snap["counters"][name],
+            })
+        for name in sorted(snap.get("hists", {})):
+            count, total, lo, hi = snap["hists"][name]
+            _line(fh, {
+                "type": "hist",
+                "name": name,
+                "count": count,
+                "sum": total,
+                "min": lo,
+                "max": hi,
+            })
+        for entry in snap.get("points", ()):
+            record = {"type": "point"}
+            record.update(entry)
+            _line(fh, record)
+        for entry in snap.get("spans", ()):
+            record = {"type": "span"}
+            record.update(entry)
+            _line(fh, record)
+    return path
+
+
+def _line(fh, record: Dict[str, Any]) -> None:
+    json.dump(record, fh, default=str)
+    fh.write("\n")
+
+
+def load_jsonl(path: str) -> Dict[str, Any]:
+    """Read a trace back into the :func:`repro.obs.core.snapshot` shape.
+
+    The returned dict has ``counters`` / ``hists`` / ``points`` / ``spans``
+    / ``dropped`` / ``pid`` keys, so it can be passed straight to
+    :func:`repro.obs.core.merge` or the flame renderers.
+    """
+    snap: Dict[str, Any] = {
+        "counters": {},
+        "hists": {},
+        "points": [],
+        "spans": [],
+        "dropped": 0,
+        "pid": None,
+    }
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn final line from a killed process
+            kind = record.get("type")
+            if kind == "meta":
+                snap["pid"] = record.get("pid")
+                snap["dropped"] = record.get("dropped", 0)
+            elif kind == "counter":
+                snap["counters"][record["name"]] = record["value"]
+            elif kind == "hist":
+                snap["hists"][record["name"]] = [
+                    record["count"],
+                    record["sum"],
+                    record["min"],
+                    record["max"],
+                ]
+            elif kind == "point":
+                snap["points"].append(
+                    {"name": record["name"], "attrs": record.get("attrs", {})}
+                )
+            elif kind == "span":
+                entry = {
+                    "name": record["name"],
+                    "path": record.get("path", record["name"]),
+                    "dur_s": float(record.get("dur_s", 0.0)),
+                    "attrs": record.get("attrs", {}),
+                }
+                if "pid" in record:
+                    entry["pid"] = record["pid"]
+                snap["spans"].append(entry)
+    return snap

@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..check import contracts
+from ..obs import core as obs
 from ..tech.buffers import Repeater
 from ..tech.parameters import Technology
 from ..tech.terminals import NEVER
@@ -38,6 +39,12 @@ from .engine import (
 from .topology import NodeKind, RoutingTree
 
 __all__ = ["ElmoreAnalyzer"]
+
+# Nodes visited by the Eq. 1/2 capacitance passes (naming contract:
+# docs/OBSERVABILITY.md).  Grows by 2·n per analyzer construction, making
+# "how many full capacitance passes did this optimization run" readable
+# straight off a trace.
+_OBS_CAP_PASS_NODES = obs.Counter("elmore.cap_pass.nodes")
 
 
 class ElmoreAnalyzer:
@@ -130,6 +137,8 @@ class ElmoreAnalyzer:
 
     def _run_capacitance_passes(self) -> None:
         tree = self._tree
+        if obs.enabled():
+            _OBS_CAP_PASS_NODES.add(2 * len(tree))
         # Eq. (1): bottom-up subtree loads.
         for v in tree.dfs_postorder():
             rep = self._assignment.get(v)

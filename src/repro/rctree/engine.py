@@ -30,6 +30,8 @@ import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional, Tuple
 
+from ..obs import core as obs
+
 try:  # pragma: no cover - Protocol is typing_extensions-free on >=3.8
     from typing import Protocol, runtime_checkable
 except ImportError:  # pragma: no cover
@@ -117,6 +119,11 @@ class EvalContext:
 #: in the deprecation shims below.
 UNSET = object()
 
+# Legacy per-knob calls that went through the deprecation shim.  A nonzero
+# value in a trace tells you exactly how much code still needs migrating
+# before the shims are removed (naming contract: docs/OBSERVABILITY.md).
+_OBS_DEPRECATED_CALLS = obs.Counter("engine.deprecated_calls")
+
 
 def resolve_eval_context(
     context: Optional[EvalContext],
@@ -132,6 +139,11 @@ def resolve_eval_context(
     ``wire_widths``) are accepted for backward compatibility and emit a
     :class:`DeprecationWarning`; mixing them with ``context`` is an error
     because the intent would be ambiguous.
+
+    **Removal horizon:** the legacy per-knob signatures will be removed in
+    v2.0 (see docs/API.md).  Each shimmed call also increments the
+    ``engine.deprecated_calls`` observability counter, so a trace of a
+    workload shows how much migration remains.
     """
     legacy = {
         name: value
@@ -149,6 +161,8 @@ def resolve_eval_context(
             f"{caller}: pass either context=EvalContext(...) or the legacy "
             f"arguments {sorted(legacy)}, not both"
         )
+    if obs.enabled():
+        _OBS_DEPRECATED_CALLS.add()
     warnings.warn(
         f"{caller}: the {sorted(legacy)} argument(s) are deprecated; pass "
         "context=EvalContext(...) instead",

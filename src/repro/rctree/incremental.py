@@ -47,6 +47,7 @@ import heapq
 from typing import Dict, List, NamedTuple, Optional, Tuple
 
 from ..check import contracts
+from ..obs import core as obs
 from ..tech.buffers import Repeater
 from ..tech.parameters import Technology
 from ..tech.terminals import NEVER, Terminal
@@ -69,6 +70,17 @@ __all__ = [
     "timing_from_record",
 ]
 
+
+# Observability metrics (naming contract: docs/OBSERVABILITY.md) — these
+# quantify the module's central claim: evaluate() touches only dirty root
+# paths, not the tree.  All are free while REPRO_OBS is off.
+_OBS_CACHE_HITS = obs.Counter("incremental.cache_hits")
+_OBS_CACHE_MISSES = obs.Counter("incremental.cache_misses")
+_OBS_DIRTY_SEEDS = obs.Counter("incremental.refresh.dirty_seeds")
+_OBS_REBUILT = obs.Counter("incremental.refresh.records_rebuilt")
+_OBS_UNCHANGED = obs.Counter("incremental.refresh.records_unchanged")
+_OBS_FULL_REBUILDS = obs.Counter("incremental.full_rebuilds")
+_OBS_PATH_LENGTH = obs.Histogram("incremental.refresh.path_length")
 
 #: Arrival candidate ``(base, slope, source)``: value ``base + slope · t``.
 UpCandidate = Tuple[float, float, int]
@@ -537,10 +549,14 @@ class IncrementalARD:
         check_engine_tree(self._state.tree, tree)
         self._refresh()
         if self._result is None:
+            if obs.enabled():
+                _OBS_CACHE_MISSES.add()
             value, src, snk = finish_root(self._state, self._records)
             self._result = ARDResult(value, src, snk, {})
             if contracts.contracts_enabled():
                 contracts.verify_incremental_consistency(self._result, self)
+        elif obs.enabled():
+            _OBS_CACHE_HITS.add()
         return self._result
 
     def path_delay(self, src: int, dst: int) -> float:
@@ -648,6 +664,8 @@ class IncrementalARD:
     # -- internals --------------------------------------------------------------
 
     def _rebuild(self) -> None:
+        if obs.enabled():
+            _OBS_FULL_REBUILDS.add()
         tree = self._state.tree
         for i in range(len(tree)):
             self._state.refresh_edge(i)
@@ -673,17 +691,26 @@ class IncrementalARD:
         heapq.heapify(heap)
         queued = {v for _, v in heap}
         self._dirty.clear()
+        seeds = len(queued)
+        rebuilt = unchanged = 0  # plain locals: nothing obs-side in the loop
         while heap:
             _, v = heapq.heappop(heap)
             queued.discard(v)
             record = record_for(self._state, v, self._records)
             if record == self._records[v]:
+                unchanged += 1
                 continue
+            rebuilt += 1
             self._records[v] = record
             parent = tree.parent(v)
             if parent is not None and parent != root and parent not in queued:
                 heapq.heappush(heap, (self._pos[parent], parent))
                 queued.add(parent)
+        if obs.enabled():
+            _OBS_DIRTY_SEEDS.add(seeds)
+            _OBS_REBUILT.add(rebuilt)
+            _OBS_UNCHANGED.add(unchanged)
+            _OBS_PATH_LENGTH.observe(rebuilt + unchanged)
 
     # path-delay plumbing: Elmore views recomputed from the cached records
 

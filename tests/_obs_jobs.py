@@ -1,0 +1,27 @@
+"""Picklable job functions for the observability worker-merge tests.
+
+``run_jobs(fn, ...)`` jobs cross process boundaries when ``workers >= 1``,
+so everything the pool calls lives here as module-level functions (same
+convention as ``tests/_campaign_faults.py``).
+"""
+
+from __future__ import annotations
+
+from repro.obs import core as obs
+
+_UNITS = obs.Counter("testobs.units")
+_WIDTH = obs.Histogram("testobs.width")
+
+
+def counting_job(seed: int, units: int) -> int:
+    """Record *units* counter increments and one histogram observation."""
+    with obs.trace("testobs.work", seed=seed):
+        _UNITS.add(units)
+        _WIDTH.observe(units)
+    return seed * 1000 + units
+
+
+def failing_job(seed: int, units: int) -> int:
+    """Counts like :func:`counting_job`, then always raises."""
+    _UNITS.add(units)
+    raise ValueError(f"injected failure (seed={seed})")

@@ -201,7 +201,7 @@ class TestPersistence:
         small_campaign.save(path)
         with open(path) as fh:
             data = json.load(fh)
-        assert data["schema"] == 2
+        assert data["schema"] == 3
         assert len(data["results"]) == 2
         assert data["failures"] == []
         assert len(data["metrics"]) == 2
@@ -225,6 +225,17 @@ class TestPersistence:
         assert loaded.failures == []
         assert loaded.metrics == []
         assert loaded.result_for(0, 4, small_campaign.config.spacing) is not None
+
+    def test_schema_v2_load_compat(self, small_campaign):
+        """v2 records (metrics without the obs field) still load."""
+        v2 = copy.deepcopy(small_campaign.to_dict())
+        v2["schema"] = 2
+        for m in v2["metrics"]:
+            m.pop("obs", None)
+        loaded = Campaign.from_dict(v2)
+        assert loaded.config == small_campaign.config
+        assert loaded.results == small_campaign.results
+        assert all(m.obs is None for m in loaded.metrics)
 
     def test_summary_from_loaded(self, small_campaign, tmp_path):
         path = str(tmp_path / "campaign.json")

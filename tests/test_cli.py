@@ -179,7 +179,7 @@ class TestCampaign:
         assert "campaign saved" in out
         with open(out_path) as fh:
             data = json.load(fh)
-        assert data["schema"] == 2
+        assert data["schema"] == 3
         assert data["workers"] == 2
         assert data["failures"] == []
 

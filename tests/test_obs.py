@@ -1,0 +1,333 @@
+"""Tests for the observability layer (``repro.obs``).
+
+Covers the recording primitives (span nesting, exception safety, the
+disabled fast path), the cross-process story (counter/histogram merge from
+pool workers, the inline mark/summary delta path), the JSONL trace format
+round-trip, the ``REPRO_CHECK`` DP-conservation contract, the `repro-msri
+trace` CLI wrapper, and the markdown link checker that guards the
+observability contract document itself.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.executor import Job, run_jobs
+from repro.analysis.render import render_flame_svg, render_trace_summary
+from repro.check.contracts import ContractViolation, verify_msri_node_conservation
+from repro.core.msri import MSRIOptions, insert_repeaters
+from repro.obs import core as obs
+from repro.obs.export import TRACE_SCHEMA, export_jsonl, load_jsonl
+from repro.tech import Buffer, Repeater, RepeaterLibrary, Technology
+
+from ._obs_jobs import counting_job, failing_job
+from .conftest import y_net
+
+TECH = Technology(unit_resistance=0.1, unit_capacitance=0.01, name="test")
+REP = Repeater.from_buffer_pair(
+    Buffer("f", intrinsic_delay=20.0, output_resistance=50.0,
+           input_capacitance=0.05, cost=1.0),
+    Buffer("b", intrinsic_delay=20.0, output_resistance=50.0,
+           input_capacitance=0.05, cost=1.0),
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    """Every test starts and ends with empty buffers and recording off."""
+    obs.set_enabled(False)
+    obs.reset()
+    yield
+    obs.set_enabled(None)
+    obs.reset()
+
+
+class TestSpans:
+    def test_nesting_builds_slash_paths(self):
+        with obs.observing():
+            with obs.trace("outer", a=1):
+                with obs.trace("inner"):
+                    pass
+                with obs.trace("inner"):
+                    pass
+            snap = obs.snapshot()
+        paths = [s["path"] for s in snap["spans"]]
+        # children close before the parent
+        assert paths == ["outer/inner", "outer/inner", "outer"]
+        outer = snap["spans"][-1]
+        assert outer["attrs"] == {"a": 1}
+        assert outer["dur_s"] >= 0.0
+
+    def test_exception_recorded_and_reraised(self):
+        with obs.observing():
+            with pytest.raises(ValueError, match="boom"):
+                with obs.trace("job"):
+                    raise ValueError("boom")
+            # the stack unwound: a sibling span is NOT nested under "job"
+            with obs.trace("after"):
+                pass
+            snap = obs.snapshot()
+        by_name = {s["name"]: s for s in snap["spans"]}
+        assert by_name["job"]["attrs"]["error"] == "ValueError"
+        assert by_name["after"]["path"] == "after"
+
+    def test_set_attaches_attributes_mid_span(self):
+        with obs.observing():
+            with obs.trace("run") as span:
+                span.set(nodes=7)
+            snap = obs.snapshot()
+        assert snap["spans"][0]["attrs"]["nodes"] == 7
+
+    def test_disabled_is_inert(self):
+        c = obs.Counter("testobs.off")
+        h = obs.Histogram("testobs.off.h")
+        with obs.trace("never", x=1):
+            c.add()
+            h.observe(3)
+            obs.point("never.p", k=1)
+        snap = obs.snapshot()
+        assert snap["counters"] == {}
+        assert snap["hists"] == {}
+        assert snap["spans"] == [] and snap["points"] == []
+        assert obs.trace("x") is obs.NULL_SPAN
+
+
+class TestMergeAndSummaries:
+    def test_merge_adds_counters_and_folds_hist_extremes(self):
+        with obs.observing():
+            obs.Counter("testobs.units").add(2)
+            obs.Histogram("testobs.width").observe(10)
+            remote = {
+                "counters": {"testobs.units": 3, "testobs.other": 1},
+                "hists": {"testobs.width": [2, 7.0, 1.0, 6.0]},
+                "spans": [{"name": "w", "path": "w", "dur_s": 0.5, "attrs": {}}],
+                "points": [],
+                "dropped": 2,
+                "pid": 99999,
+            }
+            obs.merge(remote)
+            snap = obs.snapshot()
+        assert snap["counters"] == {"testobs.units": 5, "testobs.other": 1}
+        assert snap["hists"]["testobs.width"] == [3, 17.0, 1.0, 10.0]
+        assert snap["dropped"] == 2
+        # merged spans are tagged with the source pid
+        merged = [s for s in snap["spans"] if s["name"] == "w"]
+        assert merged[0]["pid"] == 99999
+        assert obs.merge(None) is None  # worker ran with obs off: no-op
+
+    def test_summarize_shape_and_empty_none(self):
+        with obs.observing():
+            with obs.trace("a"):
+                with obs.trace("b"):
+                    pass
+            obs.Counter("testobs.n").add(4)
+            summary = obs.summarize(obs.snapshot())
+        assert summary["counters"] == {"testobs.n": 4}
+        assert set(summary["spans"]) == {"a", "a/b"}
+        count, total = summary["spans"]["a/b"]
+        assert count == 1 and total >= 0.0
+        assert obs.summarize({"counters": {}, "spans": []}) is None
+
+    def test_mark_summary_since_is_a_delta(self):
+        with obs.observing():
+            obs.Counter("testobs.n").add(10)
+            with obs.trace("before"):
+                pass
+            m = obs.mark()
+            obs.Counter("testobs.n").add(5)
+            with obs.trace("after"):
+                pass
+            delta = obs.summary_since(m)
+        assert delta["counters"] == {"testobs.n": 5}
+        assert set(delta["spans"]) == {"after"}
+
+
+class TestWorkerMerge:
+    def test_counters_merge_across_pool_workers(self, monkeypatch):
+        # env var covers spawn-start pools; the in-process flag covers fork
+        monkeypatch.setenv("REPRO_OBS", "1")
+        obs.set_enabled(True)
+        jobs = [Job(key=(seed,), args=(seed, seed + 1)) for seed in range(4)]
+        outcomes = run_jobs(counting_job, jobs, workers=2)
+        assert [o.result for o in outcomes] == [1, 1002, 2003, 3004]
+        snap = obs.snapshot()
+        # 1 + 2 + 3 + 4 units across both workers, merged exactly
+        assert snap["counters"]["testobs.units"] == 10
+        assert snap["hists"]["testobs.width"] == [4, 10, 1, 4]
+        # per-job summaries: each job saw exactly its own units
+        per_job = sorted(
+            o.metrics.obs["counters"]["testobs.units"] for o in outcomes
+        )
+        assert per_job == [1, 2, 3, 4]
+        # worker spans merged into the parent trace under executor paths
+        # (fork-started workers inherit the parent's open-span prefix, so
+        # only the tail of the path is start-method-independent)
+        paths = {s["path"] for s in snap["spans"]}
+        assert "executor.run" in paths
+        assert any(p.endswith("executor.job/testobs.work") for p in paths)
+
+    def test_failed_job_still_ships_obs_summary(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "1")
+        obs.set_enabled(True)
+        outcomes = run_jobs(
+            failing_job, [Job(key=(0,), args=(0, 7))], workers=1
+        )
+        assert outcomes[0].failure is not None
+        assert outcomes[0].metrics.obs["counters"]["testobs.units"] == 7
+        assert obs.snapshot()["counters"]["testobs.units"] == 7
+
+    def test_inline_path_preserves_enclosing_spans(self):
+        with obs.observing():
+            with obs.trace("campaign.run"):
+                jobs = [Job(key=(s,), args=(s, 2)) for s in range(2)]
+                outcomes = run_jobs(counting_job, jobs, workers=0)
+            snap = obs.snapshot()
+        for o in outcomes:
+            assert o.metrics.obs["counters"]["testobs.units"] == 2
+        paths = {s["path"] for s in snap["spans"]}
+        # the enclosing span survived the per-job delta mechanism, and the
+        # inline jobs nested inside it
+        assert "campaign.run" in paths
+        assert "campaign.run/executor.run/executor.job/testobs.work" in paths
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip(self, tmp_path):
+        with obs.observing():
+            with obs.trace("msri.run", nodes=2):
+                obs.Counter("msri.nodes").add(2)
+                obs.Histogram("msri.front_width").observe(3)
+                obs.point("msri.node", node=0, generated=4, kept=3, pruned=1)
+            snap = obs.snapshot()
+        path = tmp_path / "t.jsonl"
+        assert export_jsonl(str(path), snap) == str(path)
+        lines = [json.loads(l) for l in path.read_text().splitlines() if l]
+        assert lines[0]["type"] == "meta" and lines[0]["schema"] == TRACE_SCHEMA
+        back = load_jsonl(str(path))
+        assert back["counters"] == snap["counters"]
+        assert back["hists"] == {"msri.front_width": [1, 3, 3, 3]}
+        assert back["points"][0]["attrs"]["generated"] == 4
+        assert [s["path"] for s in back["spans"]] == ["msri.run"]
+
+    def test_load_skips_torn_and_unknown_lines(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        path.write_text(
+            '{"type": "meta", "schema": 1, "pid": 1, "dropped": 0}\n'
+            '{"type": "counter", "name": "ok", "value": 1}\n'
+            '{"type": "mystery", "payload": true}\n'
+            '{"type": "counter", "name": "torn", "va'  # truncated mid-write
+        )
+        back = load_jsonl(str(path))
+        assert back["counters"] == {"ok": 1}
+
+    def test_renderers_accept_round_trip(self, tmp_path):
+        with obs.observing():
+            with obs.trace("a"):
+                with obs.trace("b"):
+                    pass
+            obs.Counter("n").add(3)
+            snap = obs.snapshot()
+        path = tmp_path / "t.jsonl"
+        export_jsonl(str(path), snap)
+        text = render_trace_summary(load_jsonl(str(path)))
+        assert "a" in text and "n" in text
+        svg = tmp_path / "f.svg"
+        render_flame_svg(load_jsonl(str(path)), str(svg))
+        assert svg.read_text().startswith("<svg")
+        assert render_trace_summary({"counters": {}}) == "(empty trace)"
+
+
+class TestConservationContract:
+    def test_verify_accepts_valid_accounting(self):
+        verify_msri_node_conservation(3, generated=10, kept=7)
+
+    def test_verify_rejects_kept_exceeding_generated(self):
+        with pytest.raises(ContractViolation):
+            verify_msri_node_conservation(3, generated=5, kept=6)
+
+    def test_verify_rejects_negative_counts(self):
+        with pytest.raises(ContractViolation):
+            verify_msri_node_conservation(0, generated=-1, kept=0)
+
+    def test_msri_points_conserve_end_to_end(self):
+        tree = y_net()
+        with obs.observing():
+            result = insert_repeaters(
+                tree, TECH, MSRIOptions(library=RepeaterLibrary([REP]))
+            )
+            snap = obs.snapshot()
+        assert result.solutions
+        points = [p for p in snap["points"] if p["name"] == "msri.node"]
+        assert len(points) == snap["counters"]["msri.nodes"] > 0
+        for p in points:
+            a = p["attrs"]
+            assert a["generated"] == a["kept"] + a["pruned"]
+        c = snap["counters"]
+        assert (
+            c["msri.solutions.generated"]
+            == c["msri.solutions.kept"] + c["msri.solutions.pruned"]
+        )
+
+
+class TestTraceCli:
+    def test_trace_wraps_a_subcommand(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.delenv("REPRO_OBS", raising=False)
+        net = tmp_path / "net.json"
+        assert main(["generate", "--seed", "0", "--pins", "4",
+                     "-o", str(net)]) == 0
+        trace = tmp_path / "trace.jsonl"
+        svg = tmp_path / "flame.svg"
+        capsys.readouterr()
+        status = main(["trace", "-o", str(trace), "--svg", str(svg),
+                       "ard", str(net)])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "trace written to" in out and "spans" in out
+        back = load_jsonl(str(trace))
+        assert any(s["name"] == "ard.full_pass" for s in back["spans"])
+        assert back["counters"]["ard.record_pass.nodes"] > 0
+        assert svg.exists()
+        # the wrapper restored the pre-trace state
+        assert "REPRO_OBS" not in os.environ
+        assert not obs.enabled()
+
+    def test_trace_requires_a_subcommand(self, capsys):
+        from repro.cli import main
+
+        assert main(["trace"]) == 2
+        assert main(["trace", "trace", "ard", "x.json"]) == 2
+
+
+class TestLinkChecker:
+    def test_flags_broken_target_and_anchor(self, tmp_path):
+        from repro.check.links import check_file
+
+        good = tmp_path / "good.md"
+        good.write_text("# A Heading\n\nsee [self](#a-heading)\n")
+        doc = tmp_path / "doc.md"
+        doc.write_text(
+            "see [ok](good.md), [ok anchor](good.md#a-heading),\n"
+            "[gone](missing.md) and [bad anchor](good.md#nope)\n"
+            "```\n[not a link](also-missing.md) inside a fence\n```\n"
+            "and `[inline](code-span.md)` plus [web](https://example.com)\n"
+        )
+        problems = check_file(str(doc))
+        assert len(problems) == 2
+        assert "missing.md" in problems[0]
+        assert "#nope" in problems[1]
+
+    def test_repo_docs_are_clean(self):
+        import glob
+
+        from repro.check.links import main as links_main
+
+        root = os.path.join(os.path.dirname(__file__), "..")
+        files = [os.path.join(root, "README.md")] + sorted(
+            glob.glob(os.path.join(root, "docs", "*.md"))
+        )
+        assert links_main(files) == 0
