@@ -15,6 +15,7 @@ import pytest
 
 from repro.analysis import Table, save_text
 from repro.core.ard import ard
+from repro.rctree import EvalContext
 from repro.core.driver_sizing import apply_option_to_tree
 from repro.core.msri import insert_repeaters
 from repro.netgen import (
@@ -39,8 +40,12 @@ def test_companion_cap_sensitivity(benchmark):
         best = suite.min_ard()
         reps = {k: v for k, v in best.assignment().items()
                 if isinstance(v, Repeater)}
-        base = ard(dressed, tech, reps).value
-        comp = ard(dressed, tech, reps, include_companion_cap=True).value
+        base = ard(dressed, tech, context=EvalContext(assignment=reps)).value
+        comp = ard(
+            dressed,
+            tech,
+            context=EvalContext(assignment=reps, include_companion_cap=True),
+        ).value
         assert comp >= base  # extra load can only slow the net
         delta = comp / base - 1.0
         assert delta < 0.10, "companion load should be a small correction"
@@ -52,4 +57,5 @@ def test_companion_cap_sensitivity(benchmark):
 
     tree = paper_instance(0, 8)
     dressed = apply_option_to_tree(tree, fixed_1x_option())
-    benchmark(lambda: ard(dressed, tech, include_companion_cap=True).value)
+    ctx = EvalContext(include_companion_cap=True)
+    benchmark(lambda: ard(dressed, tech, context=ctx).value)

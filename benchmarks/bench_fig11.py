@@ -16,6 +16,7 @@ import pytest
 
 from repro.analysis import Table, render_tree, save_text
 from repro.core.ard import ard
+from repro.rctree import EvalContext
 from repro.core.driver_sizing import apply_option_to_tree
 from repro.core.msri import insert_repeaters
 from repro.netgen import (
@@ -57,7 +58,7 @@ def test_fig11(benchmark):
             candidates = [s for s in suite.solutions if s.repeater_count() >= count]
             sol = candidates[0] if candidates else suite.solutions[-1]
         reps = {k: v for k, v in sol.assignment().items() if isinstance(v, Repeater)}
-        res = ard(dressed, tech, reps)
+        res = ard(dressed, tech, context=EvalContext(assignment=reps))
         src = tree.node(res.source).terminal.name
         snk = tree.node(res.sink).terminal.name
         assert res.value == pytest.approx(sol.ard, rel=1e-9)

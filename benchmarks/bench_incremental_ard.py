@@ -79,7 +79,8 @@ def run_comparison(terminals: int = 500, steps: int = 2, seed: int = 0):
             f"trajectory lengths diverge: {len(fast)} vs {len(slow)}"
         )
     for k, (a, b) in enumerate(zip(fast, slow)):
-        if a.ard != b.ard or a.cost != b.cost or a.assignment != b.assignment:
+        # exact comparison is the point: incremental must be bit-identical
+        if a.ard != b.ard or a.cost != b.cost or a.assignment != b.assignment:  # repro: noqa[R001]
             raise AssertionError(
                 f"step {k}: incremental ({a.ard}, {a.cost}) != "
                 f"full recompute ({b.ard}, {b.cost})"

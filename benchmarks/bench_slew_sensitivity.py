@@ -20,7 +20,7 @@ from repro.netgen import (
     paper_technology,
     repeater_insertion_options,
 )
-from repro.rctree import ElmoreAnalyzer
+from repro.rctree import ElmoreAnalyzer, EvalContext
 from repro.rctree.slew import SlewAnalyzer
 from repro.tech import Repeater
 
@@ -48,7 +48,9 @@ def test_slew_sensitivity(benchmark):
                 if isinstance(v, Repeater)}
 
         unbuf_el = ElmoreAnalyzer(dressed, tech).ard_bruteforce()
-        buf_el = ElmoreAnalyzer(dressed, tech, reps).ard_bruteforce()
+        buf_el = ElmoreAnalyzer(
+            dressed, tech, context=EvalContext(assignment=reps)
+        ).ard_bruteforce()
         unbuf_sl = SlewAnalyzer(dressed, tech).ard()[0]
         buf_sl = SlewAnalyzer(dressed, tech, reps).ard()[0]
 

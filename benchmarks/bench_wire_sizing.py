@@ -77,7 +77,7 @@ def test_wire_sizing(benchmark):
         < results["1X drv / repeaters"].min_cost().ard
     )
     assert (
-        results["1X drv / wires"].min_ard().ard
+        results["1X drv / wires"].min_ard().ard  # repro: noqa[R001] same solution object, bit-identical by construction
         == results["1X drv / wires"].min_cost().ard
     ), "widening should never pay off against weak drivers here"
     for name in ("4X drv / repeaters", "4X drv / wires"):

@@ -11,6 +11,7 @@ Run:  python examples/bus_optimization.py
 """
 
 from repro import (
+    EvalContext,
     Repeater,
     ard,
     insert_repeaters,
@@ -26,7 +27,7 @@ from repro.netgen import find_fig11_seed, fixed_1x_option
 def describe(tree, tech, assignment, label):
     # evaluate with the same 1X terminal dressing the optimizer used
     dressed = apply_option_to_tree(tree, fixed_1x_option())
-    result = ard(dressed, tech, assignment)
+    result = ard(dressed, tech, context=EvalContext(assignment=assignment))
     src = tree.node(result.source).terminal.name
     snk = tree.node(result.sink).terminal.name
     print(f"\n=== {label} ===")

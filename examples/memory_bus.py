@@ -20,6 +20,7 @@ Run:  python examples/memory_bus.py
 """
 
 from repro import (
+    EvalContext,
     MSRIOptions,
     Repeater,
     Terminal,
@@ -86,7 +87,7 @@ def main() -> None:
     print("  cost   diameter(ps)   reps   critical path")
     for s in suite.solutions:
         reps = {k: v for k, v in s.assignment().items() if isinstance(v, Repeater)}
-        check = ard(tree, tech, reps)
+        check = ard(tree, tech, context=EvalContext(assignment=reps))
         pair = (
             f"{tree.node(check.source).terminal.name} -> "
             f"{tree.node(check.sink).terminal.name}"

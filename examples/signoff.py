@@ -17,6 +17,7 @@ Run:  python examples/signoff.py
 """
 
 from repro import (
+    EvalContext,
     Repeater,
     ard,
     insert_repeaters,
@@ -40,14 +41,15 @@ def main() -> None:
     suite = insert_repeaters(tree, tech, repeater_insertion_options())
     spec = 0.7 * suite.min_cost().ard
     chosen = suite.min_cost_meeting(spec)
-    assert chosen is not None, "spec unachievable; loosen it"
+    if chosen is None:
+        raise RuntimeError("spec unachievable; loosen it")
     reps = {k: v for k, v in chosen.assignment().items()
             if isinstance(v, Repeater)}
     print(f"spec {spec:.0f} ps -> chose cost {chosen.cost:.0f} "
           f"({len(reps)} repeaters), claimed ARD {chosen.ard:.0f} ps")
 
     # 3a. independent Elmore replay
-    replay = ard(dressed, tech, reps)
+    replay = ard(dressed, tech, context=EvalContext(assignment=reps))
     print(f"\n[a] Elmore replay:     {replay.value:8.0f} ps "
           f"(claim {chosen.ard:.0f}; agree: "
           f"{abs(replay.value - chosen.ard) < 1e-6})")

@@ -1,0 +1,108 @@
+"""Baseline files: adopt the analyzer on a codebase with existing findings.
+
+A baseline is a JSON file of *fingerprints* of known findings.  Linting
+with ``--baseline FILE`` demotes every baselined finding from a build
+failure to a warning ("warn-then-error"): the build stays green while the
+debt is visible on every run, and any *new* finding still fails.  The
+workflow::
+
+    repro-lint --write-baseline lint-baseline.json src/   # adopt
+    repro-lint --baseline lint-baseline.json src/         # gate
+
+Fingerprints are ``sha1(path|rule|message|n)`` truncated to 16 hex chars,
+where ``n`` counts repeated ``(path, rule, message)`` triples within one
+run.  Line and column are deliberately excluded — finding messages carry
+no line numbers, so a fingerprint survives unrelated edits that shift code
+up or down, while any change to the offending expression itself (which
+alters the message or removes the finding) invalidates it.  The occurrence
+counter keeps the gate sound when several identical findings share a file:
+baselining one instance does not grandfather in a newly introduced second.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, List, Sequence, Set, Tuple
+
+from .engine import Finding
+
+__all__ = [
+    "fingerprint",
+    "fingerprints",
+    "write_baseline",
+    "load_baseline",
+    "partition",
+]
+
+_FORMAT_VERSION = 1
+
+
+def fingerprint(finding: Finding, occurrence: int = 0) -> str:
+    """Stable identity of a finding across line-number drift."""
+    key = (
+        f"{finding.path}|{finding.rule_id}|{finding.message}|{occurrence}"
+    )
+    return hashlib.sha1(key.encode("utf-8")).hexdigest()[:16]
+
+
+def fingerprints(findings: Sequence[Finding]) -> List[str]:
+    """Per-finding fingerprints with occurrence counters applied.
+
+    Findings are expected in the engine's sorted order (path, line, col),
+    so counters are assigned deterministically top-of-file first.
+    """
+    counts: Dict[Tuple[str, str, str], int] = {}
+    out: List[str] = []
+    for f in findings:
+        key = (f.path, f.rule_id, f.message)
+        n = counts.get(key, 0)
+        counts[key] = n + 1
+        out.append(fingerprint(f, n))
+    return out
+
+
+def write_baseline(findings: Sequence[Finding], path: str) -> int:
+    """Write a baseline adopting ``findings``; returns how many entries."""
+    entries: Dict[str, Dict[str, str]] = {}
+    for f, fp in zip(findings, fingerprints(findings)):
+        entries[fp] = {
+            "path": f.path,
+            "rule": f.rule_id,
+            "message": f.message,
+        }
+    payload = {"version": _FORMAT_VERSION, "fingerprints": entries}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return len(entries)
+
+
+def load_baseline(path: str) -> Set[str]:
+    """The set of baselined fingerprints in ``path``.
+
+    Raises ``ValueError`` on a malformed or future-versioned file — a
+    silently ignored baseline would turn the gate off.
+    """
+    with open(path, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if not isinstance(payload, dict) or "fingerprints" not in payload:
+        raise ValueError(f"{path}: not a repro-lint baseline file")
+    version = payload.get("version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: unsupported baseline version {version!r} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    return set(payload["fingerprints"])
+
+
+def partition(
+    findings: Sequence[Finding], baselined: Set[str]
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split findings into ``(new, known)`` against a baseline set."""
+    new: List[Finding] = []
+    known: List[Finding] = []
+    for f, fp in zip(findings, fingerprints(findings)):
+        (known if fp in baselined else new).append(f)
+    return new, known

@@ -4,39 +4,54 @@ Usage::
 
     repro-lint src/                      # lint a tree, text output
     repro-lint --format json src tests   # machine-readable findings
+    repro-lint --format sarif src        # SARIF 2.1.0 for code-scanning UIs
     repro-lint --select R001,R006 src    # run a subset of rules
     repro-lint --list-rules              # print the catalogue
+    repro-lint --write-baseline lint-baseline.json src/   # adopt debt
+    repro-lint --baseline lint-baseline.json src/         # gate on new only
+    repro-lint --changed-only src/       # lint files changed vs. HEAD
 
-Exit status is 0 when no unsuppressed findings remain, 1 otherwise — the
-CI gate runs ``repro-lint src/`` and fails the build on any finding.
-The same functionality is reachable as ``repro-msri lint ...``.
+Exit status is 0 when no unsuppressed, non-baselined findings remain, 1
+otherwise — the CI gate runs ``repro-lint src/ benchmarks/ examples/`` and
+fails the build on any finding.  The same functionality is reachable as
+``repro-msri lint ...``.
+
+``--changed-only`` narrows the linted set to files reported changed by
+``git diff --name-only <base>`` (plus untracked files).  The whole-program
+graph is then built over the changed files only, so interprocedural rules
+see a partial call graph — fast for pre-commit loops, while CI runs the
+full tree.
 """
 
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
+from pathlib import Path
 from typing import List, Optional, Sequence
 
+from .baseline import load_baseline, partition, write_baseline
 from .engine import Finding, LintEngine, render_json, render_text
 from .rules import DEFAULT_RULES, rules_by_id
+from .sarif import render_sarif
 
-__all__ = ["main", "build_parser", "run_lint"]
+__all__ = ["main", "build_parser", "run_lint", "changed_files"]
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description="Repo-specific static analysis for the Lillis & Cheng "
-        "reproduction (rules R001-R006; suppress per line with "
-        "'# repro: noqa[Rxxx] reason')",
+        "reproduction (per-file rules R001-R006 plus whole-program rules "
+        "R007-R010; suppress per line with '# repro: noqa[Rxxx] reason')",
     )
     parser.add_argument(
         "paths", nargs="*", help="files or directories to lint (recursively)"
     )
     parser.add_argument(
         "--format",
-        choices=["text", "json"],
+        choices=["text", "json", "sarif"],
         default="text",
         help="output format (default: text)",
     )
@@ -45,9 +60,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule ids to run (default: all rules)",
     )
     parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="demote findings fingerprinted in FILE to warnings; only new "
+        "findings fail the run",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="write all current findings to FILE as the new baseline and "
+        "exit 0",
+    )
+    parser.add_argument(
+        "--changed-only",
+        nargs="?",
+        const="HEAD",
+        default=None,
+        metavar="BASE",
+        help="lint only files changed vs. the git ref BASE (default HEAD), "
+        "plus untracked files, restricted to the given paths",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalogue and exit"
     )
     return parser
+
+
+def changed_files(
+    paths: Sequence[str], base: str = "HEAD"
+) -> List[str]:
+    """``*.py`` files under ``paths`` that differ from ``base`` or are
+    untracked, according to git.  Raises ``RuntimeError`` outside a repo."""
+    try:
+        diff = subprocess.run(
+            ["git", "diff", "--name-only", base, "--"],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.splitlines()
+        untracked = subprocess.run(
+            ["git", "ls-files", "--others", "--exclude-standard"],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.splitlines()
+    except (OSError, subprocess.CalledProcessError) as exc:
+        raise RuntimeError(f"--changed-only requires git: {exc}") from exc
+    scopes = [Path(p).resolve() for p in paths]
+    out: List[str] = []
+    for name in dict.fromkeys([*diff, *untracked]):  # keep order, dedupe
+        if not name.endswith(".py"):
+            continue
+        candidate = Path(name)
+        if not candidate.exists():
+            continue  # deleted in the working tree
+        resolved = candidate.resolve()
+        if not scopes or any(
+            scope == resolved or scope in resolved.parents for scope in scopes
+        ):
+            out.append(name)
+    return out
 
 
 def run_lint(
@@ -55,6 +127,9 @@ def run_lint(
     *,
     fmt: str = "text",
     select: Optional[str] = None,
+    baseline: Optional[str] = None,
+    write_baseline_to: Optional[str] = None,
+    changed_only: Optional[str] = None,
     out=None,
 ) -> int:
     """Lint ``paths`` and print findings; returns the process exit code."""
@@ -68,17 +143,48 @@ def run_lint(
             print(f"unknown rule id(s): {', '.join(unknown)}", file=sys.stderr)
             return 2
         rules = [catalogue[rule_id] for rule_id in wanted]
+    if changed_only is not None:
+        try:
+            paths = changed_files(paths, base=changed_only)
+        except RuntimeError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        if not paths:
+            print("no changed python files to lint", file=out)
+            return 0
     engine = LintEngine(rules)
     try:
         findings: List[Finding] = engine.lint_paths(paths)
     except OSError as exc:
         print(f"cannot lint {exc.filename or paths}: {exc.strerror}", file=sys.stderr)
         return 2
-    if fmt == "json":
-        print(render_json(findings), file=out)
+    if write_baseline_to is not None:
+        count = write_baseline(findings, write_baseline_to)
+        print(
+            f"wrote {count} fingerprint(s) to {write_baseline_to}", file=out
+        )
+        return 0
+    gating = findings
+    if baseline is not None:
+        try:
+            known_fps = load_baseline(baseline)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read baseline: {exc}", file=sys.stderr)
+            return 2
+        gating, known = partition(findings, known_fps)
+        if known and fmt == "text":
+            print(
+                f"{len(known)} baselined finding(s) suppressed "
+                f"({baseline})",
+                file=out,
+            )
+    if fmt == "sarif":
+        print(render_sarif(gating, rules), file=out)
+    elif fmt == "json":
+        print(render_json(gating), file=out)
     else:
-        print(render_text(findings), file=out)
-    return 1 if findings else 0
+        print(render_text(gating), file=out)
+    return 1 if gating else 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -89,7 +195,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     if not args.paths:
         build_parser().error("no paths given (or use --list-rules)")
-    return run_lint(args.paths, fmt=args.format, select=args.select)
+    return run_lint(
+        args.paths,
+        fmt=args.format,
+        select=args.select,
+        baseline=args.baseline,
+        write_baseline_to=args.write_baseline,
+        changed_only=args.changed_only,
+    )
 
 
 if __name__ == "__main__":

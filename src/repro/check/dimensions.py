@@ -1,9 +1,11 @@
-"""Physical-dimension vocabulary shared by lint rules R001 and R006.
+"""Physical-dimension vocabulary shared by the lint rules (R001, R006, R007).
 
 Units follow :mod:`repro.tech.parameters`: resistance in Ω, capacitance in
-pF, delay in ps (because Ω · pF = ps), distance in µm.  A dimension is a
-vector of integer exponents over the three independent axes ``(Ω, pF, µm)``
-— picoseconds are the derived dimension ``(1, 1, 0)``.
+pF, delay in ps (because Ω · pF = ps), distance in µm, and — for the
+power-aware roadmap work — power in µW.  A dimension is a vector of integer
+exponents over the four independent axes ``(Ω, pF, µm, µW)`` — picoseconds
+are the derived dimension ``(1, 1, 0, 0)`` and area (µm²) is
+``(0, 0, 2, 0)``.
 
 Inference is deliberately *name-based and conservative*: an expression gets
 a dimension only when its terminal identifier (variable name, attribute
@@ -13,12 +15,18 @@ which were curated from the actual vocabulary of ``core/``, ``rctree/``,
 never trigger a finding, so the dimensional rule errs toward silence
 rather than noise.  Numeric literals are wildcards too: ``0.5 * cap`` is a
 scalar multiple of a capacitance, not a dimension clash.
+
+The whole-program analyzer (:mod:`repro.check.graph`) layers a second
+source of truth on top of the tables: :func:`dim_of` accepts an ``env``
+mapping local/parameter names to dimensions established elsewhere (e.g. by
+interprocedural propagation) and a ``call_dims`` resolver for function
+return dimensions inferred from the project call graph.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Dict, FrozenSet, Optional, Tuple
+from typing import Callable, Dict, FrozenSet, Mapping, Optional, Tuple
 
 __all__ = [
     "Dim",
@@ -26,6 +34,8 @@ __all__ = [
     "PF",
     "PS",
     "UM",
+    "UM2",
+    "UW",
     "DIMENSIONLESS",
     "NAME_DIMS",
     "CALL_DIMS",
@@ -34,16 +44,20 @@ __all__ = [
     "format_dim",
 ]
 
-#: Exponent vector over the independent axes (Ω, pF, µm).
-Dim = Tuple[int, int, int]
+#: Exponent vector over the independent axes (Ω, pF, µm, µW).
+Dim = Tuple[int, int, int, int]
 
-OHM: Dim = (1, 0, 0)
-PF: Dim = (0, 1, 0)
-PS: Dim = (1, 1, 0)  # Ω · pF
-UM: Dim = (0, 0, 1)
-DIMENSIONLESS: Dim = (0, 0, 0)
-OHM_PER_UM: Dim = (1, 0, -1)
-PF_PER_UM: Dim = (0, 1, -1)
+OHM: Dim = (1, 0, 0, 0)
+PF: Dim = (0, 1, 0, 0)
+PS: Dim = (1, 1, 0, 0)  # Ω · pF
+UM: Dim = (0, 0, 1, 0)
+UM2: Dim = (0, 0, 2, 0)  # area
+UW: Dim = (0, 0, 0, 1)  # power
+DIMENSIONLESS: Dim = (0, 0, 0, 0)
+OHM_PER_UM: Dim = (1, 0, -1, 0)
+PF_PER_UM: Dim = (0, 1, -1, 0)
+PER_UM: Dim = (0, 0, -1, 0)
+UW_PER_UM: Dim = (0, 0, -1, 1)
 
 #: Identifiers (variable or attribute names) with a declared dimension.
 #: Ambiguous names used for several quantities in the codebase (``x``,
@@ -100,14 +114,32 @@ NAME_DIMS: Dict[str, Dim] = {
     "q": PS,
     "intercept": PS,
     "spec": PS,
+    # slews are transition *times* (ps) under the PERI composition model
+    "slew": PS,
+    "input_slew": PS,
+    "output_slew": PS,
+    "launch_slew": PS,
+    "arriving_slew": PS,
     # distances (µm)
     "length": UM,
     "length_um": UM,
     "spacing": UM,
     "wirelength": UM,
+    # areas (µm²) — wire-sizing / placement footprints
+    "area": UM2,
+    "area_um2": UM2,
+    "footprint": UM2,
+    # power-model vocabulary (µW) for the power-aware MSRI roadmap work
+    "power": UW,
+    "power_uw": UW,
+    "switching_power": UW,
+    "leakage_power": UW,
+    "total_power": UW,
     # per-length technology constants
     "unit_resistance": OHM_PER_UM,
     "unit_capacitance": PF_PER_UM,
+    "cost_per_um": PER_UM,  # cost is dimensionless (equivalent 1X buffers)
+    "power_per_um": UW_PER_UM,
 }
 
 #: Called method/function names whose return value has a known dimension.
@@ -121,6 +153,7 @@ CALL_DIMS: Dict[str, Dim] = {
     "evaluate": PS,  # PWL arrival/diameter functions return ps
     "evaluate_or": PS,
     "value": PS,  # Segment.value
+    "sink_slew": PS,
     "wire_resistance": OHM,
     "wire_capacitance": PF,
     "cap_into": PF,
@@ -148,14 +181,19 @@ def _terminal_identifier(node: ast.AST) -> Optional[str]:
 
 
 def _add(a: Dim, b: Dim) -> Dim:
-    return (a[0] + b[0], a[1] + b[1], a[2] + b[2])
+    return tuple(x + y for x, y in zip(a, b))  # type: ignore[return-value]
 
 
 def _sub(a: Dim, b: Dim) -> Dim:
-    return (a[0] - b[0], a[1] - b[1], a[2] - b[2])
+    return tuple(x - y for x, y in zip(a, b))  # type: ignore[return-value]
 
 
-def dim_of(node: ast.AST) -> Optional[Dim]:
+def dim_of(
+    node: ast.AST,
+    *,
+    env: Optional[Mapping[str, Optional[Dim]]] = None,
+    call_dims: Optional[Callable[[str], Optional[Dim]]] = None,
+) -> Optional[Dim]:
     """Infer the physical dimension of an expression, or None (wildcard).
 
     The inference understands the arithmetic the Elmore/PWL code actually
@@ -163,24 +201,41 @@ def dim_of(node: ast.AST) -> Optional[Dim]:
     literal is a pure scalar), sums/differences propagate whichever operand
     dimension is known, and subscripting a dimensioned container (e.g. the
     per-edge ``_wire_cap`` list) yields the element dimension.
+
+    ``env`` overrides the name table for bare identifiers — the
+    whole-program analyzer feeds parameter and local-variable dimensions it
+    established by interprocedural propagation (an entry whose value is
+    ``None`` positively *erases* a table dimension for that name).
+    ``call_dims`` likewise pre-empts :data:`CALL_DIMS` for call
+    expressions, returning the callee's inferred return dimension.
     """
+    if isinstance(node, ast.Name) and env is not None and node.id in env:
+        return env[node.id]
     if isinstance(node, (ast.Name, ast.Attribute)):
         ident = _terminal_identifier(node)
         return NAME_DIMS.get(ident) if ident is not None else None
     if isinstance(node, ast.Call):
         ident = _terminal_identifier(node.func)
-        return CALL_DIMS.get(ident) if ident is not None else None
+        if ident is None:
+            return None
+        if call_dims is not None:
+            resolved = call_dims(ident)
+            if resolved is not None:
+                return resolved
+        return CALL_DIMS.get(ident)
     if isinstance(node, ast.Subscript):
-        return dim_of(node.value)
+        return dim_of(node.value, env=env, call_dims=call_dims)
     if isinstance(node, ast.UnaryOp):
-        return dim_of(node.operand)
+        return dim_of(node.operand, env=env, call_dims=call_dims)
     if isinstance(node, ast.IfExp):
-        body, orelse = dim_of(node.body), dim_of(node.orelse)
+        body = dim_of(node.body, env=env, call_dims=call_dims)
+        orelse = dim_of(node.orelse, env=env, call_dims=call_dims)
         if body is not None and orelse is not None and body != orelse:
             return None  # ambiguous conditional; stay silent
         return body if body is not None else orelse
     if isinstance(node, ast.BinOp):
-        left, right = dim_of(node.left), dim_of(node.right)
+        left = dim_of(node.left, env=env, call_dims=call_dims)
+        right = dim_of(node.right, env=env, call_dims=call_dims)
         if isinstance(node.op, ast.Mult):
             if left is not None and right is not None:
                 return _add(left, right)
@@ -202,9 +257,10 @@ def dim_of(node: ast.AST) -> Optional[Dim]:
     return None
 
 
-_AXIS_SYMBOLS = ("Ω", "pF", "µm")
-_NAMED = {OHM: "Ω", PF: "pF", PS: "ps", UM: "µm",
-          OHM_PER_UM: "Ω/µm", PF_PER_UM: "pF/µm", DIMENSIONLESS: "1"}
+_AXIS_SYMBOLS = ("Ω", "pF", "µm", "µW")
+_NAMED = {OHM: "Ω", PF: "pF", PS: "ps", UM: "µm", UM2: "µm²", UW: "µW",
+          OHM_PER_UM: "Ω/µm", PF_PER_UM: "pF/µm", PER_UM: "1/µm",
+          UW_PER_UM: "µW/µm", DIMENSIONLESS: "1"}
 
 
 def format_dim(dim: Dim) -> str:

@@ -62,12 +62,19 @@ class Finding:
 
 @dataclass
 class FileContext:
-    """Everything a rule needs about one file: source, AST, suppressions."""
+    """Everything a rule needs about one file: source, AST, suppressions.
+
+    ``project`` is the whole-program view (symbol table, call graph,
+    interprocedural dimensions) built over every file of the lint run —
+    a single-file project when linting one source in isolation.  Rules
+    that only need the local AST ignore it.
+    """
 
     path: str
     source: str
     tree: ast.AST
     suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+    project: Optional["ProjectGraph"] = None
 
     def suppressed(self, line: int, rule_id: str) -> bool:
         rules = self.suppressions.get(line)
@@ -136,31 +143,44 @@ class LintEngine:
             rules = DEFAULT_RULES
         self.rules: Tuple[Rule, ...] = tuple(rules)
 
-    def lint_source(self, source: str, path: str = "<string>") -> List[Finding]:
+    @staticmethod
+    def _parse(source: str, path: str):
+        """Parse one source: ``(FileContext, None)`` or ``(None, Finding)``."""
         try:
             tree = ast.parse(source, filename=path)
         except SyntaxError as exc:
-            return [
-                Finding(
-                    path=path,
-                    line=exc.lineno or 0,
-                    col=exc.offset or 0,
-                    rule_id="E999",
-                    severity="error",
-                    message=f"syntax error: {exc.msg}",
-                )
-            ]
+            return None, Finding(
+                path=path,
+                line=exc.lineno or 0,
+                col=exc.offset or 0,
+                rule_id="E999",
+                severity="error",
+                message=f"syntax error: {exc.msg}",
+            )
         ctx = FileContext(
             path=path,
             source=source,
             tree=tree,
             suppressions=_parse_suppressions(source),
         )
+        return ctx, None
+
+    def _run_rules(self, ctx: FileContext) -> List[Finding]:
         findings: List[Finding] = []
         for rule in self.rules:
             for f in rule.check(ctx):
                 if not ctx.suppressed(f.line, f.rule_id):
                     findings.append(f)
+        return findings
+
+    def lint_source(self, source: str, path: str = "<string>") -> List[Finding]:
+        ctx, syntax_error = self._parse(source, path)
+        if ctx is None:
+            return [syntax_error]
+        from .graph import ProjectGraph
+
+        ctx.project = ProjectGraph.build([(ctx.path, ctx.tree)])
+        findings = self._run_rules(ctx)
         findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
         return findings
 
@@ -168,16 +188,42 @@ class LintEngine:
         with open(path, encoding="utf-8") as fh:
             return self.lint_source(fh.read(), path=str(path))
 
-    def lint_paths(self, paths: Iterable[str]) -> List[Finding]:
-        """Lint files and (recursively) directories of ``*.py`` files."""
-        findings: List[Finding] = []
+    @staticmethod
+    def _collect_files(paths: Iterable[str]) -> List[str]:
+        files: List[str] = []
         for path in paths:
             p = Path(path)
             if p.is_dir():
-                for f in sorted(p.rglob("*.py")):
-                    findings.extend(self.lint_file(str(f)))
+                files.extend(str(f) for f in sorted(p.rglob("*.py")))
             else:
-                findings.extend(self.lint_file(str(p)))
+                files.append(str(p))
+        return files
+
+    def lint_paths(self, paths: Iterable[str]) -> List[Finding]:
+        """Lint files and (recursively) directories of ``*.py`` files.
+
+        This is the whole-program entry point: every parseable file in
+        the run contributes to one shared :class:`~repro.check.graph.
+        ProjectGraph`, so the interprocedural rules see calls that cross
+        file boundaries.
+        """
+        from .graph import ProjectGraph
+
+        findings: List[Finding] = []
+        contexts: List[FileContext] = []
+        for file in self._collect_files(paths):
+            with open(file, encoding="utf-8") as fh:
+                source = fh.read()
+            ctx, syntax_error = self._parse(source, file)
+            if ctx is None:
+                findings.append(syntax_error)
+            else:
+                contexts.append(ctx)
+        project = ProjectGraph.build([(c.path, c.tree) for c in contexts])
+        for ctx in contexts:
+            ctx.project = project
+            findings.extend(self._run_rules(ctx))
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
         return findings
 
 

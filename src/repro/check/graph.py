@@ -1,0 +1,627 @@
+"""Whole-program analysis: symbol table, call graph, interprocedural dims.
+
+The per-file rules (R001–R006) see one AST at a time, so a unit mix-up
+laundered through a function boundary — an Ω value passed into a parameter
+the callee adds to a ps value — is invisible to them.  This module builds
+the project-wide view the whole-program rules (R007–R010) need:
+
+* a **symbol table** of every function, method and class across all linted
+  files, keyed by dotted qualname;
+* a **call graph**: each call site resolved (conservatively, by unique
+  simple name, or through an explicit ``self.`` receiver) to the function
+  it invokes;
+* a **fixpoint dimension pass** propagating the Ω/pF/ps/µm/µW lattice of
+  :mod:`repro.check.dimensions` through function parameters and return
+  values.  Parameter dimensions come from three sources, tracked
+  separately so rules can report *why* a dimension is established:
+
+  - ``declared`` — the parameter's own name is in ``NAME_DIMS``;
+  - ``usage`` — the body adds/subtracts the parameter against a quantity
+    of known dimension (``return delay + extra`` pins ``extra`` to ps);
+  - ``callsite`` — every resolved caller passes arguments of one known
+    dimension.
+
+  Return dimensions are joined over the function's ``return`` expressions,
+  evaluated in an environment of parameter and local-variable dimensions.
+
+The lattice is the usual three-level one: ``None`` (unknown, top), a
+concrete ``Dim`` vector, and :data:`CONFLICT` (bottom).  Conflicting
+evidence collapses to ``CONFLICT``, which can never trigger a finding —
+the analyzer errs toward silence exactly like the name tables do.
+
+Everything here is pure ``ast``: no imports are executed, so linting
+broken or dependency-heavy code is safe.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import PurePath
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .dimensions import CALL_DIMS, NAME_DIMS, Dim, dim_of
+
+__all__ = [
+    "CONFLICT",
+    "join",
+    "known",
+    "CallSite",
+    "FunctionInfo",
+    "ClassInfo",
+    "ProjectGraph",
+    "module_name_for_path",
+]
+
+
+class _Conflict:
+    """Bottom of the dimension lattice: contradictory evidence."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<dim CONFLICT>"
+
+
+CONFLICT = _Conflict()
+
+#: Lattice value: ``None`` (unknown) | ``Dim`` | :data:`CONFLICT`.
+LatticeVal = object
+
+
+def join(a: LatticeVal, b: LatticeVal) -> LatticeVal:
+    """Least upper bound: unknown is the identity, disagreement conflicts."""
+    if a is None:
+        return b
+    if b is None:
+        return a
+    if a is CONFLICT or b is CONFLICT or a != b:
+        return CONFLICT
+    return a
+
+
+def known(value: LatticeVal) -> Optional[Dim]:
+    """The concrete dimension, or None for unknown/conflicted values."""
+    if value is None or value is CONFLICT:
+        return None
+    return value  # type: ignore[return-value]
+
+
+def module_name_for_path(path: str) -> str:
+    """Dotted module name for a file path (``src/repro/core/ard.py`` →
+    ``repro.core.ard``); falls back to the stem for paths outside ``src``.
+    """
+    parts = list(PurePath(path).parts)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) if parts else "<module>"
+
+
+@dataclass
+class CallSite:
+    """One resolved-or-not call expression inside a function (or module)."""
+
+    node: ast.Call
+    path: str
+    caller: Optional[str]  #: qualname of the enclosing function, None at module level
+    callee_name: Optional[str]  #: rightmost identifier of the callee, if any
+    resolved: Optional[str] = None  #: qualname of the unique project match
+
+
+@dataclass
+class FunctionInfo:
+    """Everything the analyzer knows about one function or method."""
+
+    qualname: str
+    name: str
+    path: str
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    params: List[str]  #: positional(+kwonly) parameter names, self/cls dropped
+    class_name: Optional[str] = None
+    nested: bool = False  #: defined inside another function (not picklable)
+    decorators: Tuple[str, ...] = ()
+    num_defaults: int = 0  #: how many trailing parameters carry defaults
+    # -- dimension lattice state (fixpoint-updated) ---------------------------
+    declared_dims: Dict[str, LatticeVal] = field(default_factory=dict)
+    usage_dims: Dict[str, LatticeVal] = field(default_factory=dict)
+    callsite_dims: Dict[str, LatticeVal] = field(default_factory=dict)
+    local_dims: Dict[str, LatticeVal] = field(default_factory=dict)
+    return_dim: LatticeVal = None
+    # -- call graph -----------------------------------------------------------
+    calls: List[CallSite] = field(default_factory=list)
+    callees: Set[str] = field(default_factory=set)  #: resolved callee qualnames
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_name is not None
+
+    def param_dim(self, name: str) -> LatticeVal:
+        """Declared ⊔ usage ⊔ call-site evidence for one parameter."""
+        return join(
+            join(self.declared_dims.get(name), self.usage_dims.get(name)),
+            self.callsite_dims.get(name),
+        )
+
+    def param_contract(self, name: str) -> Optional[Dim]:
+        """The dimension a caller must honour: declared ⊔ usage evidence.
+
+        Call-site evidence is deliberately excluded — a contract derived
+        only from *other* call sites would let two wrong callers indict
+        each other.  R007 compares arguments against this.
+        """
+        return known(join(self.declared_dims.get(name), self.usage_dims.get(name)))
+
+    def contract_basis(self, name: str) -> str:
+        """Human-readable provenance of :meth:`param_contract`."""
+        if known(self.declared_dims.get(name)) is not None:
+            return "declared by name"
+        return "established by usage in the body"
+
+
+@dataclass
+class ClassInfo:
+    """One class definition: bases (as dotted source text) and methods."""
+
+    qualname: str
+    name: str
+    path: str
+    node: ast.ClassDef
+    bases: Tuple[str, ...]
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+
+    @property
+    def is_protocol(self) -> bool:
+        return any(b.split(".")[-1] == "Protocol" for b in self.bases)
+
+
+def _terminal_name(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """Source-ish dotted rendering of a Name/Attribute chain."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _dotted(node.value)
+        return f"{base}.{node.attr}" if base else node.attr
+    return None
+
+
+class _Collector(ast.NodeVisitor):
+    """First pass over one file: functions, classes, call sites."""
+
+    def __init__(self, graph: "ProjectGraph", path: str) -> None:
+        self.graph = graph
+        self.path = path
+        self.module = module_name_for_path(path)
+        self._scope: List[str] = []  # qualname components below the module
+        self._func_stack: List[FunctionInfo] = []
+        self._class_stack: List[ClassInfo] = []
+
+    # -- definitions -----------------------------------------------------------
+
+    def _handle_function(self, node) -> None:
+        qualname = ".".join([self.module, *self._scope, node.name])
+        args = node.args
+        params = [a.arg for a in [*args.posonlyargs, *args.args, *args.kwonlyargs]]
+        in_class = bool(self._class_stack) and (
+            not self._func_stack
+            or self._scope[-1:] == [self._class_stack[-1].name]
+        )
+        if in_class and params and params[0] in ("self", "cls"):
+            params = params[1:]
+        info = FunctionInfo(
+            qualname=qualname,
+            name=node.name,
+            path=self.path,
+            node=node,
+            params=params,
+            class_name=self._class_stack[-1].name if in_class else None,
+            nested=bool(self._func_stack),
+            decorators=tuple(
+                d for d in (_dotted(dec) for dec in node.decorator_list) if d
+            ),
+            num_defaults=len(args.defaults)
+            + sum(1 for d in args.kw_defaults if d is not None),
+        )
+        for p in params:
+            info.declared_dims[p] = NAME_DIMS.get(p)
+        self.graph._add_function(info)
+        if in_class:
+            self._class_stack[-1].methods[node.name] = info
+        self._scope.append(node.name)
+        self._func_stack.append(info)
+        self.generic_visit(node)
+        self._func_stack.pop()
+        self._scope.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._handle_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._handle_function(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        qualname = ".".join([self.module, *self._scope, node.name])
+        info = ClassInfo(
+            qualname=qualname,
+            name=node.name,
+            path=self.path,
+            node=node,
+            bases=tuple(b for b in (_dotted(base) for base in node.bases) if b),
+        )
+        self.graph._add_class(info)
+        self._scope.append(node.name)
+        self._class_stack.append(info)
+        self.generic_visit(node)
+        self._class_stack.pop()
+        self._scope.pop()
+
+    # -- module-level globals (for R008 shared-state analysis) -----------------
+
+    def _note_module_global(self, target: ast.AST, value: ast.AST) -> None:
+        if self._scope or not isinstance(target, ast.Name):
+            return
+        ctor = None
+        if isinstance(value, ast.Call):
+            ctor = _terminal_name(value.func)
+        self.graph._module_globals.setdefault(self.path, {})[target.id] = ctor
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._note_module_global(target, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._note_module_global(node.target, node.value)
+        self.generic_visit(node)
+
+    # -- call sites ------------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        caller = self._func_stack[-1] if self._func_stack else None
+        site = CallSite(
+            node=node,
+            path=self.path,
+            caller=caller.qualname if caller else None,
+            callee_name=_terminal_name(node.func),
+        )
+        if caller is not None:
+            caller.calls.append(site)
+        else:
+            self.graph._module_calls.setdefault(self.path, []).append(site)
+        self.generic_visit(node)
+
+
+class ProjectGraph:
+    """The whole-program view: symbols, call graph, inferred dimensions."""
+
+    #: Fixpoint iteration cap.  The lattice has height 2 per slot, so
+    #: convergence is fast; the cap only guards pathological inputs.
+    MAX_ITERATIONS = 10
+
+    def __init__(self) -> None:
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self.paths: List[str] = []
+        self._by_name: Dict[str, List[FunctionInfo]] = {}
+        self._classes_by_name: Dict[str, List[ClassInfo]] = {}
+        self._module_calls: Dict[str, List[CallSite]] = {}
+        self._module_globals: Dict[str, Dict[str, Optional[str]]] = {}
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def build(cls, sources: Sequence[Tuple[str, ast.AST]]) -> "ProjectGraph":
+        """Build the graph over ``(path, parsed tree)`` pairs and run the
+        interprocedural dimension fixpoint."""
+        graph = cls()
+        for path, tree in sources:
+            graph.paths.append(path)
+            _Collector(graph, path).visit(tree)
+        graph._resolve_calls()
+        graph._infer_dimensions()
+        return graph
+
+    def _add_function(self, info: FunctionInfo) -> None:
+        self.functions[info.qualname] = info
+        self._by_name.setdefault(info.name, []).append(info)
+
+    def _add_class(self, info: ClassInfo) -> None:
+        self.classes[info.qualname] = info
+        self._classes_by_name.setdefault(info.name, []).append(info)
+
+    # -- lookups ---------------------------------------------------------------
+
+    def functions_in(self, path: str) -> List[FunctionInfo]:
+        return [f for f in self.functions.values() if f.path == path]
+
+    def classes_in(self, path: str) -> List[ClassInfo]:
+        return [c for c in self.classes.values() if c.path == path]
+
+    def by_simple_name(self, name: str) -> List[FunctionInfo]:
+        return list(self._by_name.get(name, ()))
+
+    def module_globals(self, path: str) -> Set[str]:
+        """Names assigned at module level in ``path``."""
+        return set(self._module_globals.get(path, ()))
+
+    def module_global_constructors(self, path: str) -> Dict[str, Optional[str]]:
+        """Module-global name → terminal callee name of its initializer
+        (``_OBS_NODES = obs.Counter(...)`` → ``"Counter"``), else None."""
+        return dict(self._module_globals.get(path, {}))
+
+    def class_named(self, name: str) -> Optional[ClassInfo]:
+        candidates = self._classes_by_name.get(name, ())
+        return candidates[0] if len(candidates) == 1 else None
+
+    def all_call_sites(self) -> Iterable[CallSite]:
+        for fn in self.functions.values():
+            yield from fn.calls
+        for sites in self._module_calls.values():
+            yield from sites
+
+    def call_sites_in(self, path: str) -> Iterable[CallSite]:
+        for fn in self.functions.values():
+            if fn.path == path:
+                yield from fn.calls
+        yield from self._module_calls.get(path, ())
+
+    def resolve(self, site: CallSite) -> Optional[FunctionInfo]:
+        return self.functions.get(site.resolved) if site.resolved else None
+
+    # -- call resolution -------------------------------------------------------
+
+    def _resolve_calls(self) -> None:
+        for site in self.all_call_sites():
+            info = self._resolve_one(site)
+            if info is not None:
+                site.resolved = info.qualname
+                caller = self.functions.get(site.caller) if site.caller else None
+                if caller is not None:
+                    caller.callees.add(info.qualname)
+
+    def _resolve_one(self, site: CallSite) -> Optional[FunctionInfo]:
+        func = site.node.func
+        name = site.callee_name
+        if name is None:
+            return None
+        # self.method() inside a class whose body defines the method
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            if func.value.id in ("self", "cls") and site.caller is not None:
+                caller = self.functions.get(site.caller)
+                if caller is not None and caller.class_name is not None:
+                    cls_info = self.class_named(caller.class_name)
+                    if cls_info is not None and name in cls_info.methods:
+                        return cls_info.methods[name]
+        # ClassName() constructor → __init__ is opaque to the dim pass; skip
+        if isinstance(func, ast.Name) and name in self._classes_by_name:
+            return None
+        candidates = self._by_name.get(name, ())
+        if len(candidates) == 1:
+            return candidates[0]
+        return None  # ambiguous or unknown: stay conservative
+
+    # -- interprocedural dimension fixpoint ------------------------------------
+
+    def _infer_dimensions(self) -> None:
+        for _ in range(self.MAX_ITERATIONS):
+            if not self._one_round():
+                break
+
+    def _one_round(self) -> bool:
+        changed = False
+        for fn in self.functions.values():
+            changed |= self._local_pass(fn)
+        # propagate argument dimensions into callee parameter slots
+        for site in self.all_call_sites():
+            callee = self.resolve(site)
+            if callee is None:
+                continue
+            env = self._env_for(site.caller)
+            for param, arg in self._bind_args(callee, site.node):
+                d = self.dim_of_expr(arg, env)
+                if d is None:
+                    continue
+                old = callee.callsite_dims.get(param)
+                new = join(old, d)
+                if new is not old and new != old:
+                    callee.callsite_dims[param] = new
+                    changed = True
+        return changed
+
+    def _env_for(self, qualname: Optional[str]) -> Dict[str, LatticeVal]:
+        if qualname is None:
+            return {}
+        fn = self.functions.get(qualname)
+        return self.function_env(fn) if fn is not None else {}
+
+    def function_env(self, fn: FunctionInfo) -> Dict[str, LatticeVal]:
+        """Known dimensions of ``fn``'s parameters and locals, for R006/R007.
+
+        Conflicted slots are included with value ``None`` so they *erase*
+        any same-named entry in the global name table — a variable with
+        contradictory evidence must not fall back to its name's dimension.
+        """
+        env: Dict[str, LatticeVal] = {}
+        for p in fn.params:
+            env[p] = known(fn.param_dim(p))
+        for name, val in fn.local_dims.items():
+            env[name] = known(val)
+        return env
+
+    def return_dim_of(self, name: str) -> Optional[Dim]:
+        """Inferred return dimension for a unique simple name, else the
+        declarations table."""
+        candidates = self._by_name.get(name, ())
+        if len(candidates) == 1:
+            d = known(candidates[0].return_dim)
+            if d is not None:
+                return d
+        return CALL_DIMS.get(name)
+
+    def dim_of_expr(
+        self, node: ast.AST, env: Optional[Dict[str, LatticeVal]] = None
+    ) -> Optional[Dim]:
+        """Project-aware :func:`repro.check.dimensions.dim_of`."""
+        return dim_of(node, env=env, call_dims=self.return_dim_of)
+
+    @staticmethod
+    def _bind_args(
+        callee: FunctionInfo, call: ast.Call
+    ) -> List[Tuple[str, ast.AST]]:
+        """Map call arguments onto callee parameter names (best effort)."""
+        pairs: List[Tuple[str, ast.AST]] = []
+        for i, arg in enumerate(call.args):
+            if isinstance(arg, ast.Starred):
+                break
+            if i < len(callee.params):
+                pairs.append((callee.params[i], arg))
+        for kw in call.keywords:
+            if kw.arg is not None and kw.arg in callee.params:
+                pairs.append((kw.arg, kw.value))
+        return pairs
+
+    def _local_pass(self, fn: FunctionInfo) -> bool:
+        """Re-derive usage dims, local dims and the return dim of ``fn``."""
+        env: Dict[str, LatticeVal] = {
+            p: known(fn.param_dim(p)) for p in fn.params
+        }
+        usage: Dict[str, LatticeVal] = {}
+        ret: LatticeVal = None
+        params = set(fn.params)
+
+        def eval_dim(node: ast.AST) -> Optional[Dim]:
+            return self.dim_of_expr(node, env)
+
+        def note_usage(name: str, d: Optional[Dim]) -> None:
+            if d is not None:
+                usage[name] = join(usage.get(name), d)
+
+        def scan_expr(node: ast.AST) -> None:
+            """Record +/- usage evidence for still-undimensioned params."""
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.BinOp) and isinstance(
+                    sub.op, (ast.Add, ast.Sub)
+                ):
+                    ld, rd = eval_dim(sub.left), eval_dim(sub.right)
+                    for side, other in ((sub.left, rd), (sub.right, ld)):
+                        if (
+                            isinstance(side, ast.Name)
+                            and side.id in params
+                            and env.get(side.id) is None
+                        ):
+                            note_usage(side.id, other)
+
+        def walk_body(stmts) -> None:
+            nonlocal ret
+            for stmt in stmts:
+                if isinstance(
+                    stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ):
+                    continue  # nested scopes are analyzed on their own
+                scan_expr(stmt)
+                if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                    target = stmt.targets[0]
+                    if isinstance(target, ast.Name):
+                        d = eval_dim(stmt.value)
+                        if d is not None:
+                            prev = fn.local_dims.get(target.id)
+                            env[target.id] = known(join(prev, d))
+                elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                    if isinstance(stmt.target, ast.Name):
+                        d = eval_dim(stmt.value)
+                        if d is not None:
+                            env[stmt.target.id] = d
+                elif isinstance(stmt, ast.Return) and stmt.value is not None:
+                    ret = join(ret, eval_dim(stmt.value))
+                for child_block in ("body", "orelse", "finalbody", "handlers"):
+                    block = getattr(stmt, child_block, None)
+                    if not block:
+                        continue
+                    if child_block == "handlers":
+                        for h in block:
+                            walk_body(h.body)
+                    else:
+                        walk_body(block)
+
+        body = getattr(fn.node, "body", [])
+        walk_body(body)
+
+        locals_now = {
+            name: val
+            for name, val in env.items()
+            if name not in params and val is not None
+        }
+        changed = False
+        if usage != fn.usage_dims:
+            fn.usage_dims = usage
+            changed = True
+        if locals_now != {
+            k: known(v) for k, v in fn.local_dims.items() if known(v) is not None
+        }:
+            fn.local_dims = dict(locals_now)
+            changed = True
+        if ret != fn.return_dim and not (
+            ret is None and fn.return_dim is None
+        ):
+            fn.return_dim = ret
+            changed = True
+        return changed
+
+    # -- reachability ----------------------------------------------------------
+
+    def reachable_from(self, roots: Iterable[str]) -> Set[str]:
+        """Transitive closure of resolved call edges from ``roots``
+        (qualnames); the roots themselves are included."""
+        seen: Set[str] = set()
+        stack = [q for q in roots if q in self.functions]
+        while stack:
+            q = stack.pop()
+            if q in seen:
+                continue
+            seen.add(q)
+            stack.extend(self.functions[q].callees - seen)
+        return seen
+
+    # -- worker-submission surface (R008) --------------------------------------
+
+    #: Call names that submit a callable to the process-pool executor; the
+    #: first positional argument (or the named keyword) is the callable.
+    SUBMIT_CALLS: Dict[str, object] = {"run_jobs": 0, "run_campaign": "job_fn"}
+
+    def submitted_callables(
+        self,
+    ) -> List[Tuple[CallSite, Optional[ast.AST], Optional[FunctionInfo]]]:
+        """Every callable handed to the executor surface, resolved if
+        possible: ``(site, callable expression, FunctionInfo or None)``."""
+        out = []
+        for site in self.all_call_sites():
+            if site.callee_name not in self.SUBMIT_CALLS:
+                continue
+            slot = self.SUBMIT_CALLS[site.callee_name]
+            arg: Optional[ast.AST] = None
+            if isinstance(slot, int):
+                if len(site.node.args) > slot:
+                    arg = site.node.args[slot]
+            for kw in site.node.keywords:
+                if kw.arg == slot or (isinstance(slot, int) and kw.arg == "fn"):
+                    arg = kw.value
+            if arg is None:
+                continue
+            resolved = None
+            name = _terminal_name(arg)
+            if name is not None:
+                candidates = self._by_name.get(name, ())
+                if len(candidates) == 1:
+                    resolved = candidates[0]
+            out.append((site, arg, resolved))
+        return out

@@ -2,7 +2,9 @@
 
 Each rule lives in its own module; ``DEFAULT_RULES`` is the catalogue the
 ``repro-lint`` CLI and the CI gate run.  Rules are keyed by stable ids
-(R001…R006) used in findings and ``# repro: noqa[Rxxx]`` suppressions.
+(R001…R010) used in findings and ``# repro: noqa[Rxxx]`` suppressions.
+R001–R006 are per-file AST rules; R007–R010 consume the whole-program
+:class:`~repro.check.graph.ProjectGraph` attached to each file context.
 """
 
 from __future__ import annotations
@@ -12,16 +14,24 @@ from typing import Dict, Tuple
 from ..engine import Rule
 from .asserts import AssertControlFlowRule
 from .defaults import MutableDefaultRule
+from .determinism import DeterminismRule
 from .float_eq import FloatEqualityRule
+from .interproc import InterprocDimensionRule
 from .iteration import SetIterationRule
+from .parallel_safety import ParallelSafetyRule
+from .protocol import ProtocolConformanceRule
 from .tech_mutation import TechMutationRule
 from .units import DimensionRule
 
 __all__ = [
     "AssertControlFlowRule",
+    "DeterminismRule",
     "DimensionRule",
     "FloatEqualityRule",
+    "InterprocDimensionRule",
     "MutableDefaultRule",
+    "ParallelSafetyRule",
+    "ProtocolConformanceRule",
     "SetIterationRule",
     "TechMutationRule",
     "DEFAULT_RULES",
@@ -35,6 +45,10 @@ DEFAULT_RULES: Tuple[Rule, ...] = (
     MutableDefaultRule(),
     TechMutationRule(),
     DimensionRule(),
+    InterprocDimensionRule(),
+    ParallelSafetyRule(),
+    DeterminismRule(),
+    ProtocolConformanceRule(),
 )
 
 

@@ -9,7 +9,9 @@ redundant debug asserts can be suppressed with ``# repro: noqa[R003]``.
 
 Test code is exempt: pytest rewrites asserts and they are the assertion
 idiom there.  A file counts as test code when any path component starts
-with ``test`` or is named ``tests``/``conftest.py``.
+with ``test`` or is named ``tests``/``conftest.py`` — and likewise for
+``benchmarks``/``bench_*.py``, which pytest collects as tests too (see
+``python_files`` in ``pyproject.toml``).
 """
 
 from __future__ import annotations
@@ -27,10 +29,14 @@ def _is_test_file(path: str) -> bool:
     parts = PurePath(path).parts
     if not parts:
         return False
-    if any(part == "tests" for part in parts):
+    if any(part in ("tests", "benchmarks") for part in parts):
         return True
     name = parts[-1]
-    return name.startswith("test_") or name == "conftest.py"
+    return (
+        name.startswith("test_")
+        or name.startswith("bench_")
+        or name == "conftest.py"
+    )
 
 
 class AssertControlFlowRule(Rule):

@@ -1,0 +1,78 @@
+"""R007 — dimension-inconsistent call arguments and return values.
+
+The per-expression rule R006 cannot see a unit mix-up that crosses a
+function boundary: if ``total_delay(delay, extra)`` adds its two parameters
+and a caller passes a resistance as ``extra``, the callee's body is clean
+under name-based inference (``extra`` carries no declared dimension) and
+the call site is just a function call.  This rule closes that hole using
+the whole-program graph (:mod:`repro.check.graph`):
+
+* **argument checks** — at every resolved call site, an argument whose
+  dimension is known is compared against the parameter's *contract*: the
+  dimension established by the parameter's own name (``NAME_DIMS``) or by
+  how the callee's body uses it (added/subtracted against a known
+  quantity).  Evidence coming only from other call sites is excluded so
+  two wrong callers cannot indict each other.
+* **return checks** — a function whose name promises a dimension in
+  ``CALL_DIMS`` (``wire_delay`` → ps) must not be inferred to return a
+  different one.
+
+Everything unknown or conflicted stays silent, so a finding means both
+sides of the mismatch were positively established.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..dimensions import CALL_DIMS, format_dim
+from ..engine import FileContext, Finding, Rule
+from ..graph import known
+
+__all__ = ["InterprocDimensionRule"]
+
+
+class InterprocDimensionRule(Rule):
+    rule_id = "R007"
+    severity = "error"
+    description = (
+        "dimension-inconsistent call argument or return value "
+        "(interprocedural Ω/pF/ps/µm/µW propagation)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        project = ctx.project
+        if project is None:
+            return
+        for site in project.call_sites_in(ctx.path):
+            callee = project.resolve(site)
+            if callee is None:
+                continue
+            caller = project.functions.get(site.caller) if site.caller else None
+            env = project.function_env(caller) if caller is not None else {}
+            for param, arg in project._bind_args(callee, site.node):
+                arg_dim = project.dim_of_expr(arg, env)
+                contract = callee.param_contract(param)
+                if arg_dim is None or contract is None or arg_dim == contract:
+                    continue
+                yield self.finding(
+                    ctx,
+                    site.node,
+                    f"argument for parameter '{param}' of {callee.name}() "
+                    f"is {format_dim(arg_dim)} but the parameter is "
+                    f"{format_dim(contract)} ({callee.contract_basis(param)}, "
+                    f"defined at {callee.path}:{callee.node.lineno})",
+                )
+        for fn in project.functions_in(ctx.path):
+            declared = CALL_DIMS.get(fn.name)
+            inferred = known(fn.return_dim)
+            if declared is None or inferred is None or declared == inferred:
+                continue
+            yield self.finding(
+                ctx,
+                fn.node,
+                f"{fn.name}() is declared to return "
+                f"{format_dim(declared)} (CALL_DIMS) but its return "
+                f"expressions infer to {format_dim(inferred)}",
+            )

@@ -1,0 +1,136 @@
+"""R010 — ``TimingEngine`` protocol conformance and deprecated-shim calls.
+
+The PR-3 ``TimingEngine`` protocol is structural: nothing but convention
+keeps a backend engine's surface aligned with it, and a drifted method
+signature only explodes when a consumer finally passes the argument the
+engine renamed.  This rule makes the contract static:
+
+* every engine-shaped class (a class defining ``path_delay``) must define
+  **all** protocol methods with matching positional parameter names —
+  ``evaluate(self, tree=None)`` and ``path_delay(self, src, dst)``.  The
+  expected surface is read from the project's own ``TimingEngine``
+  protocol class when it is in the linted set, so the rule follows the
+  protocol if it evolves; a built-in spec is the fallback for partial
+  lints.
+* no internal module may call the deprecated pre-``EvalContext`` shims:
+  ``ard(tree, tech, assignment)`` / ``ElmoreAnalyzer(tree, tech, ...)``
+  with a third positional argument or the legacy ``assignment`` /
+  ``include_companion_cap`` / ``wire_widths`` keywords.  The shims emit
+  ``DeprecationWarning`` at runtime and are slated for removal at v2.0;
+  the modules that *implement* them are exempt, as are test files (the
+  shim regression tests exercise them deliberately).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Tuple
+
+from ..engine import FileContext, Finding, Rule
+from .asserts import _is_test_file
+
+__all__ = ["ProtocolConformanceRule"]
+
+#: Fallback spec when the linted set does not include the protocol class:
+#: method name → (positional parameter names, minimum trailing defaults).
+_DEFAULT_SPEC: Dict[str, Tuple[List[str], int]] = {
+    "evaluate": (["tree"], 1),
+    "path_delay": (["src", "dst"], 0),
+}
+
+#: Callees with deprecated legacy signatures: name → number of modern
+#: positional parameters (anything beyond is the legacy assignment arg).
+_LEGACY_CALLEES: Dict[str, int] = {"ard": 2, "ElmoreAnalyzer": 2}
+
+_LEGACY_KEYWORDS = frozenset({
+    "assignment", "include_companion_cap", "wire_widths",
+})
+
+#: Modules implementing the shims themselves.
+_SHIM_SUFFIXES = ("rctree/engine.py", "rctree/elmore.py", "core/ard.py")
+
+
+class ProtocolConformanceRule(Rule):
+    rule_id = "R010"
+    severity = "error"
+    description = (
+        "TimingEngine implementation drifts from the protocol surface, "
+        "or internal code calls the deprecated ard/ElmoreAnalyzer shims"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        project = ctx.project
+        if project is None or _is_test_file(ctx.path):
+            return
+        spec = self._protocol_spec(project)
+        for cls in project.classes_in(ctx.path):
+            if cls.is_protocol or cls.name == "TimingEngine":
+                continue
+            if "path_delay" not in cls.methods:
+                continue
+            for mname, (want_params, min_defaults) in spec.items():
+                method = cls.methods.get(mname)
+                if method is None:
+                    yield self.finding(
+                        ctx,
+                        cls.node,
+                        f"class {cls.name} defines path_delay() but is "
+                        f"missing the TimingEngine protocol method "
+                        f"{mname}({', '.join(want_params)})",
+                    )
+                    continue
+                got = method.params[: len(want_params)]
+                if got != want_params or method.num_defaults < min_defaults:
+                    yield self.finding(
+                        ctx,
+                        method.node,
+                        f"{cls.name}.{mname}({', '.join(method.params)}) "
+                        f"drifts from the TimingEngine protocol surface "
+                        f"{mname}({', '.join(want_params)})"
+                        + (
+                            f" with {min_defaults} trailing default(s)"
+                            if min_defaults
+                            else ""
+                        ),
+                    )
+        posix = ctx.path.replace("\\", "/")
+        if posix.endswith(_SHIM_SUFFIXES):
+            return
+        for site in project.call_sites_in(ctx.path):
+            name = site.callee_name
+            if name not in _LEGACY_CALLEES:
+                continue
+            call = site.node
+            modern_arity = _LEGACY_CALLEES[name]
+            legacy_kw = [
+                kw.arg for kw in call.keywords if kw.arg in _LEGACY_KEYWORDS
+            ]
+            if len(call.args) > modern_arity:
+                yield self.finding(
+                    ctx,
+                    call,
+                    f"{name}() called with a positional assignment argument; "
+                    f"the pre-EvalContext signature is deprecated for "
+                    f"removal at v2.0 — pass "
+                    f"context=EvalContext(assignment=...)",
+                )
+            elif legacy_kw:
+                yield self.finding(
+                    ctx,
+                    call,
+                    f"{name}() called with deprecated keyword(s) "
+                    f"{sorted(legacy_kw)}; pass context=EvalContext(...) "
+                    f"instead (removal at v2.0)",
+                )
+
+    @staticmethod
+    def _protocol_spec(project) -> Dict[str, Tuple[List[str], int]]:
+        proto = project.class_named("TimingEngine")
+        if proto is None or not proto.methods:
+            return _DEFAULT_SPEC
+        spec: Dict[str, Tuple[List[str], int]] = {}
+        for name, method in proto.methods.items():
+            if name.startswith("_"):
+                continue
+            spec[name] = (list(method.params), method.num_defaults)
+        return spec or _DEFAULT_SPEC

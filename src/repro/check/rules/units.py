@@ -12,17 +12,26 @@ The inference is conservative by design: identifiers outside the
 declarations table are wildcards and never fire, so a finding means both
 operand dimensions were positively established from the repo's own naming
 vocabulary.
+
+When the whole-program graph is available (it always is under the default
+engine), each expression is evaluated in the *interprocedural environment*
+of its enclosing function: parameter and local dimensions established by
+the :mod:`repro.check.graph` fixpoint override the name tables, and a name
+with contradictory evidence is positively erased so it cannot fire on a
+stale table entry.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterable
+from typing import Dict, Iterable, Mapping, Optional, Tuple
 
-from ..dimensions import dim_of, format_dim
+from ..dimensions import Dim, dim_of, format_dim
 from ..engine import FileContext, Finding, Rule
 
 __all__ = ["DimensionRule"]
+
+_Env = Optional[Mapping[str, Optional[Dim]]]
 
 
 class DimensionRule(Rule):
@@ -31,24 +40,56 @@ class DimensionRule(Rule):
     description = "adding/subtracting quantities of different physical dimension"
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:
-        for node in ast.walk(ctx.tree):
-            left = right = None
-            if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
-                left, right = node.left, node.right
-            elif isinstance(node, ast.AugAssign) and isinstance(
-                node.op, (ast.Add, ast.Sub)
-            ):
-                left, right = node.target, node.value
+        project = ctx.project
+        fn_envs: Dict[Tuple[int, int], Dict[str, Optional[Dim]]] = {}
+        if project is not None:
+            for fn in project.functions_in(ctx.path):
+                key = (fn.node.lineno, fn.node.col_offset)
+                fn_envs[key] = project.function_env(fn)
+        yield from self._walk(ctx, ctx.tree, None, fn_envs)
+
+    def _walk(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        env: _Env,
+        fn_envs: Dict[Tuple[int, int], Dict[str, Optional[Dim]]],
+    ) -> Iterable[Finding]:
+        for child in ast.iter_child_nodes(node):
+            child_env = env
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                key = (child.lineno, child.col_offset)
+                child_env = fn_envs.get(key, env)
             else:
-                continue
-            dl, dr = dim_of(left), dim_of(right)
-            if dl is None or dr is None or dl == dr:
-                continue
-            op = "+" if isinstance(node.op, ast.Add) else "-"
-            yield self.finding(
-                ctx,
-                node,
-                f"dimension mismatch: {format_dim(dl)} {op} {format_dim(dr)} "
-                f"(Ω·pF=ps algebra violated); check the expression or the "
-                f"declarations table in repro/check/dimensions.py",
-            )
+                finding = self._check_node(ctx, child, env)
+                if finding is not None:
+                    yield finding
+            yield from self._walk(ctx, child, child_env, fn_envs)
+
+    def _check_node(
+        self, ctx: FileContext, node: ast.AST, env: _Env
+    ) -> Optional[Finding]:
+        if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+            left, right = node.left, node.right
+        elif isinstance(node, ast.AugAssign) and isinstance(
+            node.op, (ast.Add, ast.Sub)
+        ):
+            left, right = node.target, node.value
+        else:
+            return None
+        project = ctx.project
+        if project is not None:
+            dl = project.dim_of_expr(left, dict(env) if env else None)
+            dr = project.dim_of_expr(right, dict(env) if env else None)
+        else:
+            dl, dr = dim_of(left, env=env), dim_of(right, env=env)
+        if dl is None or dr is None or dl == dr:
+            return None
+        op = "+" if isinstance(node.op, ast.Add) else "-"
+        return self.finding(
+            ctx,
+            node,
+            f"dimension mismatch: {format_dim(dl)} {op} {format_dim(dr)} "
+            f"(Ω·pF=ps algebra violated); check the expression or the "
+            f"declarations table in repro/check/dimensions.py",
+        )

@@ -1,0 +1,94 @@
+"""SARIF 2.1.0 rendering for lint findings.
+
+SARIF (Static Analysis Results Interchange Format) is the industry
+interchange format consumed by code-scanning UIs (GitHub code scanning,
+VS Code SARIF viewers, ...).  The emitted log is deliberately minimal but
+schema-valid: one ``run`` of the ``repro-lint`` driver, the full rule
+catalogue under ``tool.driver.rules``, and one ``result`` per finding with
+a physical location and the stable baseline fingerprint from
+:mod:`repro.check.baseline` under ``partialFingerprints`` so downstream
+viewers can track findings across commits the same way the ``--baseline``
+workflow does.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from .baseline import fingerprint
+from .engine import Finding, Rule
+
+__all__ = ["render_sarif", "SARIF_VERSION", "SARIF_SCHEMA"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: repro-lint severity → SARIF result level.
+_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def _rule_descriptor(rule: Rule) -> Dict[str, object]:
+    return {
+        "id": rule.rule_id,
+        "shortDescription": {"text": rule.description},
+        "defaultConfiguration": {
+            "level": _LEVELS.get(rule.severity, "warning")
+        },
+    }
+
+
+def _result(finding: Finding, rule_index: Dict[str, int]) -> Dict[str, object]:
+    result: Dict[str, object] = {
+        "ruleId": finding.rule_id,
+        "level": _LEVELS.get(finding.severity, "warning"),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                    },
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+        "partialFingerprints": {
+            "reproLintFingerprint/v1": fingerprint(finding),
+        },
+    }
+    if finding.rule_id in rule_index:
+        result["ruleIndex"] = rule_index[finding.rule_id]
+    return result
+
+
+def render_sarif(
+    findings: Sequence[Finding], rules: Sequence[Rule] = ()
+) -> str:
+    """One SARIF log (as a JSON string) for a single lint run."""
+    descriptors: List[Dict[str, object]] = [
+        _rule_descriptor(rule) for rule in rules
+    ]
+    rule_index = {rule.rule_id: i for i, rule in enumerate(rules)}
+    log = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": descriptors,
+                    }
+                },
+                "results": [_result(f, rule_index) for f in findings],
+            }
+        ],
+    }
+    return json.dumps(log, indent=2)

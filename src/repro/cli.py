@@ -141,11 +141,27 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--output", "-o", required=True, help="output net JSON path")
 
     lint = sub.add_parser(
-        "lint", help="run repo-specific static analysis (rules R001-R006)"
+        "lint", help="run repo-specific static analysis (rules R001-R010)"
     )
     lint.add_argument("paths", nargs="+", help="files or directories to lint")
-    lint.add_argument("--format", choices=["text", "json"], default="text")
+    lint.add_argument(
+        "--format", choices=["text", "json", "sarif"], default="text"
+    )
     lint.add_argument("--select", help="comma-separated rule ids (default: all)")
+    lint.add_argument(
+        "--baseline", help="suppress findings fingerprinted in this file"
+    )
+    lint.add_argument(
+        "--write-baseline", help="adopt all current findings into this file"
+    )
+    lint.add_argument(
+        "--changed-only",
+        nargs="?",
+        const="HEAD",
+        default=None,
+        metavar="BASE",
+        help="lint only files changed vs. the git ref BASE (default HEAD)",
+    )
 
     c = sub.add_parser(
         "campaign", help="run a Table II-style sweep and save a JSON record"
@@ -396,7 +412,14 @@ def _cmd_synthesize(args) -> int:
 def _cmd_lint(args) -> int:
     from .check.cli import run_lint
 
-    return run_lint(args.paths, fmt=args.format, select=args.select)
+    return run_lint(
+        args.paths,
+        fmt=args.format,
+        select=args.select,
+        baseline=args.baseline,
+        write_baseline_to=args.write_baseline,
+        changed_only=args.changed_only,
+    )
 
 
 def _cmd_trace(args) -> int:

@@ -1,0 +1,14 @@
+"""Seeded violation for R007: an Ω quantity laundered through a call.
+
+``total_delay``'s second parameter carries no dimension by name, but the
+body pins it to ps by adding it to ``delay`` — so the call below passing a
+resistance is a cross-function unit mix that per-file R006 cannot see.
+"""
+
+
+def total_delay(delay, extra):
+    return delay + extra
+
+
+def mix_caller(delay, resistance):
+    return total_delay(delay, resistance)  # line 14: Ω into a ps parameter

@@ -1,0 +1,9 @@
+"""Negative case for R007: dimensionally consistent cross-function calls."""
+
+
+def combined_delay(delay, padding):
+    return delay + padding
+
+
+def clean_caller(delay, arrival):
+    return combined_delay(delay, arrival)  # ps into a ps parameter: fine

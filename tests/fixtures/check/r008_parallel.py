@@ -1,0 +1,18 @@
+"""Seeded violations for R008: parallel-unsafe executor submissions.
+
+``unsafe_job`` is worker-reachable (submitted with ``workers=4``) and
+writes a module-level dict; the second submission hands the pool a lambda,
+which cannot cross the process pipe.
+"""
+
+_CACHE = {}
+
+
+def unsafe_job(item):
+    _CACHE[item] = item  # line 12: worker-side shared-state write
+    return item
+
+
+def submit_unsafe(jobs):
+    run_jobs(unsafe_job, jobs, workers=4)
+    run_jobs(lambda item: item, jobs, workers=4)  # line 18: unpicklable

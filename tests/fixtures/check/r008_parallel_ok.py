@@ -1,0 +1,10 @@
+"""Negative case for R008: module-level pure job, inline closures only."""
+
+
+def safe_job(item):
+    return [item]
+
+
+def submit_safe(jobs):
+    run_jobs(safe_job, jobs, workers=4)
+    run_jobs(lambda item: item, jobs, workers=0)  # inline path: closures fine

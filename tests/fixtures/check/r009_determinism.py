@@ -1,0 +1,20 @@
+"""Seeded violations for R009: nondeterminism in engine-reachable compute.
+
+``compute_ard`` is an optimizer entry point, so everything it reaches must
+be a pure function of its inputs; ``_jitter`` consults the module-level
+RNG.  The ``id()`` sort key is flagged anywhere in library code.
+"""
+
+import random
+
+
+def compute_ard(tree):
+    return _jitter(tree)
+
+
+def _jitter(tree):
+    return random.random()  # line 16: module-level RNG in engine compute
+
+
+def unstable_order(nodes):
+    return sorted(nodes, key=lambda n: id(n))  # line 20: address ordering

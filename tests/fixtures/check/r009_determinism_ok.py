@@ -1,0 +1,12 @@
+"""Negative case for R009: a seeded RNG instance threaded explicitly."""
+
+import random
+
+
+def ard_bruteforce(tree, seed):
+    rng = random.Random(seed)
+    return _seeded_jitter(tree, rng)
+
+
+def _seeded_jitter(tree, rng):
+    return rng.random()  # instance RNG, reproducible from the seed

@@ -1,0 +1,19 @@
+"""Seeded violations for R010: protocol drift and a deprecated shim call.
+
+``DriftingEngine`` defines ``path_delay`` so it claims the TimingEngine
+shape, but its ``evaluate`` renamed the protocol's ``tree`` parameter and
+dropped its default.  ``replay_legacy`` calls ``ard`` with the deprecated
+positional assignment argument.
+"""
+
+
+class DriftingEngine:
+    def evaluate(self, routing_tree):  # line 11: signature drift
+        return 0.0
+
+    def path_delay(self, src, dst):
+        return 0.0
+
+
+def replay_legacy(tree, tech, assignment):
+    return ard(tree, tech, assignment)  # line 19: pre-EvalContext shim

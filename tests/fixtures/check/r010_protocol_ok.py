@@ -1,0 +1,13 @@
+"""Negative case for R010: an engine matching the TimingEngine surface."""
+
+
+class ConformingEngine:
+    def evaluate(self, tree=None):
+        return 0.0
+
+    def path_delay(self, src, dst):
+        return 0.0
+
+
+def replay_modern(tree, tech, assignment, context):
+    return ard(tree, tech, context=context)

@@ -13,7 +13,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.ard import ard, compute_ard
-from repro.rctree import ElmoreAnalyzer, TreeBuilder
+from repro.rctree import ElmoreAnalyzer, EvalContext, TreeBuilder
 from repro.tech import Buffer, Repeater, Technology, Terminal
 
 from .conftest import make_terminal, random_topology, two_pin_net, y_net
@@ -51,7 +51,7 @@ class TestAgainstBruteForce:
     def test_two_pin_with_repeater(self):
         t = two_pin_net()
         m = t.insertion_indices()[0]
-        an = ElmoreAnalyzer(t, TECH, {m: REP})
+        an = ElmoreAnalyzer(t, TECH, context=EvalContext(assignment={m: REP}))
         res = compute_ard(an)
         assert res.value == pytest.approx(an.ard_bruteforce())
 
@@ -60,7 +60,7 @@ class TestAgainstBruteForce:
         rng = np.random.default_rng(seed)
         t = random_topology(rng, n_terminals=int(rng.integers(2, 9)))
         assignment = random_assignment(rng, t)
-        an = ElmoreAnalyzer(t, TECH, assignment)
+        an = ElmoreAnalyzer(t, TECH, context=EvalContext(assignment=assignment))
         res = compute_ard(an)
         brute = an.ard_bruteforce()
         assert res.value == pytest.approx(brute, rel=1e-9)
@@ -70,14 +70,14 @@ class TestAgainstBruteForce:
         rng = np.random.default_rng(100 + seed)
         t = random_topology(rng, n_terminals=6)
         assignment = random_assignment(rng, t, p=0.8)
-        an = ElmoreAnalyzer(t, TECH, assignment, include_companion_cap=True)
+        an = ElmoreAnalyzer(t, TECH, context=EvalContext(assignment=assignment, include_companion_cap=True))
         assert compute_ard(an).value == pytest.approx(an.ard_bruteforce(), rel=1e-9)
 
     def test_critical_pair_matches_bruteforce(self):
         rng = np.random.default_rng(42)
         for _ in range(10):
             t = random_topology(rng, n_terminals=7)
-            an = ElmoreAnalyzer(t, TECH, random_assignment(rng, t))
+            an = ElmoreAnalyzer(t, TECH, context=EvalContext(assignment=random_assignment(rng, t)))
             res = compute_ard(an)
             bu, bv, bd = an.critical_pair()
             assert res.value == pytest.approx(bd)
@@ -155,19 +155,19 @@ class TestRepeaterOrientationMatters:
         t = two_pin_net(length=4000.0)
         m = t.insertion_indices()[0]
         # make one terminal source-only so the two orientations differ
-        fwd = ard(t, TECH, {m: ASYM_REP}).value
-        rev = ard(t, TECH, {m: ASYM_REP.reversed()}).value
+        fwd = ard(t, TECH, context=EvalContext(assignment={m: ASYM_REP})).value
+        rev = ard(t, TECH, context=EvalContext(assignment={m: ASYM_REP.reversed()})).value
         # both must match brute force regardless
-        an_f = ElmoreAnalyzer(t, TECH, {m: ASYM_REP})
-        an_r = ElmoreAnalyzer(t, TECH, {m: ASYM_REP.reversed()})
+        an_f = ElmoreAnalyzer(t, TECH, context=EvalContext(assignment={m: ASYM_REP}))
+        an_r = ElmoreAnalyzer(t, TECH, context=EvalContext(assignment={m: ASYM_REP.reversed()}))
         assert fwd == pytest.approx(an_f.ard_bruteforce())
         assert rev == pytest.approx(an_r.ard_bruteforce())
 
     def test_symmetric_repeater_orientation_irrelevant(self):
         t = two_pin_net(length=4000.0)
         m = t.insertion_indices()[0]
-        assert ard(t, TECH, {m: REP}).value == pytest.approx(
-            ard(t, TECH, {m: REP.reversed()}).value
+        assert ard(t, TECH, context=EvalContext(assignment={m: REP})).value == pytest.approx(
+            ard(t, TECH, context=EvalContext(assignment={m: REP.reversed()})).value
         )
 
 
@@ -203,5 +203,5 @@ def test_property_linear_equals_bruteforce(seed, n, p_ins):
     rng = np.random.default_rng(seed)
     t = random_topology(rng, n_terminals=n, p_insertion=p_ins)
     assignment = random_assignment(rng, t, p=0.6)
-    an = ElmoreAnalyzer(t, TECH, assignment)
+    an = ElmoreAnalyzer(t, TECH, context=EvalContext(assignment=assignment))
     assert compute_ard(an).value == pytest.approx(an.ard_bruteforce(), rel=1e-9)

@@ -59,7 +59,10 @@ def lint_fixture(name):
 
 def test_rule_catalogue_is_complete():
     ids = [rule.rule_id for rule in DEFAULT_RULES]
-    assert ids == ["R001", "R002", "R003", "R004", "R005", "R006"]
+    assert ids == [
+        "R001", "R002", "R003", "R004", "R005",
+        "R006", "R007", "R008", "R009", "R010",
+    ]
     assert set(rules_by_id()) == set(ids)
     assert all(rule.description for rule in DEFAULT_RULES)
     assert all(rule.severity in ("error", "warning") for rule in DEFAULT_RULES)
@@ -77,6 +80,10 @@ def test_rule_catalogue_is_complete():
         ("r004_mutable_default.py", "R004", [4]),
         ("r005_tech_mutation.py", "R005", [5]),
         ("r006_dimensions.py", "R006", [5]),
+        ("r007_interproc.py", "R007", [14]),
+        ("r008_parallel.py", "R008", [12, 18]),
+        ("r009_determinism.py", "R009", [16, 20]),
+        ("r010_protocol.py", "R010", [11, 19]),
     ],
 )
 def test_fixture_triggers_exactly_its_rule(fixture, rule_id, lines):
@@ -85,19 +92,32 @@ def test_fixture_triggers_exactly_its_rule(fixture, rule_id, lines):
     assert [f.line for f in findings] == lines
 
 
-def test_clean_fixture_has_no_findings():
-    assert lint_fixture("clean.py") == []
+@pytest.mark.parametrize(
+    "fixture",
+    [
+        "clean.py",
+        "r007_interproc_ok.py",
+        "r008_parallel_ok.py",
+        "r009_determinism_ok.py",
+        "r010_protocol_ok.py",
+    ],
+)
+def test_clean_fixture_has_no_findings(fixture):
+    assert lint_fixture(fixture) == []
 
 
 def test_fixture_directory_walk_aggregates_all_rules():
-    # lint_paths sees the real paths (under tests/), so R003 is exempted by
-    # the test-file carve-out; every other seeded rule must fire exactly once
+    # lint_paths sees the real paths (under tests/), so the test-file
+    # carve-out silences R003 and the whole-program R008-R010; R007 has no
+    # test exemption (dimension algebra holds in tests too) and must
+    # survive the walk, proving interprocedural edges exist dir-wide
     findings = LintEngine().lint_paths([str(FIXTURES)])
     by_rule = {}
     for f in findings:
         by_rule.setdefault(f.rule_id, []).append(f)
-    assert set(by_rule) == {"R001", "R002", "R004", "R005", "R006"}
+    assert set(by_rule) == {"R001", "R002", "R004", "R005", "R006", "R007"}
     assert len(by_rule["R001"]) == 2
+    assert len(by_rule["R007"]) == 1
 
 
 # -- suppression syntax -------------------------------------------------------
@@ -146,6 +166,68 @@ def test_repro_source_tree_is_clean():
     assert LintEngine().lint_paths([str(SRC)]) == []
 
 
+def test_benchmarks_and_examples_are_clean():
+    """The widened CI gate: benchmarks/ and examples/ lint clean too."""
+    root = SRC.parent
+    findings = LintEngine().lint_paths(
+        [str(root / "benchmarks"), str(root / "examples")]
+    )
+    assert findings == []
+
+
+# -- whole-program analysis: R007 vs the per-file R006 ------------------------
+
+
+_CROSS_FUNCTION_MIX = """\
+def total_delay(delay, extra):
+    return delay + extra
+
+
+def mix_caller(delay, resistance):
+    return total_delay(delay, resistance)
+"""
+
+
+def test_r007_catches_cross_function_mix_that_r006_misses():
+    """The tentpole regression: an Ω value passed into a ps-typed parameter
+    is invisible to per-file name-based inference (``extra`` carries no
+    declared dimension, and the call site has no arithmetic), but the
+    interprocedural pass pins ``extra`` to ps from the callee's body and
+    flags the call."""
+    from repro.check.rules import DimensionRule
+
+    # name-based R006 alone provably misses it...
+    r006_only = LintEngine([DimensionRule()]).lint_source(
+        _CROSS_FUNCTION_MIX, path="mix.py"
+    )
+    assert r006_only == []
+    # ...while the full engine reports exactly the R007 call-site finding
+    findings = LintEngine().lint_source(_CROSS_FUNCTION_MIX, path="mix.py")
+    assert [f.rule_id for f in findings] == ["R007"]
+    assert findings[0].line == 6
+    assert "Ω" in findings[0].message and "ps" in findings[0].message
+
+
+def test_r007_sees_calls_across_file_boundaries(tmp_path):
+    callee = tmp_path / "callee.py"
+    callee.write_text("def total_delay(delay, extra):\n    return delay + extra\n")
+    caller = tmp_path / "caller.py"
+    caller.write_text(
+        "def mix_caller(delay, resistance):\n"
+        "    return total_delay(delay, resistance)\n"
+    )
+    findings = LintEngine().lint_paths([str(tmp_path)])
+    assert [f.rule_id for f in findings] == ["R007"]
+    assert findings[0].path == str(caller)
+
+
+def test_r006_uses_interprocedural_environment():
+    """A parameter with contradictory evidence is erased, not guessed: the
+    callee body stays silent under R006 while R007 indicts the caller."""
+    findings = LintEngine().lint_source(_CROSS_FUNCTION_MIX, path="mix.py")
+    assert not any(f.rule_id == "R006" for f in findings)
+
+
 # -- CLI ----------------------------------------------------------------------
 
 
@@ -176,6 +258,90 @@ def test_repro_msri_lint_subcommand(tmp_path):
     bad.write_text("x = 1.0 != 2.0\n")
     assert repro_main(["lint", str(bad)]) == 1
     assert repro_main(["lint", "--select", "R003", str(bad)]) == 0
+
+
+def test_cli_sarif_output(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("x = 1.0 == 1.0\n")
+    assert lint_main(["--format", "sarif", str(bad)]) == 1
+    log = json.loads(capsys.readouterr().out)
+    assert log["version"] == "2.1.0"
+    run = log["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-lint"
+    rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+    assert rule_ids == [rule.rule_id for rule in DEFAULT_RULES]
+    (result,) = run["results"]
+    assert result["ruleId"] == "R001"
+    assert result["level"] == "error"
+    loc = result["locations"][0]["physicalLocation"]
+    assert loc["region"]["startLine"] == 1
+    assert result["partialFingerprints"]["reproLintFingerprint/v1"]
+
+
+def test_cli_sarif_clean_run_is_schema_shaped(tmp_path, capsys):
+    good = tmp_path / "good.py"
+    good.write_text("x = 1\n")
+    assert lint_main(["--format", "sarif", str(good)]) == 0
+    log = json.loads(capsys.readouterr().out)
+    assert log["runs"][0]["results"] == []
+
+
+def test_baseline_workflow_warn_then_error(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("x = 1.0 == 1.0\n")
+    baseline = tmp_path / "baseline.json"
+    # adopt the existing debt; exit 0
+    assert lint_main(["--write-baseline", str(baseline), str(bad)]) == 0
+    payload = json.loads(baseline.read_text())
+    assert payload["version"] == 1 and len(payload["fingerprints"]) == 1
+    capsys.readouterr()
+    # baselined finding no longer fails the build
+    assert lint_main(["--baseline", str(baseline), str(bad)]) == 0
+    assert "baselined finding(s) suppressed" in capsys.readouterr().out
+    # a new finding still fails, even with the same message elsewhere in file
+    bad.write_text("x = 1.0 == 1.0\ny = 2.0 == 2.0\n")
+    assert lint_main(["--baseline", str(baseline), str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "bad.py:2:" in out and "bad.py:1:" not in out
+
+
+def test_baseline_identical_findings_are_not_conflated(tmp_path):
+    """Two byte-identical violations get distinct occurrence fingerprints:
+    baselining one must not grandfather in a second copy."""
+    bad = tmp_path / "bad.py"
+    bad.write_text("x = 1.0 == 1.0\n")
+    baseline = tmp_path / "baseline.json"
+    assert lint_main(["--write-baseline", str(baseline), str(bad)]) == 0
+    bad.write_text("x = 1.0 == 1.0\nx = 1.0 == 1.0\n")
+    assert lint_main(["--baseline", str(baseline), str(bad)]) == 1
+
+
+def test_malformed_baseline_is_an_error(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("x = 1.0 == 1.0\n")
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text('{"version": 99, "fingerprints": {}}')
+    assert lint_main(["--baseline", str(baseline), str(bad)]) == 2
+
+
+def test_changed_only_outside_scope(tmp_path, capsys):
+    """--changed-only restricted to a scope with no changed files is a
+    clean no-op (tmp_path is outside the repo's changed set)."""
+    from repro.check.cli import run_lint
+
+    scoped = tmp_path / "empty_scope"
+    scoped.mkdir()
+    assert run_lint([str(scoped)], changed_only="HEAD") == 0
+    assert "no changed python files" in capsys.readouterr().out
+
+
+def test_changed_files_reports_relative_paths():
+    """Changed-file discovery returns repo paths scoped to the request."""
+    from repro.check.cli import changed_files
+
+    files = changed_files(["src"], base="HEAD")
+    assert all(f.endswith(".py") for f in files)
+    assert all(f.startswith("src") for f in files)
 
 
 # -- contracts: enablement ----------------------------------------------------

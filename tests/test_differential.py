@@ -23,6 +23,7 @@ import pytest
 from repro.baselines.pairwise import bruteforce_ard
 from repro.check import contracts
 from repro.core.ard import ard
+from repro.rctree.engine import EvalContext
 from repro.netgen.random_nets import random_net
 from repro.netgen.workloads import (
     paper_net_spec,
@@ -81,7 +82,7 @@ class TestARDDifferential:
         with contracts.checking():
             for seed in range(N_NETS):
                 tree, assignment = _random_case(seed)
-                linear = ard(tree, tech, assignment)
+                linear = ard(tree, tech, context=EvalContext(assignment=assignment))
                 brute = bruteforce_ard(tree, tech, assignment)
                 _assert_close(linear.value, brute, f"seed {seed}")
 
@@ -92,7 +93,7 @@ class TestARDDifferential:
                 rng = random.Random(10_000 + seed)
                 tree, assignment = _random_case(seed)
                 tree = _with_random_penalties(tree, rng)
-                linear = ard(tree, tech, assignment)
+                linear = ard(tree, tech, context=EvalContext(assignment=assignment))
                 brute = bruteforce_ard(tree, tech, assignment)
                 _assert_close(linear.value, brute, f"penalized seed {seed}")
 
@@ -101,8 +102,9 @@ class TestARDDifferential:
         with contracts.checking():
             for seed in range(0, N_NETS, 4):
                 tree, assignment = _random_case(seed)
-                result = ard(tree, tech, assignment)
-                analyzer = ElmoreAnalyzer(tree, tech, assignment)
+                context = EvalContext(assignment=assignment)
+                result = ard(tree, tech, context=context)
+                analyzer = ElmoreAnalyzer(tree, tech, context=context)
                 src_t = tree.node(result.source).terminal
                 snk_t = tree.node(result.sink).terminal
                 achieved = (
@@ -137,7 +139,7 @@ class TestARDDifferential:
                 parent = [tree.parent(i) for i in range(len(tree))]
                 lengths = [tree.edge_length(i) for i in range(len(tree))]
                 masked = RoutingTree(nodes, parent, lengths)
-                linear = ard(masked, tech, assignment)
+                linear = ard(masked, tech, context=EvalContext(assignment=assignment))
                 brute = bruteforce_ard(masked, tech, assignment)
                 if not linear.is_finite:
                     assert brute == -math.inf

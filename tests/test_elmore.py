@@ -7,7 +7,7 @@ The hand-computed expectations use the round-number test technology
 import numpy as np
 import pytest
 
-from repro.rctree import ElmoreAnalyzer, TreeBuilder
+from repro.rctree import ElmoreAnalyzer, EvalContext, TreeBuilder
 from repro.tech import Buffer, Repeater
 
 from .conftest import make_terminal, random_topology, two_pin_net, y_net
@@ -77,7 +77,7 @@ class TestCapacitancePasses:
     def test_repeater_decouples_views(self, tech, rep):
         t = two_pin_net()
         m = t.insertion_indices()[0]
-        an = ElmoreAnalyzer(t, tech, {m: rep})
+        an = ElmoreAnalyzer(t, tech, context=EvalContext(assignment={m: rep}))
         a, z = t.terminal_by_name("a"), t.terminal_by_name("z")
         assert an.node_view(m, a) == rep.c_a  # looking down into the repeater
         assert an.node_view(m, z) == rep.c_b  # looking up into the repeater
@@ -89,13 +89,13 @@ class TestCapacitancePasses:
         t = y_net()
         s = t.steiner_indices()[0]
         with pytest.raises(ValueError, match="insertion"):
-            ElmoreAnalyzer(t, tech, {s: rep})
+            ElmoreAnalyzer(t, tech, context=EvalContext(assignment={s: rep}))
 
     def test_assignment_wrong_type_rejected(self, tech):
         t = two_pin_net()
         m = t.insertion_indices()[0]
         with pytest.raises(TypeError):
-            ElmoreAnalyzer(t, tech, {m: "not a repeater"})
+            ElmoreAnalyzer(t, tech, context=EvalContext(assignment={m: "not a repeater"}))
 
 
 class TestPathDelay:
@@ -124,7 +124,7 @@ class TestPathDelay:
     def test_two_pin_with_repeater(self, tech, rep):
         t = two_pin_net()
         m = t.insertion_indices()[0]
-        an = ElmoreAnalyzer(t, tech, {m: rep})
+        an = ElmoreAnalyzer(t, tech, context=EvalContext(assignment={m: rep}))
         a, z = t.terminal_by_name("a"), t.terminal_by_name("z")
         # 575 driver + 137.5 first wire + 295 repeater + 150 second wire
         assert an.path_delay(a, z) == pytest.approx(1157.5)
@@ -135,17 +135,15 @@ class TestPathDelay:
         m = t.insertion_indices()[0]
         a, z = t.terminal_by_name("a"), t.terminal_by_name("z")
         unbuf = ElmoreAnalyzer(t, tech).path_delay(a, z)
-        buf = ElmoreAnalyzer(t, tech, {m: rep}).path_delay(a, z)
+        buf = ElmoreAnalyzer(t, tech, context=EvalContext(assignment={m: rep})).path_delay(a, z)
         assert buf < unbuf
 
     def test_companion_cap_increases_delay(self, tech, rep):
         t = two_pin_net()
         m = t.insertion_indices()[0]
         a, z = t.terminal_by_name("a"), t.terminal_by_name("z")
-        base = ElmoreAnalyzer(t, tech, {m: rep}).path_delay(a, z)
-        comp = ElmoreAnalyzer(
-            t, tech, {m: rep}, include_companion_cap=True
-        ).path_delay(a, z)
+        base = ElmoreAnalyzer(t, tech, context=EvalContext(assignment={m: rep})).path_delay(a, z)
+        comp = ElmoreAnalyzer(t, tech, context=EvalContext(assignment={m: rep}, include_companion_cap=True)).path_delay(a, z)
         assert comp == pytest.approx(base + rep.r_ab * rep.c_b)
 
     def test_self_path_rejected(self, tech):

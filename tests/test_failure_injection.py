@@ -17,7 +17,7 @@ from repro.analysis.campaign import CampaignConfig, run_campaign
 from repro.analysis.executor import Job, run_jobs
 from repro.core.msri import MSRIOptions, insert_repeaters
 from repro.io import tree_from_dict, tree_to_dict
-from repro.rctree import ElmoreAnalyzer, TreeBuilder
+from repro.rctree import ElmoreAnalyzer, EvalContext, TreeBuilder
 from repro.rctree.topology import Node, NodeKind, RoutingTree
 from repro.tech import (
     Buffer,
@@ -91,17 +91,17 @@ class TestCorruptAssignments:
     def test_unknown_node(self):
         t = two_pin_net()
         with pytest.raises(ValueError, match="unknown node"):
-            ElmoreAnalyzer(t, TECH, {999: REP})
+            ElmoreAnalyzer(t, TECH, context=EvalContext(assignment={999: REP}))
 
     def test_negative_node(self):
         t = two_pin_net()
         with pytest.raises(ValueError, match="unknown node"):
-            ElmoreAnalyzer(t, TECH, {-1: REP})
+            ElmoreAnalyzer(t, TECH, context=EvalContext(assignment={-1: REP}))
 
     def test_repeater_on_terminal(self):
         t = two_pin_net()
         with pytest.raises(ValueError, match="insertion"):
-            ElmoreAnalyzer(t, TECH, {t.root: REP})
+            ElmoreAnalyzer(t, TECH, context=EvalContext(assignment={t.root: REP}))
 
 
 class TestCorruptSerializedNets:

@@ -16,6 +16,7 @@ from repro import (
     repeater_insertion_options,
 )
 from repro.core.driver_sizing import apply_option_to_tree
+from repro.rctree import EvalContext
 from repro.io import (
     assignment_from_dict,
     assignment_to_dict,
@@ -48,7 +49,7 @@ class TestPaperWorkloadFlow:
             reps = {
                 k: v for k, v in s.assignment().items() if isinstance(v, Repeater)
             }
-            replay = ard(dressed, tech, reps)
+            replay = ard(dressed, tech, context=EvalContext(assignment=reps))
             assert replay.value == pytest.approx(s.ard, rel=1e-9)
 
     def test_spec_sweep_monotone(self, instance):
@@ -81,7 +82,7 @@ class TestPaperWorkloadFlow:
             json.loads(json.dumps(assignment_to_dict(reps)))
         )
         dressed = apply_option_to_tree(tree, fixed_1x_option())
-        assert ard(dressed, tech, restored).value == pytest.approx(best.ard)
+        assert ard(dressed, tech, context=EvalContext(assignment=restored)).value == pytest.approx(best.ard)
 
 
 class TestSizingVsRepeaterConsistency:

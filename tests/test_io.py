@@ -7,6 +7,7 @@ import numpy as np
 import pytest
 
 from repro.core.ard import ard
+from repro.rctree import EvalContext
 from repro.io import (
     SCHEMA_VERSION,
     assignment_from_dict,
@@ -124,4 +125,4 @@ class TestRepeaterRoundTrip:
         asg2 = assignment_from_dict(
             json.loads(json.dumps(assignment_to_dict(reps)))
         )
-        assert ard(t2, TECH, asg2).value == pytest.approx(best.ard)
+        assert ard(t2, TECH, context=EvalContext(assignment=asg2)).value == pytest.approx(best.ard)

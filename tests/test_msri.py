@@ -15,6 +15,7 @@ import pytest
 
 from repro.analysis.exhaustive import enumerate_assignments, exhaustive_frontier
 from repro.core.ard import ard
+from repro.rctree import EvalContext
 from repro.core.driver_sizing import make_driver_options
 from repro.core.msri import MSRIOptions, insert_repeaters
 from repro.tech import (
@@ -155,7 +156,7 @@ class TestAchievability:
             assignment = {
                 k: v for k, v in s.assignment().items() if isinstance(v, Repeater)
             }
-            replay = ard(t, TECH, assignment)
+            replay = ard(t, TECH, context=EvalContext(assignment=assignment))
             assert replay.value == pytest.approx(s.ard, rel=1e-9)
             cost = sum(r.cost for r in assignment.values())
             assert cost == pytest.approx(s.cost)

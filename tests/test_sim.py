@@ -13,7 +13,7 @@ import pytest
 
 from repro.analysis.exhaustive import is_parity_feasible
 from repro.core.ard import ard
-from repro.rctree import ElmoreAnalyzer
+from repro.rctree import ElmoreAnalyzer, EvalContext
 from repro.sim import simulate_all, simulate_transaction, simulated_ard
 from repro.tech import Buffer, Repeater, Technology
 
@@ -44,7 +44,7 @@ class TestAgainstPathDelay:
         for k, idx in enumerate(t.insertion_indices()):
             if k % 2 == 0:
                 assignment[idx] = REP
-        an = ElmoreAnalyzer(t, TECH, assignment)
+        an = ElmoreAnalyzer(t, TECH, context=EvalContext(assignment=assignment))
         results = simulate_all(t, TECH, assignment)
         for src, res in results.items():
             for sink, ev in res.events.items():
@@ -58,7 +58,7 @@ class TestAgainstPathDelay:
             t = random_topology(rng, n_terminals=5, p_insertion=0.5)
             assignment = {idx: REP for idx in t.insertion_indices()[:2]}
             sim = simulated_ard(t, TECH, assignment)
-            lin = ard(t, TECH, assignment).value
+            lin = ard(t, TECH, context=EvalContext(assignment=assignment)).value
             assert sim == pytest.approx(lin, rel=1e-9)
 
     def test_no_pairs_minus_inf(self):

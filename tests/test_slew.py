@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.rctree import ElmoreAnalyzer
+from repro.rctree import ElmoreAnalyzer, EvalContext
 from repro.rctree.slew import SlewAnalyzer, SlewModel
 from repro.tech import Buffer, Repeater, Technology
 
@@ -31,7 +31,7 @@ class TestCollapseToElmore:
         rng = np.random.default_rng(seed)
         t = random_topology(rng, n_terminals=5, p_insertion=0.6)
         assignment = {idx: REP for idx in t.insertion_indices()[:2]}
-        el = ElmoreAnalyzer(t, TECH, assignment)
+        el = ElmoreAnalyzer(t, TECH, context=EvalContext(assignment=assignment))
         sl = SlewAnalyzer(t, TECH, assignment, SlewModel(slew_to_delay=0.0))
         for u in t.terminal_indices():
             if not t.node(u).terminal.is_source:
@@ -83,7 +83,7 @@ class TestSlewEffects:
         t = two_pin_net(length=8000.0)
         m = t.insertion_indices()[0]
         a, z = t.terminal_by_name("a"), t.terminal_by_name("z")
-        el_gain = ElmoreAnalyzer(t, TECH, {m: REP}).path_delay(a, z) / (
+        el_gain = ElmoreAnalyzer(t, TECH, context=EvalContext(assignment={m: REP})).path_delay(a, z) / (
             ElmoreAnalyzer(t, TECH).path_delay(a, z)
         )
         sl_gain = SlewAnalyzer(t, TECH, {m: REP}).path_delay(a, z) / (

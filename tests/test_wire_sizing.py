@@ -15,7 +15,7 @@ import pytest
 from repro.analysis.exhaustive import exhaustive_frontier
 from repro.core.ard import ard
 from repro.core.msri import MSRIOptions, insert_repeaters
-from repro.rctree import ElmoreAnalyzer
+from repro.rctree import ElmoreAnalyzer, EvalContext
 from repro.tech import (
     Buffer,
     Repeater,
@@ -66,7 +66,7 @@ class TestElmoreWireWidths:
         a, z = t.terminal_by_name("a"), t.terminal_by_name("z")
         base = ElmoreAnalyzer(t, TECH).path_delay(a, z)
         edge = [v for v in range(len(t)) if t.parent(v) is not None][0]
-        wide = ElmoreAnalyzer(t, TECH, wire_widths={edge: 2.0})
+        wide = ElmoreAnalyzer(t, TECH, context=EvalContext(wire_widths={edge: 2.0}))
         # width 2: R = 50, C = 20
         # driver: 100*(0.5 + 20 + 0.5) = 2100; wire: 50*(10 + 0.5) = 525
         assert wide.path_delay(a, z) == pytest.approx(2100.0 + 525.0)
@@ -75,14 +75,14 @@ class TestElmoreWireWidths:
     def test_invalid_widths(self):
         t = two_pin_net()
         with pytest.raises(ValueError):
-            ElmoreAnalyzer(t, TECH, wire_widths={0: 0.0})
+            ElmoreAnalyzer(t, TECH, context=EvalContext(wire_widths={0: 0.0}))
         with pytest.raises(ValueError):
-            ElmoreAnalyzer(t, TECH, wire_widths={t.root: 2.0})
+            ElmoreAnalyzer(t, TECH, context=EvalContext(wire_widths={t.root: 2.0}))
 
     def test_ard_wrapper_passthrough(self):
         t = two_pin_net(length=1000.0, with_insertion=False)
         edge = [v for v in range(len(t)) if t.parent(v) is not None][0]
-        assert ard(t, TECH, wire_widths={edge: 2.0}).value != ard(t, TECH).value
+        assert ard(t, TECH, context=EvalContext(wire_widths={edge: 2.0})).value != ard(t, TECH).value
 
 
 class TestOptionsValidation:
@@ -133,7 +133,7 @@ class TestDPAgainstExhaustive:
             widths = {
                 k: v.width for k, v in asg.items() if isinstance(v, WireClass)
             }
-            replay = ard(t, TECH, reps, wire_widths=widths)
+            replay = ard(t, TECH, context=EvalContext(assignment=reps, wire_widths=widths))
             assert replay.value == pytest.approx(s.ard, rel=1e-9)
 
     def test_every_edge_gets_a_class(self):
