@@ -21,10 +21,12 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-import numpy as np
+try:  # numpy supplies only the RNG and summary statistics here
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    np = None
 
 from ..rctree.engine import EvalContext
-from ..rctree.incremental import IncrementalARD
 from ..rctree.topology import NodeKind, RoutingTree
 from ..tech.buffers import Repeater
 from ..tech.parameters import Technology
@@ -79,21 +81,33 @@ def monte_carlo_ard(
     model: VariationModel = VariationModel(),
     samples: int = 100,
     seed: int = 0,
+    engine: str = "incremental",
 ) -> VariationResult:
     """Sample the ARD under die-to-die parameter variation.
 
-    All samples run on one persistent
-    :class:`~repro.rctree.incremental.IncrementalARD` engine: a sample is a
+    All samples run on one persistent engine: a sample is a
     :meth:`set_wire_scale` (die-to-die wire corner) plus per-terminal and
     per-repeater device overrides — no tree or engine rebuild per sample.
+    ``engine`` names the registered backend carrying the sweep (default
+    ``"incremental"``; ``"flat"`` runs the array kernel instead — see
+    :func:`repro.rctree.registry.engine_names`).  Requires numpy.
     """
+    if np is None:
+        raise RuntimeError("monte_carlo_ard requires numpy (pip install numpy)")
     if samples < 1:
         raise ValueError("need at least one sample")
     rng = np.random.default_rng(seed)
     base_assignment = dict(assignment or {})
-    engine = IncrementalARD(
-        tree, tech, context=EvalContext(assignment=base_assignment)
+    from ..rctree.registry import make_engine
+
+    engine = make_engine(
+        engine, tree, tech, context=EvalContext(assignment=base_assignment)
     )
+    if not hasattr(engine, "set_wire_scale") or not hasattr(engine, "set_terminal"):
+        raise TypeError(
+            f"monte_carlo_ard needs an engine with set_wire_scale()/"
+            f"set_terminal(); {type(engine).__name__} has neither"
+        )
     nominal = engine.evaluate(tree).value
     terminals = [
         (idx, tree.node(idx).terminal)

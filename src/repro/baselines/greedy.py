@@ -56,10 +56,21 @@ def greedy_insertion(
 
     ``engine`` must expose ``evaluate()`` and ``set_assignment(node, rep)``
     over ``tree`` with an initially empty assignment; the default is a
-    fresh :class:`~repro.rctree.incremental.IncrementalARD`.
+    fresh :class:`~repro.rctree.incremental.IncrementalARD`.  A string
+    names a registered engine instead
+    (:func:`repro.rctree.registry.engine_names`, e.g. ``"flat"``).
     """
     if engine is None:
         engine = IncrementalARD(tree, tech)
+    elif isinstance(engine, str):
+        from ..rctree.registry import make_engine
+
+        engine = make_engine(engine, tree, tech)
+    if not hasattr(engine, "set_assignment"):
+        raise TypeError(
+            f"greedy_insertion needs an engine with set_assignment(); "
+            f"{type(engine).__name__} has none"
+        )
     assignment: Dict[int, Repeater] = {}
     current = engine.evaluate(tree).value
     steps = [GreedyStep(0.0, current, dict(assignment))]

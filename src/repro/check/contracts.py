@@ -43,6 +43,7 @@ __all__ = [
     "verify_root_front",
     "verify_ard_consistency",
     "verify_incremental_consistency",
+    "verify_flat_consistency",
 ]
 
 _ENV_VAR = "REPRO_CHECK"
@@ -241,4 +242,32 @@ def verify_incremental_consistency(result, engine) -> None:
         raise ContractViolation(
             f"incremental critical pair ({result.source}, {result.sink}) != "
             f"fresh full pass ({fresh.source}, {fresh.sink})"
+        )
+
+
+def verify_flat_consistency(result, state) -> None:
+    """A flat-kernel evaluation equals the reference record pass — *bit for bit*.
+
+    ``state`` is the :class:`~repro.rctree.incremental.EvalState` capturing
+    the flat engine's current knobs; the reference ``build_records`` /
+    ``finish_root`` replay it from scratch.  The flat kernel is a port of
+    that exact arithmetic, so value and critical pair must match with no
+    tolerance: any difference is a compilation or kernel porting bug, never
+    float drift.
+    """
+    from ..rctree.incremental import build_records, finish_root
+
+    records = build_records(state)
+    value, src, snk = finish_root(state, records)
+    both_undefined = not result.is_finite and not math.isfinite(value)
+    # exact comparison is the contract: the flat kernel ports this arithmetic
+    if not both_undefined and result.value != value:  # repro: noqa[R001]
+        raise ContractViolation(
+            f"flat-kernel ARD {result.value!r} != reference record pass "
+            f"{value!r} (kernel porting bug)"
+        )
+    if (result.source, result.sink) != (src, snk):
+        raise ContractViolation(
+            f"flat-kernel critical pair ({result.source}, {result.sink}) != "
+            f"reference record pass ({src}, {snk})"
         )

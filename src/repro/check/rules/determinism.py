@@ -22,8 +22,15 @@ consults anything that varies between runs:
 ``TimingEngine``-shaped class method (classes defining ``path_delay``)
 plus the optimizer entry points (``insert_repeaters``, ``ard``,
 ``compute_ard``, ``ard_bruteforce``).  The observability and check layers
-are exempt — measuring wall-clock is their job — as is the executor, and
-test files.
+are exempt — measuring wall-clock is their job — as is the executor.
+
+Test and benchmark files get a narrower audit instead of a blanket
+exemption: the differential corpora (``tests/test_flat_differential.py``
+and friends) promise to be re-runnable from a single base seed, so any
+*global-state* RNG use there — ``random.random()``, legacy
+``np.random.*``, a seedless ``default_rng()`` — breaks the promise and is
+flagged.  Clock reads, ``os.environ`` and ``id()`` ordering stay allowed
+in tests (timing assertions and monkeypatching are their business).
 """
 
 from __future__ import annotations
@@ -98,6 +105,7 @@ class DeterminismRule(Rule):
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:
         if _is_test_file(ctx.path):
+            yield from self._check_test_rng(ctx)
             return
         posix = ctx.path.replace("\\", "/")
         if posix.endswith(_EXEMPT_SUFFIXES):
@@ -111,6 +119,44 @@ class DeterminismRule(Rule):
             if fn.qualname not in reachable:
                 continue
             yield from self._check_impure(ctx, fn)
+
+    # -- test/benchmark corpora: global-state RNG only ------------------------
+
+    def _check_test_rng(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted is None:
+                continue
+            parts = dotted.split(".")
+            if len(parts) == 2 and parts[0] == "random" and parts[1] in _PY_RANDOM:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"test corpus uses the module-level RNG "
+                    f"random.{parts[1]}(); derive every draw from a seeded "
+                    f"random.Random(seed) so the corpus replays from one "
+                    f"base seed",
+                )
+            elif (
+                len(parts) >= 3
+                and parts[-2] == "random"
+                and parts[-1] in _NP_RANDOM
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"test corpus uses the legacy numpy global RNG "
+                    f".random.{parts[-1]}(); use np.random.default_rng(seed)",
+                )
+            elif parts[-1] == "default_rng" and not (node.args or node.keywords):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "test corpus creates an OS-entropy default_rng(); pass "
+                    "an explicit seed so the corpus is reproducible",
+                )
 
     # -- id()-based ordering: flagged anywhere in library code ----------------
 

@@ -53,6 +53,7 @@ from .io.serialize import (
     save_tree,
 )
 from .netgen.random_nets import random_net
+from .rctree.registry import engine_names, make_engine
 from .netgen.workloads import (
     PAPER_SPACING_UM,
     driver_sizing_options,
@@ -92,6 +93,13 @@ def build_parser() -> argparse.ArgumentParser:
     a = sub.add_parser("ard", help="compute the augmented RC-diameter")
     a.add_argument("net", help="net JSON path")
     a.add_argument("--assignment", help="repeater assignment JSON path")
+    a.add_argument(
+        "--engine",
+        choices=sorted(engine_names()),
+        default="reference",
+        help="timing engine backend (default: reference; 'flat' runs the "
+        "array kernel, 'flat-numpy' forces the vectorized compiler)",
+    )
 
     o = sub.add_parser("optimize", help="run the MSRI optimizer")
     o.add_argument("net", help="net JSON path")
@@ -137,6 +145,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=PAPER_SPACING_UM,
         help="insertion-point spacing for the written net (0 disables)",
+    )
+    s.add_argument(
+        "--engine",
+        choices=sorted(engine_names()),
+        default="incremental",
+        help="timing engine scoring candidate topologies "
+        "(default: incremental)",
     )
     s.add_argument("--output", "-o", required=True, help="output net JSON path")
 
@@ -287,7 +302,14 @@ def _load_assignment(path: Optional[str]):
 def _cmd_ard(args) -> int:
     tree = load_tree(args.net)
     assignment = _load_assignment(args.assignment)
-    result = ard(tree, paper_technology(), context=EvalContext(assignment=assignment))
+    context = EvalContext(assignment=assignment)
+    if args.engine == "reference":
+        result = ard(tree, paper_technology(), context=context)
+    else:
+        engine = make_engine(
+            args.engine, tree, paper_technology(), context=context
+        )
+        result = engine.evaluate(tree)
     if not result.is_finite:
         print("net has no source/sink pair; ARD is undefined")
         return 1
@@ -395,7 +417,10 @@ def _cmd_synthesize(args) -> int:
         for i, (x, y) in enumerate(points)
     ]
     result = synthesize_topology(
-        terminals, paper_technology(), wirelength_weight=args.wirelength_weight
+        terminals,
+        paper_technology(),
+        wirelength_weight=args.wirelength_weight,
+        engine=args.engine,
     )
     tree = result.tree
     if args.spacing:

@@ -12,7 +12,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-import numpy as np
+try:  # numpy backs only the seeded point sampler; the deterministic
+    # constructors (chain_net / star_net / build_net) never need it
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    np = None
 
 from ..rctree.builder import TreeBuilder
 from ..rctree.topology import RoutingTree
@@ -21,7 +25,14 @@ from ..steiner.steinerize import build_steiner_topology
 from ..tech.parameters import UM_PER_CM
 from ..tech.terminals import Terminal
 
-__all__ = ["NetSpec", "random_points", "build_net", "random_net"]
+__all__ = [
+    "NetSpec",
+    "random_points",
+    "build_net",
+    "random_net",
+    "chain_net",
+    "star_net",
+]
 
 
 @dataclass(frozen=True)
@@ -41,6 +52,8 @@ def random_points(
     """``n`` uniform points on the ``grid x grid`` µm square, seeded."""
     if n < 2:
         raise ValueError("a net needs at least two terminals")
+    if np is None:
+        raise RuntimeError("random_points requires numpy (pip install numpy)")
     rng = np.random.default_rng(seed)
     pts = rng.uniform(0.0, grid, size=(n, 2))
     return [(float(x), float(y)) for x, y in pts]
@@ -99,3 +112,103 @@ def random_net(
     """One seeded experiment instance: points → Steiner tree → candidates."""
     points = random_points(seed, n_terminals, grid)
     return build_net(points, spec, spacing=spacing)
+
+
+def chain_net(
+    n_segments: int,
+    spec: NetSpec = NetSpec(),
+    *,
+    segment_length: float = 200.0,
+) -> RoutingTree:
+    """A degenerate path graph: two terminals joined by a chain of
+    ``n_segments`` wire segments with an insertion point at every interior
+    node (``n_segments + 1`` nodes plus leafification pendants).
+
+    Deterministic and numpy-free — the edge-case/differential corpora use
+    it for depth-stress cases (a 10k-segment chain exercises every
+    traversal's recursion-freedom) without sampling anything.
+    """
+    if n_segments < 1:
+        raise ValueError("a chain needs at least one segment")
+    if segment_length <= 0.0:
+        raise ValueError(f"segment length must be positive, got {segment_length}")
+    builder = TreeBuilder()
+    head = builder.add_terminal(
+        Terminal(
+            name="head",
+            x=0.0,
+            y=0.0,
+            arrival_time=spec.arrival_time,
+            downstream_delay=spec.downstream_delay,
+            capacitance=spec.capacitance,
+            resistance=spec.resistance,
+            intrinsic_delay=spec.intrinsic_delay,
+        )
+    )
+    prev = head
+    for k in range(1, n_segments):
+        node = builder.add_insertion_point(k * segment_length, 0.0)
+        builder.connect(prev, node)
+        prev = node
+    tail = builder.add_terminal(
+        Terminal(
+            name="tail",
+            x=n_segments * segment_length,
+            y=0.0,
+            arrival_time=spec.arrival_time,
+            downstream_delay=spec.downstream_delay,
+            capacitance=spec.capacitance,
+            resistance=spec.resistance,
+            intrinsic_delay=spec.intrinsic_delay,
+        )
+    )
+    builder.connect(prev, tail)
+    return builder.build(root=head)
+
+
+def star_net(
+    n_leaves: int,
+    spec: NetSpec = NetSpec(),
+    *,
+    arm_length: float = 400.0,
+) -> RoutingTree:
+    """A degenerate star: one hub Steiner point fanning out to ``n_leaves``
+    leaf terminals, driven by a root terminal at the hub position.
+
+    Deterministic and numpy-free; maximal fan-out in one combine step is
+    the stress case for the Fig. 2 sibling skip-sums.
+    """
+    if n_leaves < 2:
+        raise ValueError("a star needs at least two leaves")
+    if arm_length <= 0.0:
+        raise ValueError(f"arm length must be positive, got {arm_length}")
+    builder = TreeBuilder()
+    root = builder.add_terminal(
+        Terminal(
+            name="hub",
+            x=0.0,
+            y=0.0,
+            arrival_time=spec.arrival_time,
+            downstream_delay=spec.downstream_delay,
+            capacitance=spec.capacitance,
+            resistance=spec.resistance,
+            intrinsic_delay=spec.intrinsic_delay,
+        )
+    )
+    hub = builder.add_steiner(0.0, 0.0)
+    builder.connect(root, hub)
+    for k in range(n_leaves):
+        leaf = builder.add_terminal(
+            Terminal(
+                name=f"leaf{k}",
+                x=arm_length,
+                y=float(k),
+                arrival_time=spec.arrival_time,
+                downstream_delay=spec.downstream_delay,
+                capacitance=spec.capacitance,
+                resistance=spec.resistance,
+                intrinsic_delay=spec.intrinsic_delay,
+            )
+        )
+        builder.connect(hub, leaf, length=arm_length)
+    return builder.build(root=root)

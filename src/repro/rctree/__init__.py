@@ -1,9 +1,19 @@
-"""Routing-tree data structures and delay engines (Elmore, slew, incremental)."""
+"""Routing-tree data structures and delay engines (Elmore, slew, incremental, flat)."""
 
 from .builder import TreeBuilder, manhattan
 from .elmore import ElmoreAnalyzer
 from .engine import ARDResult, EvalContext, SubtreeTiming, TimingEngine
+from .flat import (
+    HAVE_NUMPY,
+    FlatARDEngine,
+    FlatNet,
+    FlatNetCache,
+    canonical_net_key,
+    compile_net,
+    evaluate_batch,
+)
 from .incremental import IncrementalARD
+from .registry import engine_names, make_engine, resolve_engine_factory
 from .slew import SlewAnalyzer, SlewModel
 from .topology import Node, NodeKind, RoutingTree
 
@@ -16,6 +26,16 @@ __all__ = [
     "TimingEngine",
     "ElmoreAnalyzer",
     "IncrementalARD",
+    "HAVE_NUMPY",
+    "FlatARDEngine",
+    "FlatNet",
+    "FlatNetCache",
+    "canonical_net_key",
+    "compile_net",
+    "evaluate_batch",
+    "engine_names",
+    "make_engine",
+    "resolve_engine_factory",
     "SlewAnalyzer",
     "SlewModel",
     "Node",

@@ -405,6 +405,14 @@ def _prune(candidates):
     """
     if len(candidates) <= 1:
         return tuple(candidates)
+    if len(candidates) == 2:
+        # the general loop specialized to two entries (keep-first on ties)
+        a, b = candidates
+        if a[0] >= b[0] and a[1] >= b[1]:
+            return (a,)
+        if b[0] >= a[0] and b[1] >= a[1]:
+            return (b,)
+        return (a, b)
     kept: List = []
     for cand in candidates:
         dominated = False

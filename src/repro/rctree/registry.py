@@ -1,0 +1,108 @@
+"""Engine registry: construct any :class:`TimingEngine` by name.
+
+PR 3 unified the engines behind one protocol; this registry adds the last
+mile — a *string* spelling usable from CLI flags, config files and
+campaign specs.  Consumers (``greedy_insertion``, ``synthesize_topology``,
+``monte_carlo_ard``, ``repro-msri ard --engine``) accept an engine name
+and resolve it here, so adding a backend is one table entry.
+
+Names
+-----
+``reference`` / ``elmore``
+    :class:`~repro.rctree.elmore.ElmoreAnalyzer` — the full Fig. 2 pass
+    with the per-node timing table.
+``incremental``
+    :class:`~repro.rctree.incremental.IncrementalARD` — persistent records
+    with dirty-path re-propagation; fastest for edit-probe loops.
+``flat``
+    :class:`~repro.rctree.flat.FlatARDEngine` with ``backend="auto"`` —
+    the array-flattened kernel; fastest for evaluate-many workloads.
+``flat-python`` / ``flat-numpy``
+    The flat engine pinned to one compile backend (``flat-numpy`` raises
+    without numpy installed).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..tech.parameters import Technology
+from .elmore import ElmoreAnalyzer
+from .engine import EvalContext, TimingEngine
+from .flat import FlatARDEngine
+from .incremental import IncrementalARD
+from .topology import RoutingTree
+
+__all__ = ["engine_names", "make_engine", "resolve_engine_factory"]
+
+
+def _make_elmore(tree, tech, context):
+    return ElmoreAnalyzer(tree, tech, context=context)
+
+
+def _make_incremental(tree, tech, context):
+    return IncrementalARD(tree, tech, context=context)
+
+
+def _make_flat(tree, tech, context):
+    return FlatARDEngine(tree, tech, context=context, backend="auto")
+
+
+def _make_flat_python(tree, tech, context):
+    return FlatARDEngine(tree, tech, context=context, backend="python")
+
+
+def _make_flat_numpy(tree, tech, context):
+    return FlatARDEngine(tree, tech, context=context, backend="numpy")
+
+
+_BUILDERS: Dict[str, Callable] = {
+    "reference": _make_elmore,
+    "elmore": _make_elmore,
+    "incremental": _make_incremental,
+    "flat": _make_flat,
+    "flat-python": _make_flat_python,
+    "flat-numpy": _make_flat_numpy,
+}
+
+
+def engine_names() -> tuple:
+    """The registered engine names, sorted (for CLI ``choices=``)."""
+    return tuple(sorted(_BUILDERS))
+
+
+def make_engine(
+    name: str,
+    tree: RoutingTree,
+    tech: Technology,
+    *,
+    context: Optional[EvalContext] = None,
+) -> TimingEngine:
+    """Construct the named engine over one tree.
+
+    Raises :class:`ValueError` for unknown names (listing the registry) —
+    a CLI-friendly failure mode.
+    """
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {name!r}; available: {', '.join(engine_names())}"
+        ) from None
+    return builder(tree, tech, context)
+
+
+def resolve_engine_factory(
+    name: str, tech: Technology, *, context: Optional[EvalContext] = None
+) -> Callable[[RoutingTree], TimingEngine]:
+    """A per-tree engine factory for consumers that evaluate many trees
+    (e.g. ``synthesize_topology``), with the name validated eagerly."""
+    if name not in _BUILDERS:
+        raise ValueError(
+            f"unknown engine {name!r}; available: {', '.join(engine_names())}"
+        )
+
+    def factory(tree: RoutingTree) -> TimingEngine:
+        return make_engine(name, tree, tech, context=context)
+
+    return factory

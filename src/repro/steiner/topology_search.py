@@ -82,6 +82,7 @@ def synthesize_topology(
     max_iterations: int = 50,
     root: int = 0,
     engine_factory: Optional[Callable[[RoutingTree], TimingEngine]] = None,
+    engine: Optional[str] = None,
 ) -> SynthesisResult:
     """Search terminal spanning trees for low ARD (plus optional WL term).
 
@@ -93,13 +94,24 @@ def synthesize_topology(
     rebuilt per candidate).  The default is
     :class:`~repro.rctree.incremental.IncrementalARD`, whose single-pass
     record build skips the Eq. 2 pass and the per-node scalar table that a
-    full ``ard()`` would also materialize.
+    full ``ard()`` would also materialize.  ``engine`` names a registered
+    engine (:func:`repro.rctree.registry.engine_names`) as a convenience —
+    pass one or the other, not both.
     """
     if len(terminals) < 2:
         raise ValueError("topology synthesis needs at least two terminals")
     if wirelength_weight < 0.0:
         raise ValueError("wirelength_weight must be non-negative")
 
+    if engine is not None:
+        if engine_factory is not None:
+            raise TypeError(
+                "synthesize_topology: pass either engine= (a registry name) "
+                "or engine_factory=, not both"
+            )
+        from ..rctree.registry import resolve_engine_factory
+
+        engine_factory = resolve_engine_factory(engine, tech)
     if engine_factory is None:
         def engine_factory(tree: RoutingTree) -> TimingEngine:
             return IncrementalARD(tree, tech)

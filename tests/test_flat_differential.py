@@ -1,0 +1,188 @@
+"""Differential lockdown of the flat array kernel against the reference pass.
+
+The flat kernel (:mod:`repro.rctree.flat`) re-derives the Eq. 1 / Eq. 2 /
+Fig. 2 recursions as index loops over contiguous arrays.  Its contract is
+*bit identity* — not closeness — with the reference record pass
+(:func:`repro.core.ard.ard`) and the incremental engine, because every
+float expression was ported with an identical evaluation tree.  This suite
+holds that contract over ~500 randomized nets (varying fan-out, depth,
+degenerate chains and stars, random repeater assignments and wire widths),
+on both compile backends, with the runtime contracts armed
+(``REPRO_CHECK=1`` semantics via :func:`repro.check.contracts.checking`).
+
+Every assertion is ``==`` on floats by design: a single ULP of divergence
+is a porting bug, and rounding-tolerant comparisons would mask it.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.check import contracts
+from repro.core.ard import ard
+from repro.netgen.random_nets import NetSpec, chain_net, random_net, star_net
+from repro.netgen.workloads import (
+    paper_net_spec,
+    paper_repeater_library,
+    paper_technology,
+)
+from repro.rctree.engine import EvalContext
+from repro.rctree.flat import HAVE_NUMPY, FlatARDEngine, evaluate_batch
+from repro.rctree.incremental import IncrementalARD
+
+N_NETS = 500
+BASE_SEED = 0xF1A7
+SPACING_CHOICES = (400.0, 800.0, 1600.0, None)
+
+BACKENDS = ("python", "numpy") if HAVE_NUMPY else ("python",)
+
+
+def _random_case(seed: int):
+    """One net + knobs: random topology, assignment and wire widths.
+
+    Seeds 7 and 8 mod 10 swap in the degenerate constructors (path graphs
+    and stars) so maximal depth and maximal fan-out stay in the corpus.
+    """
+    rng = random.Random((BASE_SEED << 20) | seed)
+    shape = seed % 10
+    if shape == 7:
+        tree = chain_net(rng.randint(1, 40), paper_net_spec())
+    elif shape == 8:
+        tree = star_net(rng.randint(2, 16), paper_net_spec())
+    else:
+        n_pins = rng.randint(3, 9)
+        spacing = SPACING_CHOICES[rng.randrange(len(SPACING_CHOICES))]
+        tree = random_net(seed, n_pins, paper_net_spec(), spacing=spacing)
+
+    options = paper_repeater_library().oriented_options()
+    assignment = {
+        idx: rng.choice(options)
+        for idx in tree.insertion_indices()
+        if rng.random() < 0.3
+    }
+    widths = {
+        idx: rng.uniform(0.5, 3.0)
+        for idx in range(len(tree))
+        if idx != tree.root and rng.random() < 0.2
+    }
+    context = EvalContext(
+        assignment=assignment or None,
+        wire_widths=widths or None,
+        include_companion_cap=(seed % 7 == 3),
+    )
+    return tree, context
+
+
+def _assert_timing_identical(flat_timing, ref_timing, context: str) -> None:
+    """Full per-node A_v / D_v / Z_v vectors, bit-for-bit."""
+    assert set(flat_timing) == set(ref_timing), f"{context}: node sets differ"
+    for v in ref_timing:
+        f, r = flat_timing[v], ref_timing[v]
+        assert f == r, f"{context}: node {v}: flat {f!r} != reference {r!r}"
+
+
+class TestFlatDifferential:
+    def test_bit_identical_to_reference_on_500_nets(self):
+        tech = paper_technology()
+        checked = 0
+        with contracts.checking():
+            for seed in range(N_NETS):
+                tree, context = _random_case(seed)
+                ref = ard(tree, tech, context=context)
+                inc = IncrementalARD(tree, tech, context=context).evaluate()
+                assert inc.value == ref.value
+                assert (inc.source, inc.sink) == (ref.source, ref.sink)
+                for backend in BACKENDS:
+                    engine = FlatARDEngine(
+                        tree,
+                        tech,
+                        context=context,
+                        backend=backend,
+                        include_timing=True,
+                    )
+                    res = engine.evaluate()
+                    ctx = f"seed {seed} backend {backend}"
+                    assert res.value == ref.value, (
+                        f"{ctx}: {res.value!r} != {ref.value!r}"
+                    )
+                    assert (res.source, res.sink) == (ref.source, ref.sink), ctx
+                    _assert_timing_identical(res.timing, ref.timing, ctx)
+                checked += 1
+        assert checked == N_NETS
+
+    def test_path_delays_identical_across_engines(self):
+        """Every source→sink path delay agrees with both reference engines."""
+        from repro.rctree.elmore import ElmoreAnalyzer
+
+        tech = paper_technology()
+        with contracts.checking():
+            for seed in range(0, N_NETS, 25):
+                tree, context = _random_case(seed)
+                elmore = ElmoreAnalyzer(tree, tech, context=context)
+                inc = IncrementalARD(tree, tech, context=context)
+                flat = FlatARDEngine(tree, tech, context=context)
+                terminals = tree.terminal_indices()
+                sources = [
+                    t
+                    for t in terminals
+                    if tree.node(t).terminal.is_source
+                ]
+                for src in sources:
+                    for dst in terminals:
+                        if dst == src:
+                            continue
+                        want = elmore.path_delay(src, dst)
+                        assert inc.path_delay(src, dst) == want, (seed, src, dst)
+                        assert flat.path_delay(src, dst) == want, (seed, src, dst)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_batch_evaluation_matches_per_net(self, backend):
+        tech = paper_technology()
+        cases = [_random_case(seed) for seed in range(0, N_NETS, 10)]
+        nets = [tree for tree, _ in cases]
+        contexts = [context for _, context in cases]
+        with contracts.checking():
+            batch = evaluate_batch(
+                nets, tech, contexts=contexts, backend=backend, include_timing=True
+            )
+            assert len(batch) == len(nets)
+            for (tree, context), res in zip(cases, batch):
+                ref = ard(tree, tech, context=context)
+                assert res.value == ref.value
+                assert (res.source, res.sink) == (ref.source, ref.sink)
+                _assert_timing_identical(res.timing, ref.timing, "batch")
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="needs both compile backends")
+    def test_backends_agree_with_each_other(self):
+        """python- and numpy-compiled nets produce identical columns."""
+        from repro.rctree.flat import compile_net
+
+        tech = paper_technology()
+        for seed in range(0, N_NETS, 7):
+            tree, context = _random_case(seed)
+            py = compile_net(tree, tech, context, use_numpy=False)
+            np_ = compile_net(tree, tech, context, use_numpy=True)
+            assert py.wire_cap == np_.wire_cap, seed
+            assert py.wire_res == np_.wire_res, seed
+            assert py.leaf_base == np_.leaf_base, seed
+
+    def test_randomized_boundary_penalties(self):
+        """Nonzero alpha/beta terms flow through identically (Sec. III)."""
+        tech = paper_technology()
+        with contracts.checking():
+            for seed in range(40):
+                rng = random.Random(BASE_SEED + seed)
+                spec = NetSpec(
+                    arrival_time=rng.uniform(0.0, 200.0),
+                    downstream_delay=rng.uniform(0.0, 200.0),
+                )
+                tree = random_net(seed, rng.randint(3, 7), spec)
+                ref = ard(tree, tech)
+                for backend in BACKENDS:
+                    res = FlatARDEngine(
+                        tree, tech, backend=backend, include_timing=True
+                    ).evaluate()
+                    assert res.value == ref.value, seed
+                    _assert_timing_identical(res.timing, ref.timing, str(seed))
