@@ -88,7 +88,7 @@ from .tech import (
     scaled_library,
 )
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
     "ard",

@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Union
 
 from ..rctree.engine import ARDResult, EvalContext
-from ..rctree.flat import evaluate_batch
+from ..rctree.flat import FlatNetCache, evaluate_batch
 from ..rctree.topology import RoutingTree
 from ..tech.parameters import Technology
 from .executor import Job, run_jobs
@@ -52,6 +52,7 @@ def evaluate_batch_parallel(
     shard_size: int = 64,
     timeout: Optional[float] = None,
     max_retries: int = 0,
+    cache: Optional[FlatNetCache] = None,
 ) -> List[ARDResult]:
     """Evaluate many nets across ``workers`` processes; results in input order.
 
@@ -62,6 +63,11 @@ def evaluate_batch_parallel(
     enough to keep the pool busy.  ``timeout`` and ``max_retries`` are the
     executor's per-job knobs; a shard that exhausts its retries raises
     :class:`RuntimeError` (partial results are never returned silently).
+
+    ``cache`` (a :class:`~repro.rctree.flat.FlatNetCache`) feeds the
+    serial path only: compiled columns live in this process and cannot
+    cross the process-pool boundary, so sharded runs ignore it — repeat
+    nets are recompiled in the workers rather than shipped as pickles.
     """
     if shard_size < 1:
         raise ValueError(f"shard_size must be positive, got {shard_size}")
@@ -81,6 +87,7 @@ def evaluate_batch_parallel(
             contexts=ctx_list,
             backend=backend,
             include_timing=include_timing,
+            cache=cache,
         )
 
     nets = list(nets)

@@ -194,6 +194,7 @@ def run_campaign(
     resume: bool = False,
     progress: Optional[Callable[[int, int, JobOutcome], None]] = None,
     job_fn: Optional[Callable[[int, int, float], InstanceResult]] = None,
+    engine: Optional[str] = None,
 ) -> Campaign:
     """Execute every job in the grid; always returns a complete Campaign.
 
@@ -206,10 +207,28 @@ def run_campaign(
     ``progress(done, total, outcome)`` is invoked after each freshly
     executed job.  ``job_fn`` swaps the per-job callable — the hook the
     fault-injection tests use; it must be picklable for ``workers>=1``.
+    ``engine`` names a registry engine to bit-identity-check against the
+    reference pass on every job's net (see
+    :func:`~repro.analysis.experiments.verify_engine_agreement`); it is a
+    :func:`functools.partial` over the default job, so it composes with
+    worker pools but not with a custom ``job_fn``.
     """
-    from .. import __version__
+    import functools
 
+    from .. import __version__
+    from ..rctree.registry import engine_names
+
+    if engine is not None and job_fn is not None:
+        raise ValueError("pass engine= or job_fn=, not both")
+    if engine is not None and engine not in engine_names():
+        raise ValueError(
+            f"unknown engine {engine!r}; available: "
+            f"{', '.join(engine_names())}"
+        )
     fn = job_fn if job_fn is not None else run_instance
+    if engine is not None:
+        # module-level function + keyword partial: picklable for workers>=1
+        fn = functools.partial(run_instance, engine=engine)
     keys = config.jobs()
     jobs = [Job(key=key, args=key) for key in keys]
 

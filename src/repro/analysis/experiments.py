@@ -27,7 +27,15 @@ from ..netgen.workloads import (
 )
 from .report import Table
 
-__all__ = ["InstanceResult", "run_instance", "table1", "table2", "table3", "table4"]
+__all__ = [
+    "InstanceResult",
+    "run_instance",
+    "verify_engine_agreement",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+]
 
 
 @dataclass(frozen=True)
@@ -50,12 +58,48 @@ class InstanceResult:
     spacing: float = 0.0        # insertion spacing (um) this instance used
 
 
+def verify_engine_agreement(tree, tech, engine: str) -> None:
+    """Assert the named engine matches the reference engine bit-for-bit.
+
+    The registry engines are contractually bit-identical on any net; this
+    guard evaluates the bare tree through both and raises
+    :class:`RuntimeError` on the first disagreement.  (The optimizer's DP
+    ``base_ard`` is *not* comparable — it includes driver-stage terms the
+    bare-tree engines deliberately exclude.)
+    """
+    from ..rctree.registry import make_engine
+
+    named = make_engine(engine, tree, tech).evaluate(tree)
+    reference = make_engine("reference", tree, tech).evaluate(tree)
+    if (named.value, named.source, named.sink) != (
+        reference.value,
+        reference.source,
+        reference.sink,
+    ):
+        raise RuntimeError(
+            f"engine {engine!r} disagrees with the reference pass: "
+            f"{named.value!r} ({named.source}->{named.sink}) vs "
+            f"{reference.value!r} ({reference.source}->{reference.sink})"
+        )
+
+
 def run_instance(
-    seed: int, n_pins: int, spacing: float = PAPER_SPACING_UM
+    seed: int,
+    n_pins: int,
+    spacing: float = PAPER_SPACING_UM,
+    *,
+    engine: Optional[str] = None,
 ) -> InstanceResult:
-    """Evaluate one net in both optimization modes."""
+    """Evaluate one net in both optimization modes.
+
+    ``engine`` optionally names a registry engine to cross-check against
+    the reference pass on this instance's net (a per-job bit-identity
+    guard for campaigns run with ``--engine``).
+    """
     tech = paper_technology()
     tree = paper_instance(seed, n_pins, spacing)
+    if engine is not None and engine not in ("reference", "elmore"):
+        verify_engine_agreement(tree, tech, engine)
 
     sizing = insert_repeaters(tree, tech, driver_sizing_options())
     repeater = insert_repeaters(tree, tech, repeater_insertion_options())

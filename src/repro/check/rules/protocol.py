@@ -1,4 +1,4 @@
-"""R010 — ``TimingEngine`` protocol conformance and deprecated-shim calls.
+"""R010 — engine protocol conformance and removed-shim calls.
 
 The PR-3 ``TimingEngine`` protocol is structural: nothing but convention
 keeps a backend engine's surface aligned with it, and a drifted method
@@ -12,13 +12,22 @@ engine renamed.  This rule makes the contract static:
   protocol class when it is in the linted set, so the rule follows the
   protocol if it evolves; a built-in spec is the fallback for partial
   lints.
-* no internal module may call the deprecated pre-``EvalContext`` shims:
+* every editable-shaped class (a class defining at least three of the
+  five ``EditableEngine`` edit methods) must define **all** five with
+  matching signatures — ``set_assignment`` / ``set_terminal`` /
+  ``set_wire_width`` / ``set_wire_scale`` / ``reroot``.  The session
+  server dispatches edits structurally against ``EditableEngine``, so a
+  partial or drifted edit surface fails only when a client streams the
+  one edit op the engine renamed.  The three-of-five marker keeps
+  deliberate partial surfaces (e.g. a benchmark baseline with just
+  ``set_assignment``) out of scope.
+* no internal module may call the pre-``EvalContext`` signatures:
   ``ard(tree, tech, assignment)`` / ``ElmoreAnalyzer(tree, tech, ...)``
   with a third positional argument or the legacy ``assignment`` /
-  ``include_companion_cap`` / ``wire_widths`` keywords.  The shims emit
-  ``DeprecationWarning`` at runtime and are slated for removal at v2.0;
-  the modules that *implement* them are exempt, as are test files (the
-  shim regression tests exercise them deliberately).
+  ``include_companion_cap`` / ``wire_widths`` keywords.  These were
+  removed at v2.0 and now raise ``TypeError`` at runtime; the modules
+  that implemented the shims are exempt, as are test files (the removal
+  regression tests exercise them deliberately).
 """
 
 from __future__ import annotations
@@ -38,8 +47,22 @@ _DEFAULT_SPEC: Dict[str, Tuple[List[str], int]] = {
     "path_delay": (["src", "dst"], 0),
 }
 
-#: Callees with deprecated legacy signatures: name → number of modern
-#: positional parameters (anything beyond is the legacy assignment arg).
+#: Fallback spec for the ``EditableEngine`` edit surface.
+_DEFAULT_EDIT_SPEC: Dict[str, Tuple[List[str], int]] = {
+    "set_assignment": (["node", "repeater"], 0),
+    "set_terminal": (["node", "terminal"], 0),
+    "set_wire_width": (["edge", "width"], 0),
+    "set_wire_scale": (["resistance_factor", "capacitance_factor"], 2),
+    "reroot": (["node"], 0),
+}
+
+#: How many edit methods a class must define before the full surface is
+#: required (deliberate partial surfaces stay out of scope).
+_EDIT_MARKER_COUNT = 3
+
+#: Callees whose legacy signatures were removed at v2.0: name → number of
+#: modern positional parameters (anything beyond is the legacy
+#: assignment arg).
 _LEGACY_CALLEES: Dict[str, int] = {"ard": 2, "ElmoreAnalyzer": 2}
 
 _LEGACY_KEYWORDS = frozenset({
@@ -54,45 +77,35 @@ class ProtocolConformanceRule(Rule):
     rule_id = "R010"
     severity = "error"
     description = (
-        "TimingEngine implementation drifts from the protocol surface, "
-        "or internal code calls the deprecated ard/ElmoreAnalyzer shims"
+        "engine implementation drifts from the TimingEngine/EditableEngine "
+        "protocol surface, or internal code calls the removed "
+        "ard/ElmoreAnalyzer legacy signatures"
     )
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:
         project = ctx.project
         if project is None or _is_test_file(ctx.path):
             return
-        spec = self._protocol_spec(project)
+        spec = self._protocol_spec(project, "TimingEngine", _DEFAULT_SPEC)
+        edit_spec = self._protocol_spec(
+            project, "EditableEngine", _DEFAULT_EDIT_SPEC
+        )
         for cls in project.classes_in(ctx.path):
-            if cls.is_protocol or cls.name == "TimingEngine":
+            if cls.is_protocol or cls.name in ("TimingEngine", "EditableEngine"):
                 continue
-            if "path_delay" not in cls.methods:
-                continue
-            for mname, (want_params, min_defaults) in spec.items():
-                method = cls.methods.get(mname)
-                if method is None:
-                    yield self.finding(
-                        ctx,
-                        cls.node,
-                        f"class {cls.name} defines path_delay() but is "
-                        f"missing the TimingEngine protocol method "
-                        f"{mname}({', '.join(want_params)})",
-                    )
-                    continue
-                got = method.params[: len(want_params)]
-                if got != want_params or method.num_defaults < min_defaults:
-                    yield self.finding(
-                        ctx,
-                        method.node,
-                        f"{cls.name}.{mname}({', '.join(method.params)}) "
-                        f"drifts from the TimingEngine protocol surface "
-                        f"{mname}({', '.join(want_params)})"
-                        + (
-                            f" with {min_defaults} trailing default(s)"
-                            if min_defaults
-                            else ""
-                        ),
-                    )
+            if "path_delay" in cls.methods:
+                yield from self._check_surface(
+                    ctx, cls, spec, "TimingEngine", "path_delay()"
+                )
+            defined = sum(1 for m in edit_spec if m in cls.methods)
+            if defined >= _EDIT_MARKER_COUNT:
+                yield from self._check_surface(
+                    ctx,
+                    cls,
+                    edit_spec,
+                    "EditableEngine",
+                    f"{defined} of {len(edit_spec)} edit methods",
+                )
         posix = ctx.path.replace("\\", "/")
         if posix.endswith(_SHIM_SUFFIXES):
             return
@@ -110,27 +123,56 @@ class ProtocolConformanceRule(Rule):
                     ctx,
                     call,
                     f"{name}() called with a positional assignment argument; "
-                    f"the pre-EvalContext signature is deprecated for "
-                    f"removal at v2.0 — pass "
+                    f"the pre-EvalContext signature was removed at v2.0 "
+                    f"and raises TypeError — pass "
                     f"context=EvalContext(assignment=...)",
                 )
             elif legacy_kw:
                 yield self.finding(
                     ctx,
                     call,
-                    f"{name}() called with deprecated keyword(s) "
+                    f"{name}() called with legacy keyword(s) "
                     f"{sorted(legacy_kw)}; pass context=EvalContext(...) "
-                    f"instead (removal at v2.0)",
+                    f"instead (removed at v2.0, raises TypeError)",
+                )
+
+    def _check_surface(self, ctx, cls, spec, proto_name, marker):
+        for mname, (want_params, min_defaults) in spec.items():
+            method = cls.methods.get(mname)
+            if method is None:
+                yield self.finding(
+                    ctx,
+                    cls.node,
+                    f"class {cls.name} defines {marker} but is missing "
+                    f"the {proto_name} protocol method "
+                    f"{mname}({', '.join(want_params)})",
+                )
+                continue
+            got = method.params[: len(want_params)]
+            if got != want_params or method.num_defaults < min_defaults:
+                yield self.finding(
+                    ctx,
+                    method.node,
+                    f"{cls.name}.{mname}({', '.join(method.params)}) "
+                    f"drifts from the {proto_name} protocol surface "
+                    f"{mname}({', '.join(want_params)})"
+                    + (
+                        f" with {min_defaults} trailing default(s)"
+                        if min_defaults
+                        else ""
+                    ),
                 )
 
     @staticmethod
-    def _protocol_spec(project) -> Dict[str, Tuple[List[str], int]]:
-        proto = project.class_named("TimingEngine")
+    def _protocol_spec(
+        project, proto_name: str, fallback: Dict[str, Tuple[List[str], int]]
+    ) -> Dict[str, Tuple[List[str], int]]:
+        proto = project.class_named(proto_name)
         if proto is None or not proto.methods:
-            return _DEFAULT_SPEC
+            return fallback
         spec: Dict[str, Tuple[List[str], int]] = {}
         for name, method in proto.methods.items():
             if name.startswith("_"):
                 continue
             spec[name] = (list(method.params), method.num_defaults)
-        return spec or _DEFAULT_SPEC
+        return spec or fallback

@@ -22,6 +22,15 @@ Subcommands
     ARD-driven topology synthesis: build a timing-optimized Steiner
     topology for a seeded point set (or one loaded from a points file) and
     write the resulting net.
+``campaign``
+    Run a sharded, resumable experiment sweep (Tables II/IV protocol);
+    ``--engine`` adds a per-job bit-identity guard against the reference
+    pass.
+``serve``
+    Start the NDJSON session daemon over the editable engines
+    (``docs/SERVING.md``), or with ``--self-test`` run the in-process
+    concurrent load generator and assert every streamed response is
+    byte-identical to a serial replay.
 ``lint``
     Run the repo-specific static analysis (rules R001-R006, see
     ``docs/STATIC_ANALYSIS.md``) over files or directories; also installed
@@ -53,7 +62,7 @@ from .io.serialize import (
     save_tree,
 )
 from .netgen.random_nets import random_net
-from .rctree.registry import engine_names, make_engine
+from .rctree.registry import editable_engine_names, engine_names, make_engine
 from .netgen.workloads import (
     PAPER_SPACING_UM,
     driver_sizing_options,
@@ -107,6 +116,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--mode",
         choices=["repeater", "sizing", "both"],
         default="repeater",
+    )
+    o.add_argument(
+        "--engine",
+        choices=sorted(engine_names()),
+        help="also measure the input net (bare and, with --spec, under the "
+        "chosen assignment) through this registry engine",
     )
     o.add_argument(
         "--spec",
@@ -222,6 +237,57 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="replay the checkpoint and re-run only missing or failed jobs",
     )
+    c.add_argument(
+        "--engine",
+        choices=sorted(engine_names()),
+        help="bit-identity-check this registry engine against the "
+        "reference pass on every job's net",
+    )
+
+    v = sub.add_parser(
+        "serve",
+        help="run the NDJSON session server (timing-as-a-service; "
+        "see docs/SERVING.md)",
+    )
+    v.add_argument("--host", default="127.0.0.1")
+    v.add_argument(
+        "--port",
+        type=int,
+        default=8642,
+        help="listen port (0 = OS-assigned; default 8642)",
+    )
+    v.add_argument(
+        "--engine",
+        choices=sorted(editable_engine_names()),
+        default="incremental",
+        help="default session engine (editable engines only; "
+        "default: incremental)",
+    )
+    v.add_argument(
+        "--timeout", type=float, default=30.0, help="per-request timeout (s)"
+    )
+    v.add_argument(
+        "--ttl", type=float, default=300.0, help="idle-session eviction TTL (s)"
+    )
+    v.add_argument(
+        "--max-frame-bytes",
+        type=int,
+        default=1 << 20,
+        help="reject frames longer than this many bytes",
+    )
+    v.add_argument(
+        "--self-test",
+        action="store_true",
+        help="start an ephemeral server, run the concurrent load generator "
+        "against it, verify byte-identical responses, and exit",
+    )
+    v.add_argument(
+        "--sessions", type=int, default=8, help="self-test concurrent sessions"
+    )
+    v.add_argument(
+        "--edits", type=int, default=30, help="self-test edits per session"
+    )
+    v.add_argument("--seed", type=int, default=0, help="self-test stream seed")
 
     t = sub.add_parser(
         "trace",
@@ -258,6 +324,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "render": _cmd_render,
         "synthesize": _cmd_synthesize,
         "campaign": _cmd_campaign,
+        "serve": _cmd_serve,
         "lint": _cmd_lint,
         "trace": _cmd_trace,
     }[args.command]
@@ -322,6 +389,9 @@ def _cmd_ard(args) -> int:
 def _cmd_optimize(args) -> int:
     tree = load_tree(args.net)
     tech = paper_technology()
+    if args.engine:
+        bare = make_engine(args.engine, tree, tech).evaluate(tree)
+        print(f"input net ARD ({args.engine} engine): {bare.value:.1f} ps")
     if args.mode == "repeater":
         options = repeater_insertion_options()
     elif args.mode == "sizing":
@@ -353,12 +423,24 @@ def _cmd_optimize(args) -> int:
             f"cost {chosen.cost:.1f}, ARD {chosen.ard:.1f} ps, "
             f"{chosen.repeater_count()} repeaters"
         )
+        reps = {
+            k: v
+            for k, v in chosen.assignment().items()
+            if isinstance(v, Repeater)
+        }
+        if args.engine:
+            measured = make_engine(
+                args.engine,
+                tree,
+                tech,
+                context=EvalContext(assignment=reps),
+            ).evaluate(tree)
+            print(
+                f"net ARD under the chosen assignment "
+                f"({args.engine} engine, driver stages excluded): "
+                f"{measured.value:.1f} ps"
+            )
         if args.save_assignment:
-            reps = {
-                k: v
-                for k, v in chosen.assignment().items()
-                if isinstance(v, Repeater)
-            }
             with open(args.save_assignment, "w") as fh:
                 json.dump(assignment_to_dict(reps), fh, indent=2)
             print(f"assignment written to {args.save_assignment}")
@@ -525,6 +607,7 @@ def _cmd_campaign(args) -> int:
         checkpoint_path=checkpoint,
         resume=args.resume,
         progress=progress,
+        engine=args.engine,
     )
     campaign.save(args.output)
     print()
@@ -538,6 +621,67 @@ def _cmd_campaign(args) -> int:
         print(f"{len(campaign.failures)} job(s) failed; "
               f"re-run with --resume to retry them")
         return 1
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from .serve.server import ServeConfig, run_server, start_in_thread
+
+    if args.self_test:
+        from .serve.loadgen import run_load
+
+        config = ServeConfig(
+            host=args.host,
+            port=0,  # ephemeral: never collide with a real deployment
+            engine=args.engine,
+            request_timeout_s=args.timeout,
+            session_ttl_s=args.ttl,
+            max_frame_bytes=args.max_frame_bytes,
+        )
+        server, stop = start_in_thread(config)
+        try:
+            report = run_load(
+                args.host,
+                server.port,
+                sessions=args.sessions,
+                edits_per_session=args.edits,
+                seed=args.seed,
+                engine=args.engine,
+            )
+        finally:
+            stop()
+        t = Table(
+            f"serve self-test ({args.sessions} concurrent sessions, "
+            f"engine={args.engine})",
+            ["metric", "value"],
+        )
+        t.add_row("edit round-trips", report.edits_total)
+        t.add_row("wall time (s)", f"{report.wall_s:.2f}")
+        t.add_row("throughput (edits/s)", f"{report.throughput_eps:.0f}")
+        t.add_row("p50 latency (ms)", f"{report.p50_ms:.2f}")
+        t.add_row("p99 latency (ms)", f"{report.p99_ms:.2f}")
+        t.add_row("max latency (ms)", f"{report.max_ms:.2f}")
+        t.add_row("byte-identity mismatches", report.mismatches)
+        print(t)
+        for line in report.mismatch_details + report.errors:
+            print(f"  {line}", file=sys.stderr)
+        if not report.ok:
+            print("self-test FAILED", file=sys.stderr)
+            return 1
+        print("self-test passed: all responses byte-identical to the "
+              "serial replay")
+        return 0
+
+    run_server(
+        ServeConfig(
+            host=args.host,
+            port=args.port,
+            engine=args.engine,
+            request_timeout_s=args.timeout,
+            session_ttl_s=args.ttl,
+            max_frame_bytes=args.max_frame_bytes,
+        )
+    )
     return 0
 
 

@@ -43,13 +43,7 @@ from typing import Dict, Optional
 from ..check import contracts
 from ..obs import core as obs
 from ..rctree.elmore import ElmoreAnalyzer
-from ..rctree.engine import (
-    ARDResult,
-    EvalContext,
-    SubtreeTiming,
-    UNSET,
-    resolve_eval_context,
-)
+from ..rctree.engine import ARDResult, EvalContext, SubtreeTiming
 from ..rctree.incremental import (
     EvalState,
     build_records,
@@ -98,23 +92,13 @@ def compute_ard(analyzer: ElmoreAnalyzer) -> ARDResult:
 def ard(
     tree: RoutingTree,
     tech: Technology,
-    assignment: object = UNSET,
     *,
-    include_companion_cap: object = UNSET,
-    wire_widths: object = UNSET,
     context: Optional[EvalContext] = None,
 ) -> ARDResult:
     """Convenience wrapper building the analyzer and running Fig. 2.
 
-    Pass ``context=EvalContext(...)``; the individual ``assignment`` /
-    ``include_companion_cap`` / ``wire_widths`` arguments are deprecated
-    shims kept for backward compatibility.
+    All evaluation knobs travel in ``context=EvalContext(...)``; the
+    pre-context per-knob arguments (``assignment`` and friends) were
+    removed at v2.0 and now raise :class:`TypeError`.
     """
-    context = resolve_eval_context(
-        context,
-        assignment=assignment,
-        include_companion_cap=include_companion_cap,
-        wire_widths=wire_widths,
-        caller="ard()",
-    )
     return compute_ard(ElmoreAnalyzer(tree, tech, context=context))

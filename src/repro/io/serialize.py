@@ -37,20 +37,33 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from ..analysis.campaign import Campaign
     from ..analysis.executor import JobFailure, JobMetrics
     from ..analysis.experiments import InstanceResult
+    from ..rctree.engine import ARDResult, EvalContext, SubtreeTiming
 
 __all__ = [
     "SCHEMA_VERSION",
     "CAMPAIGN_SCHEMA",
+    "SERVE_SCHEMA",
+    "WireProtocolError",
+    "encode_frame",
+    "decode_frame",
     "tree_to_dict",
     "tree_from_dict",
     "save_tree",
     "load_tree",
+    "terminal_to_dict",
+    "terminal_from_dict",
     "technology_to_dict",
     "technology_from_dict",
     "repeater_to_dict",
     "repeater_from_dict",
     "assignment_to_dict",
     "assignment_from_dict",
+    "eval_context_to_dict",
+    "eval_context_from_dict",
+    "subtree_timing_to_dict",
+    "subtree_timing_from_dict",
+    "ard_result_to_dict",
+    "ard_result_from_dict",
     "instance_result_to_dict",
     "instance_result_from_dict",
     "job_failure_to_dict",
@@ -66,6 +79,9 @@ SCHEMA_VERSION = 1
 #: Current version of the campaign record format (see module docstring).
 CAMPAIGN_SCHEMA = 3
 
+#: Version of the session-server NDJSON wire protocol (docs/SERVING.md).
+SERVE_SCHEMA = 1
+
 #: JSON has no -inf literal; encode the NEVER sentinel explicitly.
 _NEVER_TOKEN = "never"
 
@@ -80,6 +96,20 @@ def _denum(value: Any) -> float:
     if value == _NEVER_TOKEN:
         return -math.inf
     return float(value)
+
+
+def terminal_to_dict(t: Terminal) -> Dict[str, Any]:
+    """One terminal's timing/electrical payload as a JSON-ready dict.
+
+    Public since the serve wire protocol ships terminal payloads in
+    ``set_terminal`` edit frames; the tree codec uses it per node.
+    """
+    return _terminal_to_dict(t)
+
+
+def terminal_from_dict(d: Dict[str, Any]) -> Terminal:
+    """Inverse of :func:`terminal_to_dict`."""
+    return _terminal_from_dict(d)
 
 
 def _terminal_to_dict(t: Terminal) -> Dict[str, Any]:
@@ -204,6 +234,178 @@ def assignment_to_dict(assignment: Dict[int, Repeater]) -> Dict[str, Any]:
 
 def assignment_from_dict(data: Dict[str, Any]) -> Dict[int, Repeater]:
     return {int(idx): repeater_from_dict(d) for idx, d in data.items()}
+
+
+def eval_context_to_dict(context: "EvalContext") -> Dict[str, Any]:
+    """An :class:`~repro.rctree.engine.EvalContext` as a JSON-ready dict."""
+    d: Dict[str, Any] = {}
+    if context.assignment:
+        d["assignment"] = assignment_to_dict(dict(context.assignment))
+    if context.wire_widths:
+        d["wire_widths"] = {
+            str(idx): float(w) for idx, w in context.wire_widths.items()
+        }
+    if context.include_companion_cap:
+        d["include_companion_cap"] = True
+    return d
+
+
+def eval_context_from_dict(d: Dict[str, Any]) -> "EvalContext":
+    """Inverse of :func:`eval_context_to_dict` (missing keys → defaults)."""
+    from ..rctree.engine import EvalContext
+
+    return EvalContext(
+        assignment=(
+            assignment_from_dict(d["assignment"]) if d.get("assignment") else None
+        ),
+        wire_widths=(
+            {int(i): float(w) for i, w in d["wire_widths"].items()}
+            if d.get("wire_widths")
+            else None
+        ),
+        include_companion_cap=bool(d.get("include_companion_cap", False)),
+    )
+
+
+# -- serve wire protocol (NDJSON frames, docs/SERVING.md) -----------------------
+
+
+class WireProtocolError(ValueError):
+    """A frame that cannot be decoded or fails schema validation.
+
+    ``code`` is the wire error code the server reports back to the client
+    (``bad-frame`` for bytes that are not a JSON object line,
+    ``bad-request`` for a well-formed object violating the protocol).
+    """
+
+    def __init__(self, message: str, *, code: str = "bad-frame"):
+        super().__init__(message)
+        self.code = code
+
+
+def encode_frame(obj: Dict[str, Any]) -> bytes:
+    """One NDJSON wire frame: compact key-sorted JSON plus a newline.
+
+    Key sorting makes the byte stream deterministic, so clients can
+    compare streamed responses byte-for-byte against serially recomputed
+    ones.  Floats round-trip exactly (``repr`` shortest form decodes to
+    the same IEEE-754 double); non-finite floats are rejected — the NEVER
+    sentinel must travel as the ``"never"`` token (see :func:`_num`),
+    never as a bare ``-Infinity``.
+    """
+    try:
+        text = json.dumps(
+            obj, separators=(",", ":"), sort_keys=True, allow_nan=False
+        )
+    except ValueError as exc:
+        raise WireProtocolError(
+            f"frame not JSON-encodable: {exc}", code="bad-request"
+        ) from exc
+    return (text + "\n").encode("utf-8")
+
+
+def decode_frame(line: Any) -> Dict[str, Any]:
+    """Parse one wire line into a frame dict, validating the envelope.
+
+    Accepts ``bytes`` or ``str``.  Raises :class:`WireProtocolError` with
+    ``code="bad-frame"`` for bytes that are not one JSON object
+    (truncated, binary junk, arrays, bare scalars) and
+    ``code="bad-request"`` for an object whose ``schema`` is missing or
+    unsupported.
+    """
+    if isinstance(line, (bytes, bytearray)):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise WireProtocolError(f"frame is not UTF-8: {exc}") from exc
+    if not isinstance(line, str) or not line.strip():
+        raise WireProtocolError("empty frame")
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise WireProtocolError(f"frame is not JSON: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise WireProtocolError(
+            f"frame must be a JSON object, got {type(obj).__name__}"
+        )
+    schema = obj.get("schema")
+    if schema != SERVE_SCHEMA:
+        raise WireProtocolError(
+            f"unsupported serve schema: {schema!r} (this server speaks "
+            f"{SERVE_SCHEMA})",
+            code="bad-request",
+        )
+    return obj
+
+
+def subtree_timing_to_dict(st: "SubtreeTiming") -> Dict[str, Any]:
+    """One per-node Fig. 2 timing record as a JSON-ready dict."""
+    return {
+        "arrival": _num(st.arrival),
+        "arrival_source": st.arrival_source,
+        "required": _num(st.required),
+        "required_sink": st.required_sink,
+        "diameter": _num(st.diameter),
+        "diameter_pair": (
+            list(st.diameter_pair) if st.diameter_pair is not None else None
+        ),
+    }
+
+
+def subtree_timing_from_dict(d: Dict[str, Any]) -> "SubtreeTiming":
+    """Inverse of :func:`subtree_timing_to_dict`."""
+    from ..rctree.engine import SubtreeTiming
+
+    pair = d.get("diameter_pair")
+    return SubtreeTiming(
+        arrival=_denum(d["arrival"]),
+        arrival_source=(
+            None if d.get("arrival_source") is None else int(d["arrival_source"])
+        ),
+        required=_denum(d["required"]),
+        required_sink=(
+            None if d.get("required_sink") is None else int(d["required_sink"])
+        ),
+        diameter=_denum(d["diameter"]),
+        diameter_pair=None if pair is None else (int(pair[0]), int(pair[1])),
+    )
+
+
+def ard_result_to_dict(
+    result: "ARDResult", *, include_timing: bool = False
+) -> Dict[str, Any]:
+    """An :class:`~repro.rctree.engine.ARDResult` as a JSON-ready dict.
+
+    ``timing`` (the per-node table) is shipped only on request — it is
+    O(n) per response and most serve clients only want the scalar ARD and
+    the critical pair.
+    """
+    d: Dict[str, Any] = {
+        "value": _num(result.value),
+        "source": result.source,
+        "sink": result.sink,
+    }
+    if include_timing:
+        d["timing"] = {
+            str(v): subtree_timing_to_dict(st)
+            for v, st in result.timing.items()
+        }
+    return d
+
+
+def ard_result_from_dict(d: Dict[str, Any]) -> "ARDResult":
+    """Inverse of :func:`ard_result_to_dict` (absent timing → empty table)."""
+    from ..rctree.engine import ARDResult
+
+    return ARDResult(
+        value=_denum(d["value"]),
+        source=None if d.get("source") is None else int(d["source"]),
+        sink=None if d.get("sink") is None else int(d["sink"]),
+        timing={
+            int(v): subtree_timing_from_dict(st)
+            for v, st in d.get("timing", {}).items()
+        },
+    )
 
 
 # -- campaign records (schema v3, v1/v2 read-compat) ---------------------------

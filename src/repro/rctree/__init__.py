@@ -2,7 +2,13 @@
 
 from .builder import TreeBuilder, manhattan
 from .elmore import ElmoreAnalyzer
-from .engine import ARDResult, EvalContext, SubtreeTiming, TimingEngine
+from .engine import (
+    ARDResult,
+    EditableEngine,
+    EvalContext,
+    SubtreeTiming,
+    TimingEngine,
+)
 from .flat import (
     HAVE_NUMPY,
     FlatARDEngine,
@@ -13,7 +19,13 @@ from .flat import (
     evaluate_batch,
 )
 from .incremental import IncrementalARD
-from .registry import engine_names, make_engine, resolve_engine_factory
+from .registry import (
+    editable_engine_names,
+    engine_names,
+    make_editable_engine,
+    make_engine,
+    resolve_engine_factory,
+)
 from .slew import SlewAnalyzer, SlewModel
 from .topology import Node, NodeKind, RoutingTree
 
@@ -24,6 +36,7 @@ __all__ = [
     "EvalContext",
     "SubtreeTiming",
     "TimingEngine",
+    "EditableEngine",
     "ElmoreAnalyzer",
     "IncrementalARD",
     "HAVE_NUMPY",
@@ -34,7 +47,9 @@ __all__ = [
     "compile_net",
     "evaluate_batch",
     "engine_names",
+    "editable_engine_names",
     "make_engine",
+    "make_editable_engine",
     "resolve_engine_factory",
     "SlewAnalyzer",
     "SlewModel",

@@ -30,12 +30,7 @@ from ..obs import core as obs
 from ..tech.buffers import Repeater
 from ..tech.parameters import Technology
 from ..tech.terminals import NEVER
-from .engine import (
-    EvalContext,
-    UNSET,
-    check_engine_tree,
-    resolve_eval_context,
-)
+from .engine import EvalContext, check_engine_tree
 from .topology import NodeKind, RoutingTree
 
 __all__ = ["ElmoreAnalyzer"]
@@ -67,28 +62,19 @@ class ElmoreAnalyzer:
         ``w``-wide wire has resistance ``R/w`` and capacitance ``w*C``),
         and the ``include_companion_cap`` crossing-delay model.
 
-    The individual ``assignment`` / ``include_companion_cap`` /
-    ``wire_widths`` arguments are deprecated shims for the pre-context
-    signature; they emit a :class:`DeprecationWarning`.
+    ``context`` is the only way to pass the knobs: the pre-context
+    per-knob arguments were removed at v2.0 and now raise
+    :class:`TypeError` (docs/API.md).
     """
 
     def __init__(
         self,
         tree: RoutingTree,
         tech: Technology,
-        assignment: object = UNSET,
         *,
-        include_companion_cap: object = UNSET,
-        wire_widths: object = UNSET,
         context: Optional[EvalContext] = None,
     ):
-        context = resolve_eval_context(
-            context,
-            assignment=assignment,
-            include_companion_cap=include_companion_cap,
-            wire_widths=wire_widths,
-            caller="ElmoreAnalyzer()",
-        )
+        context = context if context is not None else EvalContext()
         self._tree = tree
         self._tech = tech
         self._assignment: Dict[int, Repeater] = dict(context.assignment or {})

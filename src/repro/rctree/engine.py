@@ -13,24 +13,32 @@ convention.  This module defines the one surface they all share:
   returning an :class:`ARDResult` and ``path_delay(u, v)``, so consumers
   (baselines, analysis, reporting) can take *an engine* instead of
   hard-coding one implementation;
+* :class:`EditableEngine` — the protocol of *persistent* engines that also
+  accept in-place edits (``set_assignment`` / ``set_terminal`` /
+  ``set_wire_width`` / ``set_wire_scale`` / ``reroot``), the surface the
+  session server (``repro.serve``) dispatches against;
 * :class:`ARDResult` / :class:`SubtreeTiming` — the result types, moved
   here from ``repro.core.ard`` (which re-exports them) so every engine can
   return them without importing the optimizer core.
 
-Engines implementing the protocol: ``ElmoreAnalyzer`` (full Fig. 2 pass),
-``SlewAnalyzer`` (slew-aware pair enumeration), ``IncrementalARD``
-(persistent, edit-friendly Fig. 2 records) and ``SimulationEngine``
-(event-driven cross-check).
+Engines implementing ``TimingEngine``: ``ElmoreAnalyzer`` (full Fig. 2
+pass), ``SlewAnalyzer`` (slew-aware pair enumeration), ``IncrementalARD``
+(persistent, edit-friendly Fig. 2 records), ``FlatARDEngine`` (array
+kernel) and ``SimulationEngine`` (event-driven cross-check).
+``IncrementalARD`` and ``FlatARDEngine`` additionally implement
+``EditableEngine``.
+
+As of v2.0 the engines take their knobs exclusively as one keyword-only
+``context=EvalContext(...)``; the pre-context per-knob shims
+(``ard(tree, tech, assignment)`` and friends) were removed and now raise
+:class:`TypeError` — see docs/API.md for the migration table.
 """
 
 from __future__ import annotations
 
 import math
-import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional, Tuple
-
-from ..obs import core as obs
 
 try:  # pragma: no cover - Protocol is typing_extensions-free on >=3.8
     from typing import Protocol, runtime_checkable
@@ -46,8 +54,7 @@ __all__ = [
     "SubtreeTiming",
     "EvalContext",
     "TimingEngine",
-    "resolve_eval_context",
-    "UNSET",
+    "EditableEngine",
 ]
 
 
@@ -115,67 +122,6 @@ class EvalContext:
     include_companion_cap: bool = field(default=False, kw_only=True)
 
 
-#: Sentinel distinguishing "argument not supplied" from an explicit ``None``
-#: in the deprecation shims below.
-UNSET = object()
-
-# Legacy per-knob calls that went through the deprecation shim.  A nonzero
-# value in a trace tells you exactly how much code still needs migrating
-# before the shims are removed (naming contract: docs/OBSERVABILITY.md).
-_OBS_DEPRECATED_CALLS = obs.Counter("engine.deprecated_calls")
-
-
-def resolve_eval_context(
-    context: Optional[EvalContext],
-    *,
-    assignment: object = UNSET,
-    include_companion_cap: object = UNSET,
-    wire_widths: object = UNSET,
-    caller: str = "this function",
-) -> EvalContext:
-    """Merge a modern ``context`` with legacy per-knob arguments.
-
-    The legacy arguments (``assignment`` / ``include_companion_cap`` /
-    ``wire_widths``) are accepted for backward compatibility and emit a
-    :class:`DeprecationWarning`; mixing them with ``context`` is an error
-    because the intent would be ambiguous.
-
-    **Removal horizon:** the legacy per-knob signatures will be removed in
-    v2.0 (see docs/API.md).  Each shimmed call also increments the
-    ``engine.deprecated_calls`` observability counter, so a trace of a
-    workload shows how much migration remains.
-    """
-    legacy = {
-        name: value
-        for name, value in (
-            ("assignment", assignment),
-            ("include_companion_cap", include_companion_cap),
-            ("wire_widths", wire_widths),
-        )
-        if value is not UNSET
-    }
-    if not legacy:
-        return context if context is not None else EvalContext()
-    if context is not None:
-        raise TypeError(
-            f"{caller}: pass either context=EvalContext(...) or the legacy "
-            f"arguments {sorted(legacy)}, not both"
-        )
-    if obs.enabled():
-        _OBS_DEPRECATED_CALLS.add()
-    warnings.warn(
-        f"{caller}: the {sorted(legacy)} argument(s) are deprecated; pass "
-        "context=EvalContext(...) instead",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-    return EvalContext(
-        assignment=legacy.get("assignment"),
-        wire_widths=legacy.get("wire_widths"),
-        include_companion_cap=bool(legacy.get("include_companion_cap", False)),
-    )
-
-
 @runtime_checkable
 class TimingEngine(Protocol):
     """What every timing engine offers consumers.
@@ -193,6 +139,47 @@ class TimingEngine(Protocol):
 
     def path_delay(self, src: int, dst: int) -> float:
         """Source-to-sink delay ``PD(src, dst)`` in ps."""
+        ...  # pragma: no cover - protocol
+
+
+@runtime_checkable
+class EditableEngine(TimingEngine, Protocol):
+    """A persistent :class:`TimingEngine` that accepts in-place edits.
+
+    This is the shared edit surface of :class:`~repro.rctree.incremental.
+    IncrementalARD` and :class:`~repro.rctree.flat.FlatARDEngine`, and the
+    contract the session server (``repro.serve``) dispatches client edit
+    streams against.  Every mutation invalidates the cached result; the
+    next :meth:`TimingEngine.evaluate` reflects the edit.  Edits validate
+    eagerly — a rejected edit raises (``ValueError`` / ``TypeError``)
+    *before* mutating engine state, except where an implementation
+    documents otherwise.
+
+    The positional parameter names below are part of the contract: lint
+    rule R010 (docs/STATIC_ANALYSIS.md) flags implementations whose
+    signatures drift from this protocol.
+    """
+
+    def set_assignment(self, node: int, repeater: object) -> None:
+        """Place (or with ``None`` remove) a repeater at an insertion node."""
+        ...  # pragma: no cover - protocol
+
+    def set_terminal(self, node: int, terminal: object) -> None:
+        """Override the terminal payload of a terminal node."""
+        ...  # pragma: no cover - protocol
+
+    def set_wire_width(self, edge: int, width: object) -> None:
+        """Set (or with ``None`` clear) the width factor of one edge."""
+        ...  # pragma: no cover - protocol
+
+    def set_wire_scale(
+        self, *, resistance_factor: float = 1.0, capacitance_factor: float = 1.0
+    ) -> None:
+        """Set (absolutely, not cumulatively) global wire variation scalars."""
+        ...  # pragma: no cover - protocol
+
+    def reroot(self, node: int) -> None:
+        """Re-orient the engine's tree at ``node``."""
         ...  # pragma: no cover - protocol
 
 

@@ -791,6 +791,51 @@ class FlatARDEngine:
                 net.refresh_leaf_base(v)
         self._invalidate()
 
+    def reroot(self, node: int) -> None:
+        """Re-orient the tree at ``node`` (terminal or branch point).
+
+        Changes every parent relation, so the columns are recompiled from
+        the re-oriented tree (O(n), the engine's normal full-sweep cost);
+        edge width overrides are remapped to the re-oriented edge carriers
+        and terminal overrides / wire scales are replayed — mirroring
+        :meth:`repro.rctree.incremental.IncrementalARD.reroot` so the two
+        editable engines stay bit-identical through structural edits.
+        """
+        net = self._net
+        old = net.tree
+        new_tree = old.rerooted(node)
+        remapped: Dict[int, float] = {}
+        for idx, w in net.widths.items():
+            parent = old.parent(idx)
+            if new_tree.parent(idx) == parent:
+                remapped[idx] = w
+            else:  # the edge flipped: its carrier is now the old parent
+                remapped[parent] = w
+        res_scale, cap_scale = net.res_scale, net.cap_scale
+        self._net = compile_net(
+            new_tree,
+            net.tech,
+            EvalContext(
+                assignment=dict(self._assignment) or None,
+                wire_widths=remapped or None,
+                include_companion_cap=net.companion,
+            ),
+            use_numpy=self._use_numpy,
+        )
+        net = self._net
+        if res_scale != 1.0 or cap_scale != 1.0:  # repro: noqa[R001] 1.0 is the exact "never scaled" default
+            net.res_scale = res_scale
+            net.cap_scale = cap_scale
+            for i in range(net.n):
+                net.refresh_edge(i)
+        for idx, term in self._overrides.items():
+            net.set_terminal_payload(idx, term)
+        if res_scale != 1.0 or cap_scale != 1.0:  # repro: noqa[R001] see above
+            for v in range(net.n):
+                if net.is_term[v]:
+                    net.refresh_leaf_base(v)
+        self._invalidate()
+
     # -- verification hooks -----------------------------------------------------
 
     def fresh_result(self) -> ARDResult:

@@ -56,7 +56,6 @@ from .engine import (
     EvalContext,
     SubtreeTiming,
     check_engine_tree,
-    resolve_eval_context,
 )
 from .topology import NodeKind, RoutingTree
 

@@ -28,32 +28,53 @@ from typing import Callable, Dict, Optional
 
 from ..tech.parameters import Technology
 from .elmore import ElmoreAnalyzer
-from .engine import EvalContext, TimingEngine
+from .engine import EditableEngine, EvalContext, TimingEngine
 from .flat import FlatARDEngine
 from .incremental import IncrementalARD
 from .topology import RoutingTree
 
-__all__ = ["engine_names", "make_engine", "resolve_engine_factory"]
+__all__ = [
+    "engine_names",
+    "editable_engine_names",
+    "make_engine",
+    "make_editable_engine",
+    "resolve_engine_factory",
+]
 
 
-def _make_elmore(tree, tech, context):
+def _make_elmore(tree, tech, context, include_timing):
+    # the full Fig. 2 pass always materializes the timing table
     return ElmoreAnalyzer(tree, tech, context=context)
 
 
-def _make_incremental(tree, tech, context):
+def _make_incremental(tree, tech, context, include_timing):
+    if include_timing:
+        raise ValueError(
+            "engine 'incremental' never materializes per-node timing "
+            "tables; use 'flat' or 'reference' for include_timing=True"
+        )
     return IncrementalARD(tree, tech, context=context)
 
 
-def _make_flat(tree, tech, context):
-    return FlatARDEngine(tree, tech, context=context, backend="auto")
+def _make_flat(tree, tech, context, include_timing):
+    return FlatARDEngine(
+        tree, tech, context=context, backend="auto",
+        include_timing=include_timing,
+    )
 
 
-def _make_flat_python(tree, tech, context):
-    return FlatARDEngine(tree, tech, context=context, backend="python")
+def _make_flat_python(tree, tech, context, include_timing):
+    return FlatARDEngine(
+        tree, tech, context=context, backend="python",
+        include_timing=include_timing,
+    )
 
 
-def _make_flat_numpy(tree, tech, context):
-    return FlatARDEngine(tree, tech, context=context, backend="numpy")
+def _make_flat_numpy(tree, tech, context, include_timing):
+    return FlatARDEngine(
+        tree, tech, context=context, backend="numpy",
+        include_timing=include_timing,
+    )
 
 
 _BUILDERS: Dict[str, Callable] = {
@@ -65,10 +86,45 @@ _BUILDERS: Dict[str, Callable] = {
     "flat-numpy": _make_flat_numpy,
 }
 
+# The class each name constructs — used to classify editability without
+# building a throwaway engine.
+_CLASSES: Dict[str, type] = {
+    "reference": ElmoreAnalyzer,
+    "elmore": ElmoreAnalyzer,
+    "incremental": IncrementalARD,
+    "flat": FlatARDEngine,
+    "flat-python": FlatARDEngine,
+    "flat-numpy": FlatARDEngine,
+}
+
 
 def engine_names() -> tuple:
     """The registered engine names, sorted (for CLI ``choices=``)."""
     return tuple(sorted(_BUILDERS))
+
+
+def editable_engine_names() -> tuple:
+    """Names whose engines satisfy :class:`EditableEngine` (sorted).
+
+    Classified structurally from the engine class, so a new registry entry
+    is picked up without a second table to maintain.
+    """
+    return tuple(
+        name for name in engine_names() if _is_editable(_CLASSES[name])
+    )
+
+
+def _is_editable(cls) -> bool:
+    return all(
+        callable(getattr(cls, attr, None))
+        for attr in (
+            "set_assignment",
+            "set_terminal",
+            "set_wire_width",
+            "set_wire_scale",
+            "reroot",
+        )
+    )
 
 
 def make_engine(
@@ -77,11 +133,15 @@ def make_engine(
     tech: Technology,
     *,
     context: Optional[EvalContext] = None,
+    include_timing: bool = False,
 ) -> TimingEngine:
     """Construct the named engine over one tree.
 
-    Raises :class:`ValueError` for unknown names (listing the registry) —
-    a CLI-friendly failure mode.
+    ``include_timing=True`` requests the per-node timing table on every
+    ``evaluate()``; engines that never materialize it (``incremental``)
+    reject the request eagerly rather than silently returning an empty
+    table.  Raises :class:`ValueError` for unknown names (listing the
+    registry) — a CLI-friendly failure mode.
     """
     try:
         builder = _BUILDERS[name]
@@ -89,7 +149,33 @@ def make_engine(
         raise ValueError(
             f"unknown engine {name!r}; available: {', '.join(engine_names())}"
         ) from None
-    return builder(tree, tech, context)
+    return builder(tree, tech, context, include_timing)
+
+
+def make_editable_engine(
+    name: str,
+    tree: RoutingTree,
+    tech: Technology,
+    *,
+    context: Optional[EvalContext] = None,
+    include_timing: bool = False,
+) -> EditableEngine:
+    """Construct the named engine, requiring the :class:`EditableEngine`
+    surface (session servers dispatch edits against it).
+
+    Raises :class:`ValueError` both for unknown names and for engines that
+    evaluate but cannot be edited in place (e.g. ``reference``), listing
+    the editable subset.
+    """
+    engine = make_engine(
+        name, tree, tech, context=context, include_timing=include_timing
+    )
+    if not isinstance(engine, EditableEngine):
+        raise ValueError(
+            f"engine {name!r} is not editable; "
+            f"editable engines: {', '.join(editable_engine_names())}"
+        )
+    return engine
 
 
 def resolve_engine_factory(

@@ -1,0 +1,592 @@
+"""The asyncio NDJSON session daemon behind ``repro-msri serve``.
+
+One connection carries a sequence of newline-delimited JSON frames
+(``docs/SERVING.md`` is the normative wire reference).  Frames on a
+connection are processed strictly in order; concurrency comes from
+serving many connections, each owning its sessions.  CPU-bound engine
+work runs on the default executor so the event loop stays responsive,
+and one-shot ``evaluate`` requests from all connections are micro-batched
+through :func:`repro.rctree.flat.evaluate_batch` behind a shared
+:class:`~repro.rctree.flat.FlatNetCache`.
+
+Robustness contract (exercised by ``tests/test_serve.py``):
+
+* malformed or truncated frames get an ``ok: false`` error response and
+  never kill the daemon;
+* a line exceeding ``max_frame_bytes`` gets a ``frame-too-large`` error
+  and closes that connection (the stream is unrecoverable mid-line);
+* every request is bounded by ``request_timeout_s``;
+* a client disconnect closes the sessions it opened;
+* sessions idle past ``session_ttl_s`` are evicted;
+* SIGTERM/SIGINT drain gracefully — in-flight requests finish, new ones
+  are refused with ``shutting-down``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import signal
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .. import __version__
+from ..io.serialize import (
+    SERVE_SCHEMA,
+    WireProtocolError,
+    ard_result_to_dict,
+    decode_frame,
+    encode_frame,
+    eval_context_from_dict,
+    load_tree,
+    technology_from_dict,
+    technology_to_dict,
+    tree_from_dict,
+)
+from ..analysis.batch import evaluate_batch_parallel
+from ..netgen.workloads import paper_technology
+from ..obs import core as obs
+from ..rctree.flat import FlatNetCache
+from ..rctree.registry import editable_engine_names
+from .session import SessionManager, apply_edit
+
+__all__ = ["ServeConfig", "TimingServer", "run_server", "start_in_thread"]
+
+# Server-level metrics (naming contract: docs/OBSERVABILITY.md).
+_OBS_CONNECTIONS = obs.Counter("serve.connections")
+_OBS_REQUESTS = obs.Counter("serve.requests")
+_OBS_BAD_FRAMES = obs.Counter("serve.frames.bad")
+_OBS_TIMEOUTS = obs.Counter("serve.timeouts")
+_OBS_EDIT_LATENCY = obs.Histogram("serve.edit.latency_ms")
+_OBS_EVAL_LATENCY = obs.Histogram("serve.eval.latency_ms")
+_OBS_BATCH_SIZE = obs.Histogram("serve.batch.size")
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """All server knobs in one frozen value object (see docs/SERVING.md)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = let the OS pick; read it back from ``server.port``
+    engine: str = "incremental"  # default session engine
+    request_timeout_s: float = 30.0
+    session_ttl_s: float = 300.0
+    eviction_interval_s: float = 1.0
+    max_frame_bytes: int = 1 << 20
+    batch_window_s: float = 0.002  # micro-batch collection window
+    batch_max: int = 32  # max one-shot nets per micro-batch
+    cache_size: int = 256  # FlatNetCache entries for one-shot evaluate
+    drain_grace_s: float = 5.0  # max wait for in-flight requests on drain
+
+
+def _error(rid: Any, code: str, message: str) -> Dict[str, Any]:
+    return {
+        "schema": SERVE_SCHEMA,
+        "id": rid,
+        "ok": False,
+        "error": {"code": code, "message": message},
+    }
+
+
+class TimingServer:
+    """The session server; construct, ``await start()``, then serve."""
+
+    def __init__(self, config: Optional[ServeConfig] = None):
+        self.config = config or ServeConfig()
+        self.sessions = SessionManager(
+            ttl_s=self.config.session_ttl_s, default_engine=self.config.engine
+        )
+        self.cache = FlatNetCache(self.config.cache_size)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._batch_queue: Optional[asyncio.Queue] = None
+        self._background: List[asyncio.Task] = []
+        self._writers: set = set()
+        self._active_requests = 0
+        self._draining = False
+        self._drained = asyncio.Event()
+
+    # -- lifecycle --------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0``); 0 before ``start()``."""
+        if self._server is None or not self._server.sockets:
+            return 0
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        self._batch_queue = asyncio.Queue()
+        self._server = await asyncio.start_server(
+            self._handle_client,
+            self.config.host,
+            self.config.port,
+            limit=self.config.max_frame_bytes,
+        )
+        self._background = [
+            asyncio.create_task(self._batcher_loop(), name="serve-batcher"),
+            asyncio.create_task(self._evictor_loop(), name="serve-evictor"),
+        ]
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT → graceful drain (POSIX event loops only)."""
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    sig, lambda: asyncio.ensure_future(self.drain())
+                )
+            except NotImplementedError:  # pragma: no cover - non-POSIX loops
+                pass
+
+    async def serve_until_drained(self) -> None:
+        await self._drained.wait()
+
+    async def drain(self) -> None:
+        """Stop accepting, let in-flight requests finish, close everything."""
+        if self._draining:
+            await self._drained.wait()
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.config.drain_grace_s
+        while self._active_requests and loop.time() < deadline:
+            await asyncio.sleep(0.01)
+        for writer in list(self._writers):
+            writer.close()
+        for task in self._background:
+            task.cancel()
+        for task in self._background:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._drained.set()
+
+    # -- connection handling ----------------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        if obs.enabled():
+            _OBS_CONNECTIONS.add()
+        self._writers.add(writer)
+        owned: List[str] = []
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # the frame exceeded max_frame_bytes; mid-line the
+                    # stream has no recoverable framing, so answer and hang up
+                    await self._send(
+                        writer,
+                        _error(
+                            None,
+                            "frame-too-large",
+                            f"frame exceeds {self.config.max_frame_bytes} bytes",
+                        ),
+                    )
+                    break
+                if not line:
+                    break  # EOF: client disconnected
+                if not line.strip():
+                    continue  # blank keep-alive line
+                self._active_requests += 1
+                try:
+                    response = await self._handle_frame(line, owned)
+                finally:
+                    self._active_requests -= 1
+                await self._send(writer, response)
+                if self._draining:
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # mid-frame disconnect: cleanup below still runs
+        finally:
+            self._writers.discard(writer)
+            self.sessions.close_many(owned)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    @staticmethod
+    async def _send(writer: asyncio.StreamWriter, frame: Dict[str, Any]) -> None:
+        writer.write(encode_frame(frame))
+        try:
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    async def _handle_frame(
+        self, line: bytes, owned: List[str]
+    ) -> Dict[str, Any]:
+        if obs.enabled():
+            _OBS_REQUESTS.add()
+        try:
+            frame = decode_frame(line)
+        except WireProtocolError as exc:
+            if obs.enabled():
+                _OBS_BAD_FRAMES.add()
+            return _error(_salvage_id(line), exc.code, str(exc))
+        rid = frame.get("id")
+        op = frame.get("op")
+        if self._draining and op not in ("hello", "close", "stats"):
+            return _error(rid, "shutting-down", "server is draining")
+        try:
+            result = await asyncio.wait_for(
+                self._dispatch(op, frame, owned),
+                timeout=self.config.request_timeout_s,
+            )
+        except asyncio.TimeoutError:
+            if obs.enabled():
+                _OBS_TIMEOUTS.add()
+            return _error(
+                rid,
+                "timeout",
+                f"request exceeded {self.config.request_timeout_s}s",
+            )
+        except WireProtocolError as exc:
+            return _error(rid, exc.code, str(exc))
+        except (ValueError, TypeError) as exc:
+            return _error(rid, "engine-error", str(exc))
+        return {"schema": SERVE_SCHEMA, "id": rid, "ok": True, **result}
+
+    # -- request dispatch -------------------------------------------------------
+
+    async def _dispatch(
+        self, op: Any, frame: Dict[str, Any], owned: List[str]
+    ) -> Dict[str, Any]:
+        if op == "hello":
+            return {
+                "server": "repro-msri",
+                "version": __version__,
+                "engines": list(editable_engine_names()),
+                "default_engine": self.config.engine,
+            }
+        if op == "open":
+            return await self._op_open(frame, owned)
+        if op == "edit":
+            return await self._op_edit(frame)
+        if op == "eval":
+            return await self._op_eval(frame)
+        if op == "path_delay":
+            return await self._op_path_delay(frame)
+        if op == "evaluate":
+            return await self._op_evaluate(frame)
+        if op == "close":
+            sid = frame.get("session")
+            closed = self.sessions.close(sid) if isinstance(sid, str) else False
+            if sid in owned:
+                owned.remove(sid)
+            return {"closed": closed}
+        if op == "stats":
+            return self._op_stats()
+        raise WireProtocolError(f"unknown op {op!r}", code="unknown-op")
+
+    async def _op_open(
+        self, frame: Dict[str, Any], owned: List[str]
+    ) -> Dict[str, Any]:
+        try:
+            if "net" in frame:
+                tree = tree_from_dict(frame["net"])
+            elif "path" in frame:
+                tree = load_tree(str(frame["path"]))
+            else:
+                raise WireProtocolError(
+                    "open needs an inline 'net' or a 'path'", code="bad-request"
+                )
+            tech = (
+                technology_from_dict(frame["tech"])
+                if "tech" in frame
+                else paper_technology()
+            )
+            context = eval_context_from_dict(frame.get("context") or {})
+        except WireProtocolError:
+            raise
+        except (KeyError, TypeError, ValueError, OSError) as exc:
+            raise WireProtocolError(
+                f"malformed open frame: {exc}", code="bad-request"
+            ) from exc
+        try:
+            session = self.sessions.open(
+                tree,
+                tech,
+                engine_name=frame.get("engine"),
+                context=context,
+                include_timing=bool(frame.get("include_timing", False)),
+            )
+        except ValueError as exc:
+            # unknown / non-editable engine name: a client mistake, not an
+            # engine runtime failure
+            raise WireProtocolError(str(exc), code="bad-request") from exc
+        owned.append(session.sid)
+        loop = asyncio.get_running_loop()
+        async with session.lock:
+            result = await loop.run_in_executor(None, session.evaluate)
+            session.touch()
+        return {
+            "session": session.sid,
+            "n": len(tree),
+            "ard": ard_result_to_dict(
+                result, include_timing=session.include_timing
+            ),
+        }
+
+    async def _op_edit(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        session = self.sessions.get(frame.get("session"))
+        loop = asyncio.get_running_loop()
+
+        def work():
+            apply_edit(session.engine, frame)
+            return session.evaluate()
+
+        t0 = loop.time()
+        async with session.lock:
+            result = await loop.run_in_executor(None, work)
+            session.touch()
+            session.edits += 1
+        if obs.enabled():
+            _OBS_EDIT_LATENCY.observe((loop.time() - t0) * 1e3)
+        return {
+            "session": session.sid,
+            "ard": ard_result_to_dict(
+                result, include_timing=session.include_timing
+            ),
+        }
+
+    async def _op_eval(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        session = self.sessions.get(frame.get("session"))
+        loop = asyncio.get_running_loop()
+        t0 = loop.time()
+        async with session.lock:
+            result = await loop.run_in_executor(None, session.evaluate)
+            session.touch()
+        if obs.enabled():
+            _OBS_EVAL_LATENCY.observe((loop.time() - t0) * 1e3)
+        return {
+            "session": session.sid,
+            "ard": ard_result_to_dict(
+                result, include_timing=session.include_timing
+            ),
+        }
+
+    async def _op_path_delay(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        session = self.sessions.get(frame.get("session"))
+        try:
+            src = int(frame["src"])
+            dst = int(frame["dst"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise WireProtocolError(
+                f"malformed path_delay frame: {exc!r}", code="bad-request"
+            ) from exc
+        loop = asyncio.get_running_loop()
+        async with session.lock:
+            value = await loop.run_in_executor(
+                None, session.engine.path_delay, src, dst
+            )
+            session.touch()
+        return {
+            "session": session.sid,
+            "delay": value if math.isfinite(value) else "never",
+        }
+
+    async def _op_evaluate(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        try:
+            nets = frame["nets"]
+            if not isinstance(nets, list) or not nets:
+                raise WireProtocolError(
+                    "'nets' must be a non-empty list", code="bad-request"
+                )
+            trees = [tree_from_dict(d) for d in nets]
+            tech = (
+                technology_from_dict(frame["tech"])
+                if "tech" in frame
+                else paper_technology()
+            )
+            context = eval_context_from_dict(frame.get("context") or {})
+            include_timing = bool(frame.get("include_timing", False))
+        except WireProtocolError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise WireProtocolError(
+                f"malformed evaluate frame: {exc}", code="bad-request"
+            ) from exc
+        loop = asyncio.get_running_loop()
+        tech_key = json.dumps(technology_to_dict(tech), sort_keys=True)
+        futures = []
+        if self._batch_queue is None:
+            raise RuntimeError("server not started: batch queue missing")
+        for tree in trees:
+            fut: asyncio.Future = loop.create_future()
+            self._batch_queue.put_nowait(
+                (tree, context, tech_key, tech, include_timing, fut)
+            )
+            futures.append(fut)
+        results = await asyncio.gather(*futures)
+        return {
+            "ards": [
+                ard_result_to_dict(r, include_timing=include_timing)
+                for r in results
+            ]
+        }
+
+    def _op_stats(self) -> Dict[str, Any]:
+        return {
+            "sessions": len(self.sessions),
+            "cache": {
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "size": len(self.cache),
+            },
+            "draining": self._draining,
+        }
+
+    # -- background loops -------------------------------------------------------
+
+    async def _batcher_loop(self) -> None:
+        """Micro-batch one-shot evaluations across connections.
+
+        Collect requests for ``batch_window_s`` (or until ``batch_max``),
+        group by technology (``evaluate_batch`` takes one tech per call),
+        then run each group through the shared compile cache on the
+        executor.  Per-net contexts ride along, so grouping never changes
+        results — only amortizes overhead.
+        """
+        if self._batch_queue is None:
+            raise RuntimeError("server not started: batch queue missing")
+        loop = asyncio.get_running_loop()
+        cfg = self.config
+        while True:
+            batch = [await self._batch_queue.get()]
+            deadline = loop.time() + cfg.batch_window_s
+            while len(batch) < cfg.batch_max:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    batch.append(
+                        await asyncio.wait_for(
+                            self._batch_queue.get(), timeout=remaining
+                        )
+                    )
+                except asyncio.TimeoutError:
+                    break
+            if obs.enabled():
+                _OBS_BATCH_SIZE.observe(len(batch))
+            groups: Dict[Tuple[str, bool], List] = {}
+            for item in batch:
+                groups.setdefault((item[2], item[4]), []).append(item)
+            for (_, include_timing), items in groups.items():
+                trees = [it[0] for it in items]
+                contexts = [it[1] for it in items]
+                tech = items[0][3]
+                try:
+                    # workers=0: the serial evaluate_batch path, which is
+                    # the only one that can reuse this process's compile
+                    # cache — micro-batches are far below any sharding win
+                    results = await loop.run_in_executor(
+                        None,
+                        lambda t=trees, x=contexts, k=tech, i=include_timing: (
+                            evaluate_batch_parallel(
+                                t,
+                                k,
+                                contexts=x,
+                                include_timing=i,
+                                workers=0,
+                                cache=self.cache,
+                            )
+                        ),
+                    )
+                except Exception as exc:  # surface to every waiter
+                    for it in items:
+                        if not it[5].done():
+                            it[5].set_exception(
+                                exc
+                                if isinstance(exc, (ValueError, TypeError))
+                                else ValueError(str(exc))
+                            )
+                    continue
+                for it, result in zip(items, results):
+                    if not it[5].done():
+                        it[5].set_result(result)
+
+    async def _evictor_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.eviction_interval_s)
+            self.sessions.evict_idle()
+
+
+def _salvage_id(line: bytes) -> Any:
+    """Best-effort request id from an otherwise unusable frame."""
+    try:
+        obj = json.loads(line)
+        if isinstance(obj, dict):
+            rid = obj.get("id")
+            if isinstance(rid, (int, str)):
+                return rid
+    except Exception:
+        pass
+    return None
+
+
+def run_server(config: Optional[ServeConfig] = None) -> None:
+    """Blocking entry point: serve until SIGTERM/SIGINT drains the daemon."""
+
+    async def main() -> None:
+        server = TimingServer(config)
+        await server.start()
+        server.install_signal_handlers()
+        print(
+            f"repro-msri serve: listening on "
+            f"{server.config.host}:{server.port} "
+            f"(engine={server.config.engine})",
+            flush=True,
+        )
+        await server.serve_until_drained()
+
+    asyncio.run(main())
+
+
+def start_in_thread(
+    config: Optional[ServeConfig] = None,
+) -> Tuple[TimingServer, Callable[[], None]]:
+    """Run a server on a daemon thread; returns ``(server, stop)``.
+
+    ``server.port`` is valid on return.  ``stop()`` drains the server and
+    joins the thread — the in-process harness used by the self-test, the
+    benchmark and the test suite.
+    """
+    started = threading.Event()
+    holder: Dict[str, Any] = {}
+
+    async def main() -> None:
+        server = TimingServer(config)
+        await server.start()
+        holder["server"] = server
+        holder["loop"] = asyncio.get_running_loop()
+        started.set()
+        await server.serve_until_drained()
+
+    thread = threading.Thread(
+        target=lambda: asyncio.run(main()), name="repro-serve", daemon=True
+    )
+    thread.start()
+    if not started.wait(timeout=10.0):
+        raise RuntimeError("server thread failed to start")
+    server: TimingServer = holder["server"]
+    loop: asyncio.AbstractEventLoop = holder["loop"]
+
+    def stop() -> None:
+        if thread.is_alive():
+            asyncio.run_coroutine_threadsafe(server.drain(), loop).result(
+                timeout=30.0
+            )
+            thread.join(timeout=10.0)
+
+    return server, stop

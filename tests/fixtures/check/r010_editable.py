@@ -1,0 +1,45 @@
+"""Seeded violations for R010's EditableEngine surface check.
+
+``PartialEditor`` defines three of the five edit methods — enough to
+claim the editable shape — but is missing ``set_wire_scale`` and
+``reroot``.  ``DriftingEditor`` has the full method set but renamed
+``set_wire_width``'s ``edge`` parameter.  ``BaselineProbe`` defines only
+one edit method, below the three-of-five marker, and must not be
+flagged.
+"""
+
+
+class PartialEditor:  # line 12: missing set_wire_scale + reroot
+    def set_assignment(self, node, repeater):
+        pass
+
+    def set_terminal(self, node, terminal):
+        pass
+
+    def set_wire_width(self, edge, width):
+        pass
+
+
+class DriftingEditor:
+    def set_assignment(self, node, repeater):
+        pass
+
+    def set_terminal(self, node, terminal):
+        pass
+
+    def set_wire_width(self, wire, width):  # line 30: renamed ``edge``
+        pass
+
+    def set_wire_scale(self, *, resistance_factor=1.0, capacitance_factor=1.0):
+        pass
+
+    def reroot(self, node):
+        pass
+
+
+class BaselineProbe:
+    def set_assignment(self, node, repeater):
+        pass
+
+    def evaluate(self):
+        return 0.0

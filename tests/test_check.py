@@ -84,6 +84,7 @@ def test_rule_catalogue_is_complete():
         ("r008_parallel.py", "R008", [12, 18]),
         ("r009_determinism.py", "R009", [16, 20]),
         ("r010_protocol.py", "R010", [11, 19]),
+        ("r010_editable.py", "R010", [12, 12, 30]),
     ],
 )
 def test_fixture_triggers_exactly_its_rule(fixture, rule_id, lines):

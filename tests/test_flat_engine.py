@@ -229,6 +229,52 @@ class TestRegistry:
         for tree in (_net("chain", 4), _net("star", 3)):
             assert factory(tree).evaluate(tree).value == ard(tree, TECH).value
 
+    def test_editable_engine_protocol(self):
+        from repro.rctree.engine import EditableEngine
+        from repro.rctree.registry import editable_engine_names
+
+        tree = _net("chain", 4)
+        names = editable_engine_names()
+        assert "incremental" in names and "flat" in names
+        assert "reference" not in names and "elmore" not in names
+        for name in names:
+            if name == "flat-numpy" and not HAVE_NUMPY:
+                continue
+            engine = make_engine(name, tree, TECH)
+            assert isinstance(engine, EditableEngine), name
+        assert not isinstance(make_engine("reference", tree, TECH),
+                              EditableEngine)
+
+    def test_make_editable_engine_rejects_non_editable(self):
+        from repro.rctree.registry import make_editable_engine
+
+        tree = _net("chain", 4)
+        engine = make_editable_engine("incremental", tree, TECH)
+        assert engine.evaluate().value == ard(tree, TECH).value
+        with pytest.raises(ValueError, match="not editable"):
+            make_editable_engine("reference", tree, TECH)
+        with pytest.raises(ValueError, match="unknown engine"):
+            make_editable_engine("nope", tree, TECH)
+
+    def test_flat_reroot_matches_incremental(self):
+        tree = _net("chain", 7)
+        terms = list(tree.terminal_indices())
+        inc = make_engine("incremental", tree, TECH)
+        fl = make_engine("flat-python", tree, TECH)
+        edges = [i for i in range(len(tree)) if tree.parent(i) is not None]
+        for eng in (inc, fl):
+            eng.set_wire_width(edges[1], 2.0)
+            eng.set_wire_scale(resistance_factor=1.2, capacitance_factor=0.8)
+            eng.reroot(terms[-1])
+        assert fl.evaluate().value == inc.evaluate().value
+        # edits keep agreeing after the structural change
+        edges2 = [i for i in range(len(inc.tree))
+                  if inc.tree.parent(i) is not None]
+        for eng in (inc, fl):
+            eng.set_wire_width(edges2[0], 3.0)
+            eng.reroot(terms[0])
+        assert fl.evaluate().value == inc.evaluate().value
+
     def test_greedy_accepts_engine_name(self):
         from repro.baselines.greedy import greedy_insertion
 

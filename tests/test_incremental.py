@@ -283,15 +283,25 @@ class TestTimingEngineProtocol:
                 assert sim.path_delay(u, v) == pytest.approx(ref, rel=1e-9)
 
 
-class TestEvalContextShims:
-    def test_legacy_arguments_warn(self):
+class TestEvalContextV2:
+    """v2.0: the pre-context per-knob shims are gone — TypeError, not warning."""
+
+    def test_legacy_positional_assignment_raises(self):
         t = y_net()
-        with pytest.warns(DeprecationWarning):
-            legacy = ard(t, TECH, {})
-        assert legacy.value == ard(t, TECH, context=EvalContext()).value
-        with pytest.warns(DeprecationWarning):
-            an = ElmoreAnalyzer(t, TECH, {})
-        assert an.assignment == {}
+        with pytest.raises(TypeError):
+            ard(t, TECH, {})
+        with pytest.raises(TypeError):
+            ElmoreAnalyzer(t, TECH, {})
+
+    def test_legacy_keywords_raise(self):
+        t = two_pin_net()
+        edge = next(i for i in range(len(t)) if t.parent(i) is not None)
+        with pytest.raises(TypeError):
+            ard(t, TECH, wire_widths={edge: 2.0})
+        with pytest.raises(TypeError):
+            ElmoreAnalyzer(t, TECH, assignment={})
+        with pytest.raises(TypeError):
+            ard(t, TECH, include_companion_cap=True)
 
     def test_context_form_does_not_warn(self):
         import warnings
@@ -303,21 +313,6 @@ class TestEvalContextShims:
             ElmoreAnalyzer(t, TECH, context=EvalContext())
             ard(t, TECH)
             ElmoreAnalyzer(t, TECH)
-
-    def test_mixing_context_and_legacy_raises(self):
-        t = y_net()
-        with pytest.raises(TypeError):
-            ard(t, TECH, {}, context=EvalContext())
-        with pytest.raises(TypeError):
-            ElmoreAnalyzer(t, TECH, wire_widths={}, context=EvalContext())
-
-    def test_legacy_and_context_results_identical(self):
-        t = two_pin_net()
-        edge = next(i for i in range(len(t)) if t.parent(i) is not None)
-        with pytest.warns(DeprecationWarning):
-            legacy = ard(t, TECH, wire_widths={edge: 2.0})
-        modern = ard(t, TECH, context=EvalContext(wire_widths={edge: 2.0}))
-        assert legacy.value == modern.value
 
     def test_analyzer_context_roundtrip(self):
         t = two_pin_net()

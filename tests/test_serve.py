@@ -1,0 +1,392 @@
+"""Tests for ``repro.serve``: wire protocol, session server, load generator.
+
+The server's core claim is that serving adds zero arithmetic: every
+response must be byte-identical to what a direct serial engine call
+produces.  These tests drive a real server over real sockets (loopback,
+ephemeral ports) and check exactly that, plus the robustness contract:
+malformed frames, oversized frames, mid-edit disconnects, TTL eviction
+and graceful drain must never kill the daemon.
+"""
+
+import json
+import socket
+import time
+
+import pytest
+
+from repro.io.serialize import (
+    SERVE_SCHEMA,
+    WireProtocolError,
+    ard_result_to_dict,
+    decode_frame,
+    encode_frame,
+    eval_context_from_dict,
+    eval_context_to_dict,
+    repeater_to_dict,
+    subtree_timing_from_dict,
+    subtree_timing_to_dict,
+    tree_to_dict,
+)
+from repro.core.ard import ard
+from repro.netgen.random_nets import chain_net, star_net
+from repro.netgen.workloads import (
+    paper_net_spec,
+    paper_repeater_library,
+    paper_technology,
+)
+from repro.rctree.engine import EvalContext
+from repro.rctree.flat import evaluate_batch
+from repro.rctree.registry import make_editable_engine
+from repro.serve.loadgen import ServeClient, edit_stream, run_load
+from repro.serve.server import ServeConfig, start_in_thread
+from repro.serve.session import SessionManager, apply_edit
+
+TECH = paper_technology()
+
+
+@pytest.fixture(scope="module")
+def server():
+    srv, stop = start_in_thread(ServeConfig())
+    yield srv
+    stop()
+
+
+@pytest.fixture()
+def client(server):
+    c = ServeClient("127.0.0.1", server.port)
+    yield c
+    c.close()
+
+
+def _net(i=0):
+    return star_net(3 + i, paper_net_spec())
+
+
+# -- wire codecs ----------------------------------------------------------------
+
+
+class TestWireCodecs:
+    def test_frame_roundtrip_is_deterministic(self):
+        frame = {"schema": SERVE_SCHEMA, "id": 7, "op": "hello", "z": 1, "a": 2}
+        raw = encode_frame(frame)
+        assert raw.endswith(b"\n")
+        assert decode_frame(raw) == frame
+        assert encode_frame(decode_frame(raw)) == raw
+
+    def test_ard_result_roundtrips_bitwise(self):
+        result = ard(_net(), TECH)
+        d = ard_result_to_dict(result, include_timing=True)
+        back = decode_frame(encode_frame({"schema": SERVE_SCHEMA, "ard": d}))
+        from repro.io.serialize import ard_result_from_dict
+
+        again = ard_result_from_dict(back["ard"])
+        assert again.value == result.value
+        assert (again.source, again.sink) == (result.source, result.sink)
+        assert again.timing == result.timing
+
+    def test_never_travels_as_token(self):
+        from repro.rctree.engine import SubtreeTiming
+        from repro.tech.terminals import NEVER
+
+        st = SubtreeTiming(NEVER, None, 1.5, 3, NEVER, None)
+        d = subtree_timing_to_dict(st)
+        assert d["arrival"] == "never" and d["diameter"] == "never"
+        assert subtree_timing_from_dict(d) == st
+
+    @pytest.mark.parametrize(
+        "raw, code",
+        [
+            (b"{truncated", "bad-frame"),
+            (b"[1, 2, 3]\n", "bad-frame"),
+            (b"42\n", "bad-frame"),
+            (b"\xff\xfe\x00", "bad-frame"),
+            (b"", "bad-frame"),
+            (b'{"op": "hello"}\n', "bad-request"),  # missing schema
+            (b'{"schema": 99, "op": "hello"}\n', "bad-request"),
+        ],
+    )
+    def test_decode_rejections(self, raw, code):
+        with pytest.raises(WireProtocolError) as exc:
+            decode_frame(raw)
+        assert exc.value.code == code
+
+    def test_eval_context_roundtrip(self):
+        rep = paper_repeater_library().repeaters[0]
+        ctx = EvalContext(
+            assignment={4: rep},
+            wire_widths={2: 1.5},
+            include_companion_cap=True,
+        )
+        back = eval_context_from_dict(eval_context_to_dict(ctx))
+        assert back.wire_widths == {2: 1.5}
+        assert back.include_companion_cap
+        assert dict(back.assignment)[4].r_ab == rep.r_ab
+        assert eval_context_from_dict({}) == EvalContext()
+
+
+# -- session layer --------------------------------------------------------------
+
+
+class TestSessionLayer:
+    def test_apply_edit_matches_direct_calls(self):
+        tree = chain_net(5, paper_net_spec())
+        via_frames = make_editable_engine("incremental", tree, TECH)
+        direct = make_editable_engine("incremental", tree, TECH)
+        rep = paper_repeater_library().repeaters[0]
+        ins = sorted(tree.insertion_indices())[0]
+
+        apply_edit(
+            via_frames,
+            {"edit": "set_assignment", "node": ins, "repeater": repeater_to_dict(rep)},
+        )
+        direct.set_assignment(ins, rep)
+        apply_edit(via_frames, {"edit": "set_wire_width", "edge": 1, "width": 2.0})
+        direct.set_wire_width(1, 2.0)
+        apply_edit(
+            via_frames,
+            {"edit": "set_wire_scale", "resistance_factor": 1.1},
+        )
+        direct.set_wire_scale(resistance_factor=1.1)
+        assert via_frames.evaluate().value == direct.evaluate().value
+
+    def test_apply_edit_rejects_unknown_and_malformed(self):
+        engine = make_editable_engine("incremental", _net(), TECH)
+        with pytest.raises(WireProtocolError, match="unknown edit op"):
+            apply_edit(engine, {"edit": "explode"})
+        with pytest.raises(WireProtocolError, match="malformed"):
+            apply_edit(engine, {"edit": "set_wire_width"})  # no edge
+        # engine-side rejection is NOT a protocol error
+        with pytest.raises(ValueError, match="width factor"):
+            apply_edit(
+                engine, {"edit": "set_wire_width", "edge": 1, "width": -2.0}
+            )
+
+    def test_manager_open_get_close_evict(self):
+        mgr = SessionManager(ttl_s=0.05)
+        s = mgr.open(_net(), TECH)
+        assert mgr.get(s.sid) is s and len(mgr) == 1
+        with pytest.raises(WireProtocolError) as exc:
+            mgr.get("s999")
+        assert exc.value.code == "unknown-session"
+        time.sleep(0.08)
+        assert mgr.evict_idle() == [s.sid]
+        assert len(mgr) == 0
+        assert mgr.close(s.sid) is False
+
+
+# -- the live server ------------------------------------------------------------
+
+
+class TestServer:
+    def test_hello_reports_editable_engines(self, client):
+        resp = client.check("hello")
+        assert "incremental" in resp["engines"]
+        assert "reference" not in resp["engines"]
+        assert resp["default_engine"] == "incremental"
+
+    def test_session_stream_matches_direct_engine(self, client):
+        tree = _net(2)
+        resp = client.check("open", net=tree_to_dict(tree))
+        sid = resp["session"]
+        direct = make_editable_engine("incremental", tree, TECH)
+        assert resp["n"] == len(tree)
+        assert resp["ard"] == ard_result_to_dict(direct.evaluate())
+
+        edits = edit_stream(11, tree, 15)
+        for e in edits:
+            got = client.check("edit", session=sid, **e)
+            apply_edit(direct, e)
+            assert got["ard"] == ard_result_to_dict(direct.evaluate())
+        assert client.check("eval", session=sid)["ard"] == ard_result_to_dict(
+            direct.evaluate()
+        )
+        terms = sorted(tree.terminal_indices())
+        got = client.check(
+            "path_delay", session=sid, src=terms[0], dst=terms[-1]
+        )
+        assert got["delay"] == direct.path_delay(terms[0], terms[-1])
+        assert client.check("close", session=sid)["closed"] is True
+        assert client.check("close", session=sid)["closed"] is False
+
+    def test_include_timing_session_ships_timing_tables(self, client):
+        tree = _net(1)
+        resp = client.check(
+            "open", net=tree_to_dict(tree), engine="flat", include_timing=True
+        )
+        expected = ard(tree, TECH)
+        assert resp["ard"] == ard_result_to_dict(expected, include_timing=True)
+        assert resp["ard"]["timing"]  # non-empty per-node table
+
+    def test_incremental_engine_rejects_timing_request(self, client):
+        resp = client.request(
+            "open", net=tree_to_dict(_net()), engine="incremental",
+            include_timing=True,
+        )
+        assert resp["ok"] is False
+        assert resp["error"]["code"] == "bad-request"
+
+    def test_unknown_engine_lists_editable_names(self, client):
+        resp = client.request("open", net=tree_to_dict(_net()), engine="nope")
+        assert resp["ok"] is False
+        assert "incremental" in resp["error"]["message"]
+
+    def test_malformed_frames_do_not_kill_the_connection(self, client):
+        for raw in (
+            b"this is not json\n",
+            b"[1,2,3]\n",
+            b'{"schema": 1}\n',  # no op
+            b'{"schema": 77, "op": "hello"}\n',
+        ):
+            client.send_raw(raw)
+            resp = client.read_response()
+            assert resp["ok"] is False, raw
+        # the connection still works
+        assert client.check("hello")["server"] == "repro-msri"
+
+    def test_unknown_op_and_unknown_session(self, client):
+        assert client.request("frobnicate")["error"]["code"] == "unknown-op"
+        resp = client.request("edit", session="s424242", edit="reroot", node=0)
+        assert resp["error"]["code"] == "unknown-session"
+
+    def test_engine_error_reports_and_preserves_session(self, client):
+        tree = _net(3)
+        sid = client.check("open", net=tree_to_dict(tree))["session"]
+        direct = make_editable_engine("incremental", tree, TECH)
+        resp = client.request(
+            "edit", session=sid, edit="set_wire_width", edge=1, width=-1.0
+        )
+        assert resp["error"]["code"] == "engine-error"
+        # the rejected edit left the engine state untouched
+        got = client.check("eval", session=sid)
+        assert got["ard"] == ard_result_to_dict(direct.evaluate())
+        client.check("close", session=sid)
+
+    def test_one_shot_evaluate_matches_direct_batch(self, client):
+        trees = [_net(i) for i in range(3)] + [chain_net(6, paper_net_spec())]
+        resp = client.check(
+            "evaluate", nets=[tree_to_dict(t) for t in trees]
+        )
+        direct = evaluate_batch(trees, TECH)
+        assert resp["ards"] == [ard_result_to_dict(r) for r in direct]
+        # repeat: served from the compile cache, identical bytes
+        again = client.check(
+            "evaluate", nets=[tree_to_dict(t) for t in trees]
+        )
+        assert again["ards"] == resp["ards"]
+
+    def test_evaluate_rejects_empty_net_list(self, client):
+        resp = client.request("evaluate", nets=[])
+        assert resp["error"]["code"] == "bad-request"
+
+    def test_stats_reports_sessions_and_cache(self, client):
+        sid = client.check("open", net=tree_to_dict(_net()))["session"]
+        stats = client.check("stats")
+        assert stats["sessions"] >= 1
+        assert set(stats["cache"]) == {"hits", "misses", "size"}
+        client.check("close", session=sid)
+
+
+class TestServerFaults:
+    def test_oversized_frame_is_rejected(self):
+        srv, stop = start_in_thread(ServeConfig(max_frame_bytes=4096))
+        try:
+            with ServeClient("127.0.0.1", srv.port) as c:
+                c.send_raw(b'{"schema": 1, "junk": "' + b"x" * 8192 + b'"}\n')
+                resp = c.read_response()
+                assert resp["ok"] is False
+                assert resp["error"]["code"] == "frame-too-large"
+            # the server accepts fresh connections afterwards
+            with ServeClient("127.0.0.1", srv.port) as c2:
+                assert c2.check("hello")["server"] == "repro-msri"
+        finally:
+            stop()
+
+    def test_mid_edit_disconnect_cleans_up_sessions(self, server):
+        c = ServeClient("127.0.0.1", server.port)
+        sid = c.check("open", net=tree_to_dict(_net()))["session"]
+        # fire an edit and slam the socket without reading the response
+        c.send_raw(
+            encode_frame(
+                {
+                    "schema": SERVE_SCHEMA,
+                    "id": 99,
+                    "op": "edit",
+                    "session": sid,
+                    "edit": "set_wire_width",
+                    "edge": 1,
+                    "width": 2.0,
+                }
+            )
+        )
+        c.close()  # slams both the file wrapper and the socket: FIN mid-edit
+        # the daemon survives and the orphaned session disappears
+        with ServeClient("127.0.0.1", server.port) as c2:
+            deadline = time.time() + 5.0
+            code = None
+            while time.time() < deadline:
+                resp = c2.request("eval", session=sid)
+                code = (resp.get("error") or {}).get("code")
+                if code == "unknown-session":
+                    break
+                time.sleep(0.05)
+            assert code == "unknown-session"
+
+    def test_truncated_frame_then_disconnect(self, server):
+        raw = socket.create_connection(("127.0.0.1", server.port))
+        raw.sendall(b'{"schema": 1, "op": "hel')  # no newline, then gone
+        raw.close()
+        with ServeClient("127.0.0.1", server.port) as c:
+            assert c.check("hello")["server"] == "repro-msri"
+
+    def test_ttl_evicts_idle_sessions(self):
+        srv, stop = start_in_thread(
+            ServeConfig(session_ttl_s=0.1, eviction_interval_s=0.02)
+        )
+        try:
+            with ServeClient("127.0.0.1", srv.port) as c:
+                sid = c.check("open", net=tree_to_dict(_net()))["session"]
+                time.sleep(0.4)
+                resp = c.request("eval", session=sid)
+                assert resp["error"]["code"] == "unknown-session"
+        finally:
+            stop()
+
+    def test_drain_stops_accepting(self):
+        srv, stop = start_in_thread(ServeConfig())
+        port = srv.port
+        with ServeClient("127.0.0.1", port) as c:
+            assert c.check("hello")["ok"]
+        stop()
+        with pytest.raises(OSError):
+            socket.create_connection(("127.0.0.1", port), timeout=0.5)
+
+
+class TestConcurrentDifferential:
+    def test_concurrent_sessions_are_byte_identical(self, server):
+        report = run_load(
+            "127.0.0.1",
+            server.port,
+            sessions=6,
+            edits_per_session=12,
+            seed=5,
+        )
+        assert report.errors == []
+        assert report.mismatch_details == []
+        assert report.mismatches == 0
+        assert report.edits_total == 6 * 12
+
+    def test_flat_engine_sessions_are_byte_identical(self, server):
+        report = run_load(
+            "127.0.0.1",
+            server.port,
+            sessions=4,
+            edits_per_session=10,
+            seed=9,
+            engine="flat-python",
+        )
+        assert report.ok, (report.mismatch_details, report.errors)
+
+    def test_edit_stream_is_deterministic(self):
+        tree = _net(4)
+        assert edit_stream(3, tree, 20) == edit_stream(3, tree, 20)
+        assert edit_stream(3, tree, 20) != edit_stream(4, tree, 20)
