@@ -74,6 +74,13 @@ class CampaignConfig:
     ``spacings`` widens the grid to several insertion spacings; when empty
     the single ``spacing`` value is swept (the original v1 behaviour, and
     what v1 records deserialize to).
+
+    ``msri`` optionally carries pruning-knob overrides applied to every
+    job (``prefilter``, ``max_front_width``, ``max_pwl_segments``,
+    ``lossy``, ``spec`` — validated through
+    :func:`repro.core.msri.validate_msri_overrides`); ``None`` sweeps with
+    the exact defaults.  The dict is part of the campaign's provenance
+    record, so an archived sweep states which pruning regime produced it.
     """
 
     seeds: Tuple[int, ...] = (0, 1, 2)
@@ -81,6 +88,7 @@ class CampaignConfig:
     spacing: float = 800.0
     label: str = "default"
     spacings: Tuple[float, ...] = ()
+    msri: Optional[Dict] = None
 
     def __post_init__(self) -> None:
         if not self.seeds or not self.sizes:
@@ -89,6 +97,12 @@ class CampaignConfig:
             raise ValueError("spacing must be positive")
         if any(s <= 0.0 for s in self.spacings):
             raise ValueError("spacings must be positive")
+        from ..core.msri import validate_msri_overrides
+
+        # normalize eagerly so a bad knob fails at config time, not mid-sweep
+        object.__setattr__(
+            self, "msri", validate_msri_overrides(self.msri) or None
+        )
 
     def sweep_spacings(self) -> Tuple[float, ...]:
         """The spacing axis actually swept."""
@@ -220,15 +234,25 @@ def run_campaign(
 
     if engine is not None and job_fn is not None:
         raise ValueError("pass engine= or job_fn=, not both")
+    if config.msri is not None and job_fn is not None:
+        raise ValueError(
+            "config.msri overrides compose with the default job only; "
+            "a custom job_fn must apply its own MSRI options"
+        )
     if engine is not None and engine not in engine_names():
         raise ValueError(
             f"unknown engine {engine!r}; available: "
             f"{', '.join(engine_names())}"
         )
     fn = job_fn if job_fn is not None else run_instance
-    if engine is not None:
+    if engine is not None or config.msri is not None:
         # module-level function + keyword partial: picklable for workers>=1
-        fn = functools.partial(run_instance, engine=engine)
+        kwargs: Dict = {}
+        if engine is not None:
+            kwargs["engine"] = engine
+        if config.msri is not None:
+            kwargs["msri"] = dict(config.msri)
+        fn = functools.partial(run_instance, **kwargs)
     keys = config.jobs()
     jobs = [Job(key=key, args=key) for key in keys]
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
-from ..core.msri import insert_repeaters
+from ..core.msri import insert_repeaters, validate_msri_overrides
 from ..netgen.workloads import (
     PAPER_SPACING_UM,
     driver_sizing_options,
@@ -89,20 +89,28 @@ def run_instance(
     spacing: float = PAPER_SPACING_UM,
     *,
     engine: Optional[str] = None,
+    msri: Optional[dict] = None,
 ) -> InstanceResult:
     """Evaluate one net in both optimization modes.
 
     ``engine`` optionally names a registry engine to cross-check against
     the reference pass on this instance's net (a per-job bit-identity
-    guard for campaigns run with ``--engine``).
+    guard for campaigns run with ``--engine``).  ``msri`` optionally
+    carries pruning-knob overrides (``prefilter``, ``max_front_width``,
+    ``max_pwl_segments``, ``lossy``, ``spec`` — see
+    :func:`repro.core.msri.validate_msri_overrides`) applied to *both*
+    optimization modes.
     """
     tech = paper_technology()
     tree = paper_instance(seed, n_pins, spacing)
     if engine is not None and engine not in ("reference", "elmore"):
         verify_engine_agreement(tree, tech, engine)
 
-    sizing = insert_repeaters(tree, tech, driver_sizing_options())
-    repeater = insert_repeaters(tree, tech, repeater_insertion_options())
+    overrides = validate_msri_overrides(msri)
+    sizing = insert_repeaters(tree, tech, driver_sizing_options(**overrides))
+    repeater = insert_repeaters(
+        tree, tech, repeater_insertion_options(**overrides)
+    )
 
     base = repeater.min_cost()  # no repeaters, 1X terminals
     sizing_best = sizing.min_ard()

@@ -40,6 +40,7 @@ __all__ = [
     "verify_nonnegative_caps",
     "verify_msri_node_conservation",
     "verify_pareto",
+    "verify_front_equivalence",
     "verify_root_front",
     "verify_ard_consistency",
     "verify_incremental_consistency",
@@ -182,6 +183,49 @@ def verify_pareto(
                     f"({s.describe()}) is strictly dominated by uid={by.uid} "
                     f"({by.describe()}) on a region of measure {lost:g}"
                 )
+
+
+def verify_front_equivalence(
+    front: Sequence, baseline: Sequence, *, context: str = ""
+) -> None:
+    """Two pruned fronts are *bit-identical* up to ordering.
+
+    Exact-mode safety contract of the predictive pre-filters
+    (``docs/PRUNING.md``): the front produced with pre-filtering enabled
+    must equal the front the pure Fig. 4 pruner computes from the same raw
+    candidates — same solutions (by uid), same scalar coordinates, same
+    surviving domains, same PWL coordinates.  Comparison is exact (no
+    tolerance): the fast path is required to replicate the slow path's
+    arithmetic, so any drift is a pruning bug, never float noise.
+    """
+    label = context or "front equivalence"
+    key = lambda s: (s.parity, s.cost, s.cap, s.q, s.uid)  # noqa: E731
+    a = sorted(front, key=key)
+    b = sorted(baseline, key=key)
+    if len(a) != len(b):
+        only_a = sorted({s.uid for s in a} - {s.uid for s in b})
+        only_b = sorted({s.uid for s in b} - {s.uid for s in a})
+        raise ContractViolation(
+            f"{label}: fast front has {len(a)} solutions, baseline {len(b)} "
+            f"(extra uids {only_a}, missing uids {only_b})"
+        )
+    for sa, sb in zip(a, b):
+        # exact comparison is the contract (see docstring)
+        if (
+            sa.uid != sb.uid
+            or sa.parity != sb.parity
+            or sa.cost != sb.cost  # repro: noqa[R001]
+            or sa.cap != sb.cap  # repro: noqa[R001]
+            or sa.q != sb.q  # repro: noqa[R001]
+            or sa.domain != sb.domain
+            or sa.arr != sb.arr
+            or sa.diam != sb.diam
+        ):
+            raise ContractViolation(
+                f"{label}: solution mismatch — fast uid={sa.uid} "
+                f"({sa.describe()}) vs baseline uid={sb.uid} "
+                f"({sb.describe()})"
+            )
 
 
 def verify_root_front(roots: Sequence, *, atol: float = 1e-9) -> None:

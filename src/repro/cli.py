@@ -77,6 +77,52 @@ from .tech.buffers import Repeater
 __all__ = ["main", "build_parser"]
 
 
+def _add_pruning_args(p: argparse.ArgumentParser) -> None:
+    """The shared MSRI pruning knobs (docs/PRUNING.md) for a subcommand."""
+    grp = p.add_argument_group("pruning (docs/PRUNING.md)")
+    grp.add_argument(
+        "--no-prefilter",
+        dest="prefilter",
+        action="store_false",
+        help="disable the exact Shi-Li style dominance pre-filters "
+        "(ablation; results are identical either way)",
+    )
+    grp.add_argument(
+        "--max-front-width",
+        type=int,
+        help="cap the candidate-front width per prune site (exact unless "
+        "--lossy: only spec-infeasible solutions are dropped)",
+    )
+    grp.add_argument(
+        "--max-pwl-segments",
+        type=int,
+        help="per-function PWL segment budget (exact mode only counts "
+        "offenders; --lossy simplifies to a conservative upper bound)",
+    )
+    grp.add_argument(
+        "--lossy",
+        action="store_true",
+        help="allow the caps to change results (deterministic thinning / "
+        "upper-bound simplification); requires a cap",
+    )
+
+
+def _pruning_overrides(args, spec: Optional[float] = None) -> dict:
+    """Collect non-default pruning knobs into a validate-ready dict."""
+    ov: dict = {}
+    if not args.prefilter:
+        ov["prefilter"] = False
+    if args.max_front_width is not None:
+        ov["max_front_width"] = args.max_front_width
+    if args.max_pwl_segments is not None:
+        ov["max_pwl_segments"] = args.max_pwl_segments
+    if args.lossy:
+        ov["lossy"] = True
+    if spec is not None:
+        ov["spec"] = spec
+    return ov
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-msri",
@@ -133,6 +179,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the chosen solution's repeater assignment to this path "
         "(requires --spec)",
     )
+    _add_pruning_args(o)
 
     r = sub.add_parser("render", help="render a net (ASCII or SVG)")
     r.add_argument("net", help="net JSON path")
@@ -169,6 +216,13 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: incremental)",
     )
     s.add_argument("--output", "-o", required=True, help="output net JSON path")
+    s.add_argument(
+        "--spec",
+        type=float,
+        help="also run the MSRI optimizer on the synthesized net and "
+        "report the min-cost solution meeting this spec (ps)",
+    )
+    _add_pruning_args(s)
 
     lint = sub.add_parser(
         "lint", help="run repo-specific static analysis (rules R001-R010)"
@@ -243,6 +297,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="bit-identity-check this registry engine against the "
         "reference pass on every job's net",
     )
+    _add_pruning_args(c)
 
     v = sub.add_parser(
         "serve",
@@ -392,14 +447,16 @@ def _cmd_optimize(args) -> int:
     if args.engine:
         bare = make_engine(args.engine, tree, tech).evaluate(tree)
         print(f"input net ARD ({args.engine} engine): {bare.value:.1f} ps")
+    overrides = _pruning_overrides(args, spec=args.spec)
     if args.mode == "repeater":
-        options = repeater_insertion_options()
+        options = repeater_insertion_options(**overrides)
     elif args.mode == "sizing":
-        options = driver_sizing_options()
+        options = driver_sizing_options(**overrides)
     else:
         options = MSRIOptions(
             library=paper_repeater_library(),
             driver_options=paper_driver_options(),
+            **overrides,
         )
     result = insert_repeaters(tree, tech, options)
 
@@ -513,6 +570,32 @@ def _cmd_synthesize(args) -> int:
         f"{result.wirelength:.0f} um ({result.iterations} iterations); "
         f"wrote {args.output}"
     )
+    overrides = _pruning_overrides(args, spec=args.spec)
+    if overrides or args.spec is not None:
+        opt = insert_repeaters(
+            tree, paper_technology(), repeater_insertion_options(**overrides)
+        )
+        t = Table(
+            f"cost / ARD trade-off on the synthesized net "
+            f"({opt.stats.runtime_seconds:.2f}s)",
+            ["cost (1X eq.)", "ARD (ps)", "repeaters"],
+        )
+        for s in opt.solutions:
+            t.add_row(s.cost, s.ard, s.repeater_count())
+        print(t)
+        if args.spec is not None:
+            chosen = opt.min_cost_meeting(args.spec)
+            if chosen is None:
+                print(
+                    f"spec {args.spec} ps is not achievable "
+                    f"(best ARD: {opt.min_ard().ard:.1f} ps)"
+                )
+                return 1
+            print(
+                f"min-cost solution meeting {args.spec} ps: "
+                f"cost {chosen.cost:.1f}, ARD {chosen.ard:.1f} ps, "
+                f"{chosen.repeater_count()} repeaters"
+            )
     return 0
 
 
@@ -579,6 +662,7 @@ def _cmd_campaign(args) -> int:
         spacing=args.spacing,
         label=args.label,
         spacings=tuple(args.spacings) if args.spacings else (),
+        msri=_pruning_overrides(args) or None,
     )
     checkpoint = args.checkpoint or (args.output + ".checkpoint.jsonl")
 

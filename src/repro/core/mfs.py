@@ -29,6 +29,14 @@ Two strategies are provided:
   both halves, then cross-prune.  Suboptimal solutions tend to die in deep
   recursion levels, avoiding many comparisons at the top; the worst case
   remains quadratic in pairwise comparisons (as the paper notes).
+
+Both accept ``prescreen`` (default on): before building any region,
+:func:`prune_one` classifies the pair with the allocation-free Shi–Li
+style predictive comparison (:mod:`repro.core.prefilter`) and resolves
+the no-dominance and everywhere-dominance cases directly; only genuinely
+partial comparisons pay for the interval machinery.  The classification
+replicates the region arithmetic exactly, so results are bit-identical
+with the prescreen on or off (``docs/PRUNING.md``).
 """
 
 from __future__ import annotations
@@ -37,6 +45,7 @@ from typing import List, Optional, Sequence
 
 from ..tech.terminals import NEVER
 from .intervals import IntervalSet
+from .prefilter import LEQ_EMPTY, LEQ_FULL, domain_subset, leq_status
 from .solution import Solution
 
 __all__ = ["prune_one", "mfs", "mfs_pairwise"]
@@ -90,26 +99,106 @@ def _function_lt_region(by_f, s_f, common: IntervalSet) -> IntervalSet:
     return by_f.region_lt(s_f).intersect(common)
 
 
-def prune_one(s: Solution, by: Solution, *, strict: bool) -> Optional[Solution]:
+def prune_one(
+    s: Solution, by: Solution, *, strict: bool, prescreen: bool = True
+) -> Optional[Solution]:
     """Remove from ``s`` the domain region where ``by`` dominates it.
 
     With ``strict=False`` dominance is weak (ties count); with
     ``strict=True`` the challenger must additionally be strictly better in
     at least one coordinate at the point.  Returns the surviving solution
     (possibly ``s`` unchanged) or None when nothing survives.
+
+    ``prescreen`` short-circuits the two overwhelmingly common cases —
+    ``by`` dominates nowhere, or everywhere — with the allocation-free
+    classification of :func:`repro.core.prefilter.leq_status`; the result
+    is identical either way (the classification replicates the region
+    arithmetic), the flag only exists so ablations and contracts can run
+    the pure Fig. 4 machinery.
     """
     if not _scalars_weakly_dominate(by, s):
         return s
-    common = s.domain.intersect(by.domain)
-    if common.is_empty:
-        return s
+    return _prune_one_gated(s, by, strict, prescreen)
 
-    region = _function_leq_region(by.arr, s.arr, common)
-    if region.is_empty:
-        return s
-    region = _function_leq_region(by.diam, s.diam, region)
-    if region.is_empty:
-        return s
+
+def _prune_one_gated(
+    s: Solution, by: Solution, strict: bool, prescreen: bool
+) -> Optional[Solution]:
+    """:func:`prune_one` body for callers that already ran the scalar gate.
+
+    The pairwise and merge loops gate on the exact same comparisons as
+    :func:`_scalars_weakly_dominate` before every call, so re-checking
+    here would only burn time on the hottest path.
+    """
+    if prescreen:
+        # None coordinates (identically -inf) dominate the call mix; decide
+        # them inline and only pay a leq_status call for finite pairs
+        by_arr = by.arr
+        s_arr = s.arr
+        if by_arr is None:
+            arr_st = LEQ_FULL
+        elif s_arr is None:
+            return s  # finite is never <= -inf: LEQ_EMPTY
+        else:
+            arr_st = leq_status(by_arr, s_arr)
+            if arr_st == LEQ_EMPTY:
+                return s
+        by_diam = by.diam
+        s_diam = s.diam
+        if by_diam is None:
+            diam_st = LEQ_FULL
+        elif s_diam is None:
+            return s
+        else:
+            diam_st = leq_status(by_diam, s_diam)
+            if diam_st == LEQ_EMPTY:
+                return s
+        # when the victim's domain is contained in the killer's, the
+        # intersection *is* the victim's domain — an allocation-free walk
+        # replaces building the interval set
+        contained = domain_subset(s.domain, by.domain)
+        if contained:
+            common = s.domain
+        else:
+            common = s.domain.intersect(by.domain)
+            if common.is_empty:
+                return s
+        if arr_st == LEQ_FULL and diam_st == LEQ_FULL and (
+            not strict or _scalars_strictly_better_somewhere(by, s)
+        ):
+            # dominated on the whole common domain: the region is exactly
+            # the domain intersection, so skip the per-coordinate regions
+            if contained:
+                return None  # survivor = s.domain - s.domain = empty
+            survivor = s.domain.difference(common)
+            if survivor.is_empty:
+                return None
+            if survivor == s.domain:
+                return s
+            return s.restricted(survivor)
+        # mixed case: a FULL coordinate's region is the whole common
+        # domain (the functions cover both solutions' domains), so only
+        # the PARTIAL coordinate pays for the region machinery
+        if arr_st == LEQ_FULL:
+            region = common
+        else:
+            region = _function_leq_region(by.arr, s.arr, common)
+            if region.is_empty:
+                return s
+        if diam_st != LEQ_FULL:
+            region = _function_leq_region(by.diam, s.diam, region)
+            if region.is_empty:
+                return s
+    else:
+        common = s.domain.intersect(by.domain)
+        if common.is_empty:
+            return s
+        region = _function_leq_region(by.arr, s.arr, common)
+        if region.is_empty:
+            return s
+        region = _function_leq_region(by.diam, s.diam, region)
+        if region.is_empty:
+            return s
 
     if strict and not _scalars_strictly_better_somewhere(by, s):
         strict_region = _function_lt_region(by.arr, s.arr, common).union(
@@ -127,7 +216,9 @@ def prune_one(s: Solution, by: Solution, *, strict: bool) -> Optional[Solution]:
     return s.restricted(survivor)
 
 
-def mfs_pairwise(solutions: Sequence[Solution]) -> List[Solution]:
+def mfs_pairwise(
+    solutions: Sequence[Solution], *, prescreen: bool = True
+) -> List[Solution]:
     """Incremental O(n^2) minimal-functional-subset computation.
 
     Earlier solutions get weak-pruning priority over later ones, so the
@@ -143,7 +234,7 @@ def mfs_pairwise(solutions: Sequence[Solution]) -> List[Solution]:
             # three of its scalars are no worse
             if (k.parity == c.parity and k.cost <= c.cost + atol
                     and k.cap <= c.cap + atol and k.q <= c.q + atol):
-                c = prune_one(c, k, strict=False)
+                c = _prune_one_gated(c, k, False, prescreen)
                 if c is None:
                     break
         if c is None:
@@ -153,7 +244,7 @@ def mfs_pairwise(solutions: Sequence[Solution]) -> List[Solution]:
         for k in kept:
             if (c.parity == k.parity and c.cost <= k.cost + atol
                     and c.cap <= k.cap + atol and c.q <= k.q + atol):
-                k2 = prune_one(k, c, strict=True)
+                k2 = _prune_one_gated(k, c, True, prescreen)
             else:
                 k2 = k
             if k2 is not None:
@@ -165,35 +256,113 @@ def mfs_pairwise(solutions: Sequence[Solution]) -> List[Solution]:
     return kept
 
 
-def _merge(a: List[Solution], b: List[Solution]) -> List[Solution]:
-    """Cross-prune two internally-minimal sets (the Fig. 4 merge step)."""
+def _cost_run_skips(front: List[Solution]) -> List[int]:
+    """``nxt[i]``: first index past ``i`` whose ``(parity, cost)`` differs.
+
+    Fronts are sorted by ``(parity, cost, cap, q, uid)``, so equal
+    ``(parity, cost)`` runs are contiguous and cap-ascending inside.  Run
+    boundaries use exact equality on purpose: costs inside a front are
+    sums of the same library costs, so equal costs are bit-equal — and a
+    conservative boundary (treating near-equal costs as different runs)
+    only shortens a skip, never skips a killer the gates would pass.
+    """
+    n = len(front)
+    nxt = [n] * n
+    for i in range(n - 2, -1, -1):
+        s = front[i]
+        t = front[i + 1]
+        if s.parity == t.parity and s.cost == t.cost:  # repro: noqa[R001]
+            nxt[i] = nxt[i + 1]
+        else:
+            nxt[i] = i + 1
+    return nxt
+
+
+def _merge(
+    a: List[Solution], b: List[Solution], prescreen: bool
+) -> List[Solution]:
+    """Cross-prune two internally-minimal sets (the Fig. 4 merge step).
+
+    Both inputs arrive sorted by the pruner's key ``(parity, cost, cap,
+    q, uid)`` — :func:`mfs` pre-sorts, pruning preserves scalars, and the
+    concatenation below keeps every key in ``a`` below every key in ``b``
+    — so a killer scan can stop at the first killer whose parity or cost
+    already fails the weak-dominance gate: every later killer fails the
+    same exact comparison.  Within an equal ``(parity, cost)`` run the
+    killers are cap-ascending, so the first killer failing the cap gate
+    certifies the rest of its run; :func:`_cost_run_skips` lets the scan
+    jump whole runs (integer library costs make them long on fat fronts).
+    """
     atol = _SCALAR_ATOL
+    na = len(a)
+    nxt_a = _cost_run_skips(a)
     pruned_b: List[Solution] = []
     for s in b:
         cur: Optional[Solution] = s
-        for k in a:
-            if (k.parity == cur.parity and k.cost <= cur.cost + atol
-                    and k.cap <= cur.cap + atol and k.q <= cur.q + atol):
-                cur = prune_one(cur, k, strict=False)
+        cp = s.parity
+        climit = s.cost + atol
+        ccap = s.cap + atol
+        cq = s.q + atol
+        i = 0
+        while i < na:
+            k = a[i]
+            kp = k.parity
+            if kp != cp:
+                if kp > cp:
+                    break
+                i = nxt_a[i]
+                continue
+            if k.cost > climit:
+                break
+            if k.cap > ccap:
+                i = nxt_a[i]
+                continue
+            if k.q <= cq:
+                cur = _prune_one_gated(cur, k, False, prescreen)
                 if cur is None:
                     break
+            i += 1
         if cur is not None:
             pruned_b.append(cur)
+    npb = len(pruned_b)
+    nxt_pb = _cost_run_skips(pruned_b)
     pruned_a: List[Solution] = []
     for s in a:
         cur = s
-        for k in pruned_b:
-            if (k.parity == cur.parity and k.cost <= cur.cost + atol
-                    and k.cap <= cur.cap + atol and k.q <= cur.q + atol):
-                cur = prune_one(cur, k, strict=True)
+        cp = s.parity
+        climit = s.cost + atol
+        ccap = s.cap + atol
+        cq = s.q + atol
+        i = 0
+        while i < npb:
+            k = pruned_b[i]
+            kp = k.parity
+            if kp != cp:
+                if kp > cp:
+                    break
+                i = nxt_pb[i]
+                continue
+            if k.cost > climit:
+                break
+            if k.cap > ccap:
+                i = nxt_pb[i]
+                continue
+            if k.q <= cq:
+                cur = _prune_one_gated(cur, k, True, prescreen)
                 if cur is None:
                     break
+            i += 1
         if cur is not None:
             pruned_a.append(cur)
     return pruned_a + pruned_b
 
 
-def mfs(solutions: Sequence[Solution], *, leaf_size: int = 8) -> List[Solution]:
+def mfs(
+    solutions: Sequence[Solution],
+    *,
+    leaf_size: int = 8,
+    prescreen: bool = True,
+) -> List[Solution]:
     """Divide-and-conquer MFS (paper Fig. 4).
 
     Splits the set, recursively minimizes both halves, and merges by
@@ -204,13 +373,15 @@ def mfs(solutions: Sequence[Solution], *, leaf_size: int = 8) -> List[Solution]:
     capacitance"), which makes weak kills land early.
     """
     ordered = sorted(solutions, key=lambda s: (s.parity, s.cost, s.cap, s.q, s.uid))
-    return _mfs_rec(ordered, leaf_size)
+    return _mfs_rec(ordered, leaf_size, prescreen)
 
 
-def _mfs_rec(solutions: Sequence[Solution], leaf_size: int) -> List[Solution]:
+def _mfs_rec(
+    solutions: Sequence[Solution], leaf_size: int, prescreen: bool
+) -> List[Solution]:
     if len(solutions) <= leaf_size:
-        return mfs_pairwise(solutions)
+        return mfs_pairwise(solutions, prescreen=prescreen)
     mid = len(solutions) // 2
-    left = _mfs_rec(solutions[:mid], leaf_size)
-    right = _mfs_rec(solutions[mid:], leaf_size)
-    return _merge(left, right)
+    left = _mfs_rec(solutions[:mid], leaf_size, prescreen)
+    right = _mfs_rec(solutions[mid:], leaf_size, prescreen)
+    return _merge(left, right, prescreen)

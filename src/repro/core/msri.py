@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import math
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..check import contracts
@@ -41,6 +41,7 @@ from ..rctree.topology import NodeKind, RoutingTree
 from ..tech.buffers import RepeaterLibrary
 from ..tech.parameters import Technology
 from .mfs import mfs, mfs_pairwise
+from .prefilter import min_diam_lower_bound, prefilter_front
 from .pwl import max_segment_count
 from .solution import (
     Placement,
@@ -54,7 +55,13 @@ from .solution import (
     leaf_solution,
 )
 
-__all__ = ["MSRIOptions", "MSRIStats", "MSRIResult", "insert_repeaters"]
+__all__ = [
+    "MSRIOptions",
+    "MSRIStats",
+    "MSRIResult",
+    "insert_repeaters",
+    "validate_msri_overrides",
+]
 
 # Observability metrics (naming contract: docs/OBSERVABILITY.md).  All are
 # free while REPRO_OBS is off; the DP loop additionally hoists the enabled
@@ -65,6 +72,63 @@ _OBS_KEPT = obs.Counter("msri.solutions.kept")
 _OBS_PRUNED = obs.Counter("msri.solutions.pruned")
 _OBS_FRONT_WIDTH = obs.Histogram("msri.front_width")
 _OBS_PWL_SEGMENTS = obs.Histogram("msri.pwl_segments")
+_OBS_PREFILTER_EXAMINED = obs.Counter("msri.prefilter.examined")
+_OBS_PREFILTER_DROPPED = obs.Counter("msri.prefilter.dropped")
+_OBS_CAP_SPEC_DROPPED = obs.Counter("msri.cap.spec_dropped")
+_OBS_CAP_LOSSY_DROPPED = obs.Counter("msri.cap.lossy_dropped")
+_OBS_CAP_EXCEEDED = obs.Counter("msri.cap.exceeded")
+_OBS_SEG_OVER_BUDGET = obs.Counter("pwl.segments.over_budget")
+_OBS_SEG_DROPPED = obs.Counter("pwl.segments.dropped")
+
+#: Override keys the wire/campaign/CLI layers may set on MSRIOptions.
+_OVERRIDE_KEYS = (
+    "prefilter",
+    "max_front_width",
+    "max_pwl_segments",
+    "lossy",
+    "spec",
+)
+
+
+def validate_msri_overrides(overrides: Optional[Dict]) -> Dict[str, object]:
+    """Normalize a pruning-knob override dict from an untrusted layer.
+
+    Shared by the CLI, the campaign config and the serve daemon so every
+    entry point accepts the same knob names with the same coercions
+    (``None``/empty → ``{}``).  Raises :class:`ValueError` on unknown keys
+    or mistyped values; range checks live in
+    :meth:`MSRIOptions.__post_init__`, which every path funnels through.
+    """
+    if not overrides:
+        return {}
+    if not isinstance(overrides, dict):
+        raise ValueError(
+            f"msri overrides must be an object, got {type(overrides).__name__}"
+        )
+    unknown = sorted(set(overrides) - set(_OVERRIDE_KEYS))
+    if unknown:
+        raise ValueError(
+            f"unknown msri option(s) {', '.join(map(repr, unknown))}; "
+            f"expected a subset of {', '.join(_OVERRIDE_KEYS)}"
+        )
+    out: Dict[str, object] = {}
+    for key in ("prefilter", "lossy"):
+        if key in overrides:
+            out[key] = bool(overrides[key])
+    for key in ("max_front_width", "max_pwl_segments"):
+        if key in overrides and overrides[key] is not None:
+            value = overrides[key]
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ValueError(f"msri option {key!r} must be an integer")
+            if int(value) != value:
+                raise ValueError(f"msri option {key!r} must be an integer")
+            out[key] = int(value)
+    if "spec" in overrides and overrides["spec"] is not None:
+        spec = overrides["spec"]
+        if isinstance(spec, bool) or not isinstance(spec, (int, float)):
+            raise ValueError("msri option 'spec' must be a number")
+        out["spec"] = float(spec)
+    return out
 
 
 @dataclass(frozen=True)
@@ -80,6 +144,26 @@ class MSRIOptions:
     :class:`~repro.tech.buffers.WireClass`, paying its area cost.
     ``use_divide_and_conquer`` selects the Fig. 4 pruner versus the naive
     pairwise one (ablation A1).
+
+    The bounded-growth knobs (``docs/PRUNING.md``):
+
+    * ``prefilter`` — Shi–Li style predictive pre-filters: the sorted-front
+      candidate sweep before MFS plus the allocation-free pair prescreen
+      inside it.  Exact (bit-identical fronts); on by default.
+    * ``max_front_width`` — candidate-front width cap per prune site.  In
+      exact mode the cap only drops solutions whose diameter lower bound
+      already exceeds ``spec`` (certified infeasible); if the front still
+      exceeds the cap it is kept intact and ``msri.cap.exceeded`` counts
+      the site.  In ``lossy`` mode the front is deterministically thinned
+      to the cap.
+    * ``max_pwl_segments`` — per-function segment budget.  Exact mode only
+      counts offenders (``pwl.segments.over_budget``); lossy mode replaces
+      offending functions with their conservative upper-bound
+      simplification (:meth:`~repro.core.pwl.PWL.simplified`).
+    * ``spec`` — the timing spec (ps) that defines the feasible window for
+      the exact cap's certificate (and the CLI's solution query).
+    * ``lossy`` — opt-in: allow the caps to change results.  Requires at
+      least one cap to act on.
     """
 
     library: Optional[RepeaterLibrary] = None
@@ -88,6 +172,11 @@ class MSRIOptions:
     use_divide_and_conquer: bool = True
     mfs_leaf_size: int = 8
     collect_stats: bool = True
+    prefilter: bool = True
+    max_front_width: Optional[int] = None
+    max_pwl_segments: Optional[int] = None
+    spec: Optional[float] = None
+    lossy: bool = False
 
     def __post_init__(self) -> None:
         if (
@@ -101,6 +190,22 @@ class MSRIOptions:
             )
         if self.wire_library is not None and not self.wire_library:
             raise ValueError("wire_library may not be empty when given")
+        if self.max_front_width is not None and self.max_front_width < 2:
+            raise ValueError(
+                f"max_front_width must be >= 2 (a front needs at least its "
+                f"extremes), got {self.max_front_width}"
+            )
+        if self.max_pwl_segments is not None and self.max_pwl_segments < 1:
+            raise ValueError(
+                f"max_pwl_segments must be >= 1, got {self.max_pwl_segments}"
+            )
+        if self.lossy and self.max_front_width is None and (
+            self.max_pwl_segments is None
+        ):
+            raise ValueError(
+                "lossy mode needs a cap to act on: set max_front_width "
+                "and/or max_pwl_segments"
+            )
 
 
 @dataclass
@@ -115,16 +220,37 @@ class MSRIStats:
     runtime_seconds: float = 0.0
     set_sizes: Dict[int, int] = field(default_factory=dict)
 
-    def record(self, node: int, before: int, after: List[Solution]) -> None:
+    def record(self, node: int, before: int, after: List[Solution]) -> Dict[str, int]:
+        """Fold one node's prune into the totals; return its count record.
+
+        The returned dict is the *single source* of the per-node counts:
+        ``insert_repeaters`` feeds it verbatim to the conservation
+        contract and to the ``msri.node`` observability point, so the
+        stats totals and the obs labels cannot diverge.
+        """
+        kept = len(after)
         self.nodes_processed += 1
         self.solutions_generated += before
-        self.solutions_after_pruning += len(after)
-        self.max_set_size = max(self.max_set_size, len(after))
-        self.set_sizes[node] = len(after)
+        self.solutions_after_pruning += kept
+        self.max_set_size = max(self.max_set_size, kept)
+        self.set_sizes[node] = kept
         for s in after:
             widest = max_segment_count((s.arr, s.diam))
             if widest > self.max_segments:
                 self.max_segments = widest
+        return {
+            "node": node,
+            "generated": before,
+            "kept": kept,
+            "pruned": before - kept,
+        }
+
+    def front_width_p95(self) -> int:
+        """95th percentile of the per-node surviving-front widths."""
+        widths = sorted(self.set_sizes.values())
+        if not widths:
+            return 0
+        return widths[min(len(widths) - 1, (len(widths) * 95) // 100)]
 
 
 @dataclass(frozen=True)
@@ -223,18 +349,16 @@ def insert_repeaters(
                     raw = _insertion_set(tree, tech, v, sets, c_max, options, widths)
                 generated = len(raw)
                 pruned = prune(raw)
+            # one count record drives the contract, the stats totals and
+            # the obs point — the three views cannot diverge
+            counts = stats.record(v, generated, pruned)
             if checking:
-                contracts.verify_msri_node_conservation(v, generated, len(pruned))
-            stats.record(v, generated, pruned)
-            if observing:
-                obs.point(
-                    "msri.node",
-                    node=v,
-                    generated=generated,
-                    kept=len(pruned),
-                    pruned=generated - len(pruned),
+                contracts.verify_msri_node_conservation(
+                    counts["node"], counts["generated"], counts["kept"]
                 )
-                _OBS_FRONT_WIDTH.observe(len(pruned))
+            if observing:
+                obs.point("msri.node", **counts)
+                _OBS_FRONT_WIDTH.observe(counts["kept"])
             sets[v] = pruned
             for u in tree.children(v):
                 del sets[u]  # children fully consumed; free memory
@@ -466,16 +590,114 @@ def _domain_bound(
 
 
 def _make_pruner(options: MSRIOptions):
+    """Compose the per-node pruning pipeline the DP runs at every vertex.
+
+    prefilter (exact drop of certified-dominated candidates) → MFS (with
+    the pair prescreen riding on the same knob) → width cap / segment
+    budget.  Under ``REPRO_CHECK`` the pre-cap front is additionally
+    cross-checked against a prescreen-free MFS pass over the *raw*
+    candidates: exact mode must be bit-identical (docs/PRUNING.md).
+    """
+    prescreen = options.prefilter
     if options.use_divide_and_conquer:
-        prune = lambda sols: mfs(sols, leaf_size=options.mfs_leaf_size)  # noqa: E731
+        base = lambda sols: mfs(  # noqa: E731
+            sols, leaf_size=options.mfs_leaf_size, prescreen=prescreen
+        )
+        baseline = lambda sols: mfs(  # noqa: E731
+            sols, leaf_size=options.mfs_leaf_size, prescreen=False
+        )
     else:
-        prune = mfs_pairwise
-    if not contracts.contracts_enabled():
-        return prune
+        base = lambda sols: mfs_pairwise(sols, prescreen=prescreen)  # noqa: E731
+        baseline = lambda sols: mfs_pairwise(sols, prescreen=False)  # noqa: E731
+    checking = contracts.contracts_enabled()
+    observing = obs.enabled()
+    has_caps = (
+        options.max_front_width is not None
+        or options.max_pwl_segments is not None
+    )
 
-    def checked_prune(sols):
-        kept = prune(sols)
-        contracts.verify_pareto(kept)
-        return kept
+    def prune(raw: List[Solution]) -> List[Solution]:
+        candidates = raw
+        if options.prefilter:
+            candidates = prefilter_front(raw)
+            if observing:
+                _OBS_PREFILTER_EXAMINED.add(len(raw))
+                _OBS_PREFILTER_DROPPED.add(len(raw) - len(candidates))
+        front = base(candidates)
+        if checking:
+            contracts.verify_pareto(front)
+            if options.prefilter:
+                contracts.verify_front_equivalence(
+                    front, baseline(raw), context="MSRI prefilter"
+                )
+        if has_caps:
+            front = _enforce_caps(front, options, observing)
+        return front
 
-    return checked_prune
+    return prune
+
+
+_SORT_KEY = lambda s: (s.parity, s.cost, s.cap, s.q, s.uid)  # noqa: E731
+
+
+def _enforce_caps(
+    front: List[Solution], options: MSRIOptions, observing: bool
+) -> List[Solution]:
+    """Apply the width cap and the PWL segment budget to a pruned front."""
+    cap = options.max_front_width
+    if cap is not None and len(front) > cap:
+        if options.spec is not None:
+            # exact certificate: min-over-domain of diam is a monotone
+            # lower bound on any completion's ARD, so these solutions can
+            # never meet the spec.  Never drop the whole front — an empty
+            # set would silently turn "spec unachievable" into "no net".
+            feasible = [
+                s for s in front if min_diam_lower_bound(s) <= options.spec
+            ]
+            if feasible and len(feasible) < len(front):
+                if observing:
+                    _OBS_CAP_SPEC_DROPPED.add(len(front) - len(feasible))
+                front = feasible
+        if len(front) > cap:
+            if options.lossy:
+                ordered = sorted(front, key=_SORT_KEY)
+                n = len(ordered)
+                # deterministic thinning: keep `cap` evenly spaced
+                # solutions including both extremes of the sorted front
+                picks = sorted(
+                    {int(i * (n - 1) / (cap - 1) + 0.5) for i in range(cap)}
+                )
+                if observing:
+                    _OBS_CAP_LOSSY_DROPPED.add(n - len(picks))
+                front = [ordered[i] for i in picks]
+            elif observing:
+                _OBS_CAP_EXCEEDED.add()
+    budget = options.max_pwl_segments
+    if budget is not None:
+        front = _enforce_segment_budget(front, budget, options.lossy, observing)
+    return front
+
+
+def _enforce_segment_budget(
+    front: List[Solution], budget: int, lossy: bool, observing: bool
+) -> List[Solution]:
+    out: List[Solution] = []
+    for s in front:
+        widest = max_segment_count((s.arr, s.diam))
+        if widest <= budget:
+            out.append(s)
+            continue
+        if not lossy:
+            if observing:
+                _OBS_SEG_OVER_BUDGET.add()
+            out.append(s)
+            continue
+        arr = s.arr if s.arr is None else s.arr.simplified(budget)
+        diam = s.diam if s.diam is None else s.diam.simplified(budget)
+        slim = replace(s, arr=arr, diam=diam, uid=s.uid)
+        if observing:
+            _OBS_SEG_DROPPED.add(
+                widest - max_segment_count((slim.arr, slim.diam))
+            )
+        out.append(slim)
+    return out

@@ -337,6 +337,43 @@ class PWL:
                 out.append((x, self.evaluate(x)))
         return out
 
+    def simplified(self, max_segments: int) -> "PWL":
+        """A conservative upper bound of ``self`` with a segment budget.
+
+        Greedily merges adjacent *touching* segments — the pair whose
+        chordal replacement adds the least area goes first — until at most
+        ``max_segments`` remain.  Each replacement is a single line lifted
+        to dominate both originals, so the result satisfies
+        ``simplified(x) >= self(x)`` everywhere: for arrival/diameter
+        functions the approximation can only over-report delay, never
+        promise timing the exact function would miss.
+
+        Domain holes are never bridged (bridging would invent feasibility
+        on capacitances where the solution does not exist); a function
+        whose holes alone exceed the budget is returned unchanged.  This
+        is the *lossy* half of the MSRI segment budget — exact mode never
+        calls it (``docs/PRUNING.md``).
+        """
+        if max_segments < 1:
+            raise ValueError(f"segment budget must be >= 1, got {max_segments}")
+        segs = list(self._segments)
+        while len(segs) > max_segments:
+            best_cost = math.inf
+            best_at = -1
+            best_seg = None
+            for i in range(len(segs) - 1):
+                a, b = segs[i], segs[i + 1]
+                if b.lo - a.hi > ATOL:
+                    continue  # a real hole: never bridge it
+                merged = _chord_upper(a, b)
+                cost = _merge_area(a, b, merged)
+                if cost < best_cost:
+                    best_cost, best_at, best_seg = cost, i, merged
+            if best_seg is None:
+                break  # only holes left between segments; budget unreachable
+            segs[best_at:best_at + 2] = [best_seg]
+        return self if len(segs) == len(self._segments) else PWL(segs)
+
 
 # -- internal machinery -----------------------------------------------------
 
@@ -431,6 +468,46 @@ def _line_leq_region(
     if da_lo <= 0.0:
         return [Interval(lo, x)]
     return [Interval(x, hi)]
+
+
+def _chord_upper(a: Segment, b: Segment) -> Segment:
+    """One segment covering two touching segments from above.
+
+    The chord through the envelope's endpoint values, lifted by the
+    largest shortfall at any of the four segment endpoints — a line is
+    maximally below a piecewise-linear function at a breakpoint, so
+    checking endpoints suffices for pointwise dominance.
+    """
+    lo, hi = a.lo, b.hi
+    y_lo = a.value(lo)
+    y_hi = b.value(hi)
+    if hi > lo:
+        slope = (y_hi - y_lo) / (hi - lo)
+    else:
+        slope = 0.0
+        y_lo = max(y_lo, y_hi)
+    intercept = y_lo - slope * lo
+    lift = 0.0
+    for seg in (a, b):
+        for x in (seg.lo, seg.hi):
+            short = seg.value(x) - (intercept + slope * x)
+            if short > lift:
+                lift = short
+    return Segment(lo, hi, intercept + lift, slope)
+
+
+def _merge_area(a: Segment, b: Segment, merged: Segment) -> float:
+    """Area added between ``merged`` and the two segments it replaces.
+
+    Both sides are linear on each original segment's domain, so the
+    trapezoid rule on segment endpoints is exact.
+    """
+    total = 0.0
+    for seg in (a, b):
+        gap_lo = merged.value(seg.lo) - seg.value(seg.lo)
+        gap_hi = merged.value(seg.hi) - seg.value(seg.hi)
+        total += 0.5 * (gap_lo + gap_hi) * (seg.hi - seg.lo)
+    return total
 
 
 def maximum_all(functions: Sequence[PWL]) -> PWL:

@@ -511,6 +511,7 @@ def campaign_from_dict(data: Dict[str, Any]) -> "Campaign":
         spacing=float(cfg["spacing"]),
         label=cfg.get("label", "default"),
         spacings=tuple(float(s) for s in cfg.get("spacings", ())),
+        msri=cfg.get("msri"),
     )
     results = [
         instance_result_from_dict(r, default_spacing=config.spacing)

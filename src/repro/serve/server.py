@@ -46,6 +46,7 @@ from ..io.serialize import (
     tree_from_dict,
 )
 from ..analysis.batch import evaluate_batch_parallel
+from ..core.msri import validate_msri_overrides
 from ..netgen.workloads import paper_technology
 from ..obs import core as obs
 from ..rctree.flat import FlatNetCache
@@ -273,6 +274,8 @@ class TimingServer:
             return await self._op_open(frame, owned)
         if op == "edit":
             return await self._op_edit(frame)
+        if op == "optimize":
+            return await self._op_optimize(frame)
         if op == "eval":
             return await self._op_eval(frame)
         if op == "path_delay":
@@ -307,6 +310,7 @@ class TimingServer:
                 else paper_technology()
             )
             context = eval_context_from_dict(frame.get("context") or {})
+            msri = validate_msri_overrides(frame.get("msri")) or None
         except WireProtocolError:
             raise
         except (KeyError, TypeError, ValueError, OSError) as exc:
@@ -320,6 +324,7 @@ class TimingServer:
                 engine_name=frame.get("engine"),
                 context=context,
                 include_timing=bool(frame.get("include_timing", False)),
+                msri=msri,
             )
         except ValueError as exc:
             # unknown / non-editable engine name: a client mistake, not an
@@ -359,6 +364,77 @@ class TimingServer:
                 result, include_timing=session.include_timing
             ),
         }
+
+    async def _op_optimize(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """Run the MSRI optimizer over a session's net (docs/SERVING.md).
+
+        ``mode`` selects ``repeater`` (default) or ``sizing``; ``msri``
+        carries per-request pruning-knob overrides, merged over the
+        session's defaults from the ``open`` frame.  Responds with the
+        (cost, ARD) trade-off frontier and the DP statistics; with a
+        ``spec`` (here or in the knobs) the cheapest solution meeting it
+        is additionally resolved (Problem 2.1).
+        """
+        from ..core.msri import insert_repeaters
+        from ..netgen.workloads import (
+            driver_sizing_options,
+            repeater_insertion_options,
+        )
+
+        session = self.sessions.get(frame.get("session"))
+        mode = frame.get("mode", "repeater")
+        if mode not in ("repeater", "sizing"):
+            raise WireProtocolError(
+                f"unknown optimize mode {mode!r}; expected 'repeater' or "
+                f"'sizing'",
+                code="bad-request",
+            )
+        overrides = dict(session.msri or {})
+        try:
+            overrides.update(validate_msri_overrides(frame.get("msri")))
+            if "spec" in frame:
+                overrides.update(
+                    validate_msri_overrides({"spec": frame["spec"]})
+                )
+        except ValueError as exc:
+            raise WireProtocolError(str(exc), code="bad-request") from exc
+        build = (
+            repeater_insertion_options
+            if mode == "repeater"
+            else driver_sizing_options
+        )
+        options = build(**overrides)
+
+        def work():
+            return insert_repeaters(session.tree, session.tech, options)
+
+        loop = asyncio.get_running_loop()
+        async with session.lock:
+            result = await loop.run_in_executor(None, work)
+            session.touch()
+        response: Dict[str, Any] = {
+            "session": session.sid,
+            "mode": mode,
+            "tradeoff": [
+                {"cost": cost, "ard": ard} for cost, ard in result.tradeoff()
+            ],
+            "stats": {
+                "nodes": result.stats.nodes_processed,
+                "generated": result.stats.solutions_generated,
+                "kept": result.stats.solutions_after_pruning,
+                "max_set_size": result.stats.max_set_size,
+                "front_width_p95": result.stats.front_width_p95(),
+                "runtime_s": result.stats.runtime_seconds,
+            },
+        }
+        if options.spec is not None:
+            chosen = result.min_cost_meeting(options.spec)
+            response["chosen"] = (
+                None
+                if chosen is None
+                else {"cost": chosen.cost, "ard": chosen.ard}
+            )
+        return response
 
     async def _op_eval(self, frame: Dict[str, Any]) -> Dict[str, Any]:
         session = self.sessions.get(frame.get("session"))

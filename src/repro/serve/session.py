@@ -113,6 +113,7 @@ class Session:
         "tech",
         "engine_name",
         "include_timing",
+        "msri",
         "lock",
         "last_used",
         "edits",
@@ -126,6 +127,7 @@ class Session:
         tech: Technology,
         engine_name: str,
         include_timing: bool,
+        msri: Optional[Dict] = None,
     ):
         self.sid = sid
         self.engine = engine
@@ -133,6 +135,9 @@ class Session:
         self.tech = tech
         self.engine_name = engine_name
         self.include_timing = include_timing
+        #: session-default MSRI pruning-knob overrides (docs/SERVING.md);
+        #: per-request overrides in an ``optimize`` frame merge over these
+        self.msri = msri
         self.lock = asyncio.Lock()
         self.last_used = time.monotonic()
         self.edits = 0
@@ -167,13 +172,14 @@ class SessionManager:
         engine_name: Optional[str] = None,
         context: Optional[EvalContext] = None,
         include_timing: bool = False,
+        msri: Optional[Dict] = None,
     ) -> Session:
         name = engine_name or self.default_engine
         engine = make_editable_engine(
             name, tree, tech, context=context, include_timing=include_timing
         )
         sid = f"s{next(self._ids)}"
-        session = Session(sid, engine, tree, tech, name, include_timing)
+        session = Session(sid, engine, tree, tech, name, include_timing, msri)
         self._sessions[sid] = session
         if obs.enabled():
             _OBS_OPENED.add()

@@ -100,6 +100,39 @@ class TestOptimize:
         assert main(["ard", net_path, "--assignment", asg]) == 0
 
 
+class TestOptimizePruningKnobs:
+    def _frontier(self, capsys):
+        # drop the title line: it embeds the (run-varying) runtime
+        out = capsys.readouterr().out
+        return [ln for ln in out.splitlines() if "trade-off" not in ln]
+
+    def test_exact_knobs_do_not_change_the_frontier(self, net_path, capsys):
+        assert main(["optimize", net_path]) == 0
+        base = self._frontier(capsys)
+        assert main(["optimize", net_path, "--no-prefilter"]) == 0
+        assert self._frontier(capsys) == base
+        rc = main(
+            [
+                "optimize", net_path,
+                "--max-front-width", "8",
+                "--max-pwl-segments", "4",
+            ]
+        )
+        assert rc == 0
+        assert self._frontier(capsys) == base
+
+    def test_lossy_cap_runs(self, net_path, capsys):
+        rc = main(
+            ["optimize", net_path, "--max-front-width", "4", "--lossy"]
+        )
+        assert rc == 0
+        assert "trade-off" in capsys.readouterr().out
+
+    def test_lossy_without_cap_rejected(self, net_path):
+        with pytest.raises(ValueError, match="lossy"):
+            main(["optimize", net_path, "--lossy"])
+
+
 class TestRender:
     def test_render(self, net_path, capsys):
         assert main(["render", net_path]) == 0

@@ -1,0 +1,465 @@
+"""Tests for bounded-growth MSRI pruning (docs/PRUNING.md).
+
+Three layers under test:
+
+* the allocation-free predictive classification (``leq_status`` /
+  ``domain_subset``) against the exact region machinery it replicates;
+* the pre-MFS candidate sweep (``prefilter_front``) and the end-to-end
+  exact-mode bit-identity guarantee over randomized nets;
+* the width/segment caps and their exact-by-default, lossy-by-consent
+  contract, including the stats/observability accounting they share.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.check import contracts
+from repro.core.intervals import IntervalSet
+from repro.core.mfs import mfs
+from repro.core.msri import (
+    MSRIOptions,
+    MSRIStats,
+    _enforce_segment_budget,
+    insert_repeaters,
+    validate_msri_overrides,
+)
+from repro.core.prefilter import (
+    LEQ_EMPTY,
+    LEQ_FULL,
+    LEQ_PARTIAL,
+    domain_subset,
+    leq_status,
+    min_diam_lower_bound,
+    prefilter_front,
+)
+from repro.core.pwl import PWL, Segment, max_segment_count
+from repro.core.solution import Solution
+from repro.netgen.random_nets import random_net
+from repro.netgen.workloads import (
+    paper_instance,
+    paper_technology,
+    repeater_insertion_options,
+)
+from repro.obs import core as obs
+
+TECH = paper_technology()
+
+C_MAX = 10.0
+
+
+def sol(cost=0.0, cap=0.0, q=0.0, arr=None, diam=None, domain=None, parity=0):
+    domain = domain or IntervalSet.single(0.0, C_MAX)
+    return Solution(
+        cost=cost, cap=cap, q=q, arr=arr, diam=diam, domain=domain, parity=parity
+    )
+
+
+def line(i, s, lo=0.0, hi=C_MAX):
+    return PWL.linear(i, s, lo, hi)
+
+
+# -- validate_msri_overrides ---------------------------------------------------
+
+
+class TestValidateOverrides:
+    def test_none_and_empty_pass_through(self):
+        assert validate_msri_overrides(None) == {}
+        assert validate_msri_overrides({}) == {}
+
+    def test_known_knobs_round_trip(self):
+        knobs = {
+            "prefilter": False,
+            "max_front_width": 8,
+            "max_pwl_segments": 4,
+            "spec": 1500.0,
+            "lossy": True,
+        }
+        assert validate_msri_overrides(knobs) == knobs
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="max_width"):
+            validate_msri_overrides({"max_width": 8})
+
+    @pytest.mark.parametrize(
+        "knobs",
+        [
+            {"max_front_width": 7.5},
+            {"max_pwl_segments": "two"},
+            {"spec": "fast"},
+            {"spec": True},
+        ],
+    )
+    def test_mistyped_values_rejected(self, knobs):
+        with pytest.raises(ValueError):
+            validate_msri_overrides(knobs)
+
+    @pytest.mark.parametrize(
+        "knobs",
+        [
+            # range checks live in MSRIOptions.__post_init__, which every
+            # entry point funnels the validated overrides through
+            {"max_front_width": 1},
+            {"max_pwl_segments": 0},
+        ],
+    )
+    def test_out_of_range_values_rejected_by_options(self, knobs):
+        with pytest.raises(ValueError):
+            repeater_insertion_options(**validate_msri_overrides(knobs))
+
+    def test_options_reject_lossy_without_cap(self):
+        with pytest.raises(ValueError, match="lossy"):
+            repeater_insertion_options(lossy=True)
+
+    def test_options_accept_lossy_with_cap(self):
+        opts = repeater_insertion_options(max_front_width=4, lossy=True)
+        assert isinstance(opts, MSRIOptions)
+
+
+# -- leq_status vs the exact region machinery ---------------------------------
+
+
+coeff = st.floats(min_value=-50, max_value=50, allow_nan=False)
+
+
+@st.composite
+def pwls(draw, max_pieces=4, x_max=20.0):
+    """Random continuous PWL on [0, x_max] built from breakpoints."""
+    n = draw(st.integers(min_value=2, max_value=max_pieces + 1))
+    xs = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=0.01, max_value=x_max - 0.01),
+                min_size=n - 2,
+                max_size=n - 2,
+                unique=True,
+            )
+        )
+    )
+    xs = [0.0] + xs + [x_max]
+    ys = [draw(coeff) for _ in xs]
+    return PWL.from_breakpoints(xs, ys)
+
+
+@given(pwls(), pwls())
+@settings(max_examples=200)
+def test_leq_status_matches_region_oracle(f, g):
+    """The classification must agree with the region it predicts.
+
+    ``prune_one`` relies on exactly two implications: EMPTY means the
+    region machinery would find nothing, FULL means it would return the
+    whole common domain.  (PARTIAL pairs fall through to the machinery
+    itself, so no claim is needed there.)
+    """
+    status = leq_status(f, g)
+    common = f.domain().intersect(g.domain())
+    region = f.region_leq(g).intersect(common)
+    if status == LEQ_EMPTY:
+        assert region.is_empty
+    elif status == LEQ_FULL:
+        assert region == common
+    else:
+        assert status == LEQ_PARTIAL
+
+
+def test_leq_status_none_encoding():
+    f = line(1.0, 0.0)
+    assert leq_status(None, f) == LEQ_FULL  # -inf below everything
+    assert leq_status(f, None) == LEQ_EMPTY  # finite never below -inf
+    assert leq_status(None, None) == LEQ_FULL
+
+
+def test_leq_status_single_segment_cases():
+    low = line(0.0, 1.0)
+    high = line(1.0, 1.0)
+    crossing = line(5.0, 0.0)  # crosses `low` at x = 5
+    assert leq_status(low, high) == LEQ_FULL
+    assert leq_status(high, low) == LEQ_EMPTY
+    assert leq_status(crossing, low) == LEQ_PARTIAL
+    # disjoint domains: nowhere comparable
+    left = line(0.0, 0.0, lo=0.0, hi=2.0)
+    right = line(0.0, 0.0, lo=5.0, hi=8.0)
+    assert leq_status(left, right) == LEQ_EMPTY
+
+
+# -- domain_subset -------------------------------------------------------------
+
+
+intervals_lists = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=9.0),
+        st.floats(min_value=0.0, max_value=9.0),
+    ).map(lambda p: (min(p), max(p) + 0.5)),
+    max_size=4,
+)
+
+
+@given(intervals_lists, intervals_lists)
+@settings(max_examples=200)
+def test_domain_subset_matches_intersection(pa, pb):
+    a = IntervalSet.from_pairs(pa)
+    b = IntervalSet.from_pairs(pb)
+    assert domain_subset(a, b) == (a.intersect(b) == a)
+
+
+def test_domain_subset_edges():
+    full = IntervalSet.single(0.0, 10.0)
+    holey = IntervalSet.from_pairs([(0.0, 3.0), (5.0, 10.0)])
+    assert domain_subset(holey, full)
+    assert not domain_subset(full, holey)  # the hole [3, 5] is uncovered
+    assert domain_subset(IntervalSet.empty(), holey)
+    assert domain_subset(holey, holey)
+
+
+# -- prefilter_front -----------------------------------------------------------
+
+
+@st.composite
+def solution_lists(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    out = []
+    # small grids on purpose: exact scalar ties must occur
+    grid = st.sampled_from([0.0, 1.0, 2.0, 3.0])
+    fun = st.one_of(
+        st.none(),
+        st.tuples(grid, st.sampled_from([0.0, 0.5, 1.0])).map(
+            lambda p: line(p[0], p[1])
+        ),
+    )
+    dom = st.sampled_from(
+        [
+            IntervalSet.single(0.0, C_MAX),
+            IntervalSet.single(2.0, 8.0),
+            IntervalSet.from_pairs([(0.0, 3.0), (5.0, C_MAX)]),
+        ]
+    )
+    for _ in range(n):
+        out.append(
+            sol(
+                cost=draw(grid),
+                cap=draw(grid),
+                q=draw(grid),
+                arr=draw(fun),
+                diam=draw(fun),
+                domain=draw(dom),
+                parity=draw(st.sampled_from([0, 1])),
+            )
+        )
+    return out
+
+
+@given(solution_lists())
+@settings(max_examples=150, deadline=None)
+def test_prefilter_front_preserves_the_mfs(sols):
+    """Sweeping candidates first must not change the surviving front."""
+    filtered = prefilter_front(sols)
+    assert len(filtered) <= len(sols)
+    contracts.verify_front_equivalence(
+        mfs(filtered), mfs(sols), context="prefilter_front property"
+    )
+
+
+def test_prefilter_front_drops_certified_duplicates():
+    base = sol(cost=1.0, cap=1.0, q=1.0, arr=line(0.0, 1.0), diam=line(0.0, 1.0))
+    clone = sol(cost=1.0, cap=1.0, q=1.0, arr=line(0.0, 1.0), diam=line(0.0, 1.0))
+    worse = sol(cost=2.0, cap=2.0, q=2.0, arr=line(1.0, 1.0), diam=line(1.0, 1.0))
+    out = prefilter_front([base, clone, worse])
+    assert [s.uid for s in out] == [base.uid]
+
+
+def test_min_diam_lower_bound():
+    s = sol(diam=PWL.from_breakpoints([0.0, 5.0, 10.0], [4.0, 2.0, 6.0]))
+    assert min_diam_lower_bound(s) == 2.0
+    assert min_diam_lower_bound(sol(diam=None)) == float("-inf")
+
+
+# -- end-to-end exact-mode bit-identity ---------------------------------------
+
+
+_FULL = os.environ.get("REPRO_FULL") == "1"
+_CASES = [
+    (seed, pins)
+    for seed in range(40 if _FULL else 8)
+    for pins in ((3, 4, 5, 6, 7) if _FULL else (3, 4, 5))
+]
+
+
+@pytest.mark.parametrize("seed,pins", _CASES)
+def test_exact_mode_is_bit_identical(seed, pins):
+    """Randomized nets: pre-filtered DP == pure Fig. 4 DP, field for field.
+
+    Runs under REPRO_CHECK-style contracts, so every prune site is also
+    re-derived against a prescreen-free MFS pass on the way
+    (``verify_front_equivalence``).
+    """
+    tree = random_net(seed, pins)
+    with contracts.checking(True):
+        fast = insert_repeaters(tree, TECH, repeater_insertion_options())
+    baseline = insert_repeaters(
+        tree, TECH, repeater_insertion_options(prefilter=False)
+    )
+    assert fast.tradeoff() == baseline.tradeoff()
+    assert fast.stats.solutions_generated == baseline.stats.solutions_generated
+    assert (
+        fast.stats.solutions_after_pruning
+        == baseline.stats.solutions_after_pruning
+    )
+    assert fast.stats.max_set_size == baseline.stats.max_set_size
+
+
+# -- the caps ------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def small_net():
+    return paper_instance(0, 5)
+
+
+@pytest.fixture(scope="module")
+def exact_result(small_net):
+    return insert_repeaters(small_net, TECH, repeater_insertion_options())
+
+
+class TestWidthCap:
+    def test_exact_cap_never_changes_results(self, small_net, exact_result):
+        with obs.observing():
+            capped = insert_repeaters(
+                small_net, TECH, repeater_insertion_options(max_front_width=8)
+            )
+            snap = obs.snapshot(reset=True)
+        assert capped.tradeoff() == exact_result.tradeoff()
+        assert capped.stats.max_set_size == exact_result.stats.max_set_size
+        assert snap["counters"]["msri.cap.exceeded"] > 0
+
+    def test_lossy_cap_bounds_front_and_stays_conservative(
+        self, small_net, exact_result
+    ):
+        capped = insert_repeaters(
+            small_net,
+            TECH,
+            repeater_insertion_options(max_front_width=8, lossy=True),
+        )
+        assert capped.stats.max_set_size <= 8
+        # lossy may be suboptimal, never optimistic
+        assert capped.min_ard().ard >= exact_result.min_ard().ard - 1e-12
+        for cost, ard in capped.tradeoff():
+            covered = [a for c, a in exact_result.tradeoff() if c <= cost]
+            assert min(covered) <= ard + 1e-12
+
+    def test_exact_cap_with_spec_preserves_the_query(
+        self, small_net, exact_result
+    ):
+        spec = exact_result.min_ard().ard + 1.0
+        capped = insert_repeaters(
+            small_net,
+            TECH,
+            repeater_insertion_options(max_front_width=8, spec=spec),
+        )
+        want = exact_result.min_cost_meeting(spec)
+        got = capped.min_cost_meeting(spec)
+        assert want is not None and got is not None
+        assert (got.cost, got.ard) == (want.cost, want.ard)
+
+    def test_infeasible_spec_keeps_the_front(self, small_net, exact_result):
+        capped = insert_repeaters(
+            small_net,
+            TECH,
+            repeater_insertion_options(max_front_width=2, spec=1e-6),
+        )
+        # nothing meets the spec; exact mode must still report the frontier
+        assert capped.tradeoff() == exact_result.tradeoff()
+        assert capped.min_cost_meeting(1e-6) is None
+
+
+class TestSegmentBudget:
+    def test_exact_budget_never_changes_results(self, small_net, exact_result):
+        with obs.observing():
+            res = insert_repeaters(
+                small_net, TECH, repeater_insertion_options(max_pwl_segments=1)
+            )
+            snap = obs.snapshot(reset=True)
+        assert res.tradeoff() == exact_result.tradeoff()
+        assert snap["counters"].get("pwl.segments.over_budget", 0) > 0
+
+    def test_lossy_budget_bounds_segments_and_stays_conservative(
+        self, small_net, exact_result
+    ):
+        res = insert_repeaters(
+            small_net,
+            TECH,
+            repeater_insertion_options(
+                max_pwl_segments=2, max_front_width=64, lossy=True
+            ),
+        )
+        # lossy simplification may be suboptimal, never optimistic (the
+        # hard bound is unit-tested below: holey functions are exempt)
+        assert res.min_ard().ard >= exact_result.min_ard().ard - 1e-12
+
+    def test_enforce_budget_bounds_and_upper_bounds(self):
+        wavy = PWL.from_breakpoints(
+            [0.0, 1.0, 2.0, 3.0, C_MAX], [0.0, 5.0, 1.0, 6.0, 0.0]
+        )
+        s = sol(arr=wavy)
+        (slim,) = _enforce_segment_budget([s], 2, True, False)
+        assert slim.uid == s.uid  # identity survives the rewrite
+        assert max_segment_count((slim.arr, slim.diam)) <= 2
+        for x in (0.0, 0.5, 1.0, 1.7, 2.5, 3.0, 7.0, C_MAX):
+            assert slim.arr(x) >= wavy(x) - 1e-12
+
+    def test_enforce_budget_never_bridges_holes(self):
+        holey = PWL(
+            (
+                Segment(0.0, 2.0, 1.0, 0.0),
+                Segment(4.0, 6.0, 2.0, 0.0),
+                Segment(8.0, C_MAX, 3.0, 0.0),
+            )
+        )
+        s = sol(arr=holey, domain=holey.domain())
+        (kept,) = _enforce_segment_budget([s], 2, True, False)
+        assert kept.arr == holey  # budget unreachable without bridging
+
+
+# -- stats / observability unification ----------------------------------------
+
+
+def test_stats_and_obs_share_one_accounting(small_net):
+    with obs.observing():
+        res = insert_repeaters(small_net, TECH, repeater_insertion_options())
+        snap = obs.snapshot(reset=True)
+    points = [p for p in snap["points"] if p["name"] == "msri.node"]
+    assert len(points) == res.stats.nodes_processed
+    gen = kept = pruned = 0
+    for p in points:
+        attrs = p["attrs"]
+        # the conservation identity, per node
+        assert attrs["generated"] == attrs["kept"] + attrs["pruned"]
+        gen += attrs["generated"]
+        kept += attrs["kept"]
+        pruned += attrs["pruned"]
+    # the per-node points, the aggregate counters, and MSRIStats all come
+    # from the same record() call — they can never drift apart
+    assert gen == res.stats.solutions_generated
+    assert kept == res.stats.solutions_after_pruning
+    assert snap["counters"]["msri.solutions.generated"] == gen
+    assert snap["counters"]["msri.solutions.kept"] == kept
+    assert snap["counters"]["msri.solutions.pruned"] == pruned
+    assert snap["counters"]["msri.prefilter.examined"] >= gen
+
+
+def test_front_width_p95():
+    stats = MSRIStats()
+    assert stats.front_width_p95() == 0
+    for node, width in enumerate(range(1, 21)):  # widths 1..20
+        stats.record(node, width, [sol() for _ in range(width)])
+    assert stats.front_width_p95() == 20  # index min(19, 20*95//100) = 19
+    assert stats.max_set_size == 20
+
+
+def test_front_width_p95_reported(exact_result):
+    widths = exact_result.stats.set_sizes.values()
+    p95 = exact_result.stats.front_width_p95()
+    assert min(widths) <= p95 <= max(widths)

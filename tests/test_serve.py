@@ -28,11 +28,13 @@ from repro.io.serialize import (
     tree_to_dict,
 )
 from repro.core.ard import ard
+from repro.core.msri import insert_repeaters
 from repro.netgen.random_nets import chain_net, star_net
 from repro.netgen.workloads import (
     paper_net_spec,
     paper_repeater_library,
     paper_technology,
+    repeater_insertion_options,
 )
 from repro.rctree.engine import EvalContext
 from repro.rctree.flat import evaluate_batch
@@ -283,6 +285,60 @@ class TestServer:
         stats = client.check("stats")
         assert stats["sessions"] >= 1
         assert set(stats["cache"]) == {"hits", "misses", "size"}
+        client.check("close", session=sid)
+
+
+class TestOptimizeOp:
+    def test_optimize_matches_direct_msri(self, client):
+        tree = _net(4)
+        sid = client.check("open", net=tree_to_dict(tree))["session"]
+        resp = client.check("optimize", session=sid)
+        direct = insert_repeaters(tree, TECH, repeater_insertion_options())
+        assert resp["mode"] == "repeater"
+        assert resp["tradeoff"] == [
+            {"cost": c, "ard": a} for c, a in direct.tradeoff()
+        ]
+        assert resp["stats"]["nodes"] == direct.stats.nodes_processed
+        assert resp["stats"]["generated"] == direct.stats.solutions_generated
+        assert "chosen" not in resp  # no spec in play
+        client.check("close", session=sid)
+
+    def test_session_defaults_overrides_and_spec(self, client):
+        tree = _net(4)
+        sid = client.check(
+            "open", net=tree_to_dict(tree), msri={"prefilter": False}
+        )["session"]
+        base = client.check("optimize", session=sid)
+        # exact knobs, whatever the combination, leave the frontier alone
+        tuned = client.check(
+            "optimize",
+            session=sid,
+            msri={"prefilter": True, "max_front_width": 8},
+        )
+        assert tuned["tradeoff"] == base["tradeoff"]
+        # top-level spec is shorthand for {"msri": {"spec": ...}}
+        met = client.check("optimize", session=sid, spec=1e9)
+        assert met["chosen"] == base["tradeoff"][0]  # cheapest meets 1e9 ps
+        unmet = client.check("optimize", session=sid, spec=1e-6)
+        assert unmet["chosen"] is None
+        client.check("close", session=sid)
+
+    def test_sizing_mode(self, client):
+        tree = _net(5)
+        sid = client.check("open", net=tree_to_dict(tree))["session"]
+        resp = client.check("optimize", session=sid, mode="sizing")
+        assert resp["mode"] == "sizing"
+        assert resp["tradeoff"]
+        client.check("close", session=sid)
+
+    def test_bad_mode_and_bad_knob_are_bad_requests(self, client):
+        sid = client.check("open", net=tree_to_dict(_net()))["session"]
+        resp = client.request("optimize", session=sid, mode="anneal")
+        assert resp["error"]["code"] == "bad-request"
+        resp = client.request("optimize", session=sid, msri={"max_width": 8})
+        assert resp["error"]["code"] == "bad-request"
+        # the failed requests leave the session usable
+        assert client.check("eval", session=sid)["session"] == sid
         client.check("close", session=sid)
 
 
