@@ -9,16 +9,33 @@ against the local-search topology of
 
 Expected shape: a consistent single-digit-percent diameter improvement, at
 a modest wirelength premium that a positive wirelength weight can cap.
+
+A second section runs the ``objective="msri"`` search — each candidate
+scored by its post-insertion minimum ARD — and compares the cached path
+(score memo + shared :class:`~repro.core.msri_cache.MSRICache` with
+``quantize_bound``) against a cold replica of the same loop that calls
+``insert_repeaters`` per candidate with no reuse.  Both follow the same
+move sequence (the cache is value-identical to the cold DP), so the
+final ARD must match exactly and the ratio is pure reuse speedup.
 """
 
+import time
+
 from repro.analysis import Table, save_text
+from repro.core import MSRICache, insert_repeaters
 from repro.core.ard import ard
-from repro.netgen import paper_net_spec, paper_technology, random_points
+from repro.netgen import (
+    paper_net_spec,
+    paper_technology,
+    random_points,
+    repeater_insertion_options,
+)
 from repro.steiner import (
     rectilinear_mst,
     synthesize_topology,
     tree_from_terminal_edges,
 )
+from repro.steiner.topology_search import _component
 from repro.tech import Terminal
 
 
@@ -37,11 +54,121 @@ def make_terms(seed, n):
     ]
 
 
+def _cold_msri_search(terms, tech, opts, max_iterations):
+    """Replica of the ``objective="msri"`` edge-exchange loop with no
+    reuse: every candidate pays a full cold ``insert_repeaters``, and
+    recurring candidates are re-scored (the pre-cache search cost).
+
+    Returns ``(final ard, candidates scored)``.
+    """
+    n = len(terms)
+    edges = list(rectilinear_mst([(t.x, t.y) for t in terms]))
+    scored = 0
+
+    def score(edge_list):
+        nonlocal scored
+        scored += 1
+        key = tuple(sorted((min(a, b), max(a, b)) for a, b in edge_list))
+        tree = tree_from_terminal_edges(terms, key)
+        return insert_repeaters(tree, tech, opts).min_ard().ard
+
+    best = score(edges)
+    for _ in range(max_iterations):
+        move = None
+        for k, removed in enumerate(edges):
+            remaining = edges[:k] + edges[k + 1:]
+            side_a = _component(n, remaining, removed[0])
+            for i in sorted(side_a):
+                for j in range(n):
+                    if j in side_a or (i, j) == removed or (j, i) == removed:
+                        continue
+                    s = score(remaining + [(i, j)])
+                    if s < best - 1e-9 and (move is None or s < move[0]):
+                        move = (s, k, (i, j))
+        if move is None:
+            break
+        best, k, new_edge = move
+        edges = edges[:k] + edges[k + 1:] + [new_edge]
+    return best, scored
+
+
+def msri_section(seeds=(0, 1, 2), pins=6, max_iterations=3):
+    tech = paper_technology()
+    opts = repeater_insertion_options(quantize_bound=True)
+    table = Table(
+        f"MSRI-objective synthesis: cached vs cold scoring "
+        f"({pins}-pin nets, <= {max_iterations} moves)",
+        [
+            "seed",
+            "cold (s)",
+            "cached (s)",
+            "speedup",
+            "cold scored",
+            "evals",
+            "memo hits",
+            "cache hit%",
+            "same ard",
+        ],
+    )
+    for seed in seeds:
+        terms = make_terms(seed, pins)
+
+        t0 = time.perf_counter()
+        cold_ard, cold_scored = _cold_msri_search(
+            terms, tech, opts, max_iterations
+        )
+        t_cold = time.perf_counter() - t0
+
+        cache = MSRICache()
+        t0 = time.perf_counter()
+        res = synthesize_topology(
+            terms,
+            tech,
+            objective="msri",
+            msri_options=opts,
+            msri_cache=cache,
+            max_iterations=max_iterations,
+        )
+        t_cached = time.perf_counter() - t0
+
+        # the cache is value-identical to the cold DP, so both searches
+        # take the same moves and land on the same optimized diameter
+        same = abs(res.ard - cold_ard) < 1e-9
+        assert same, f"seed {seed}: cached search diverged from cold"
+        hit_rate = cache.hits / max(1, cache.hits + cache.misses)
+        table.add_row(
+            seed,
+            f"{t_cold:.3f}",
+            f"{t_cached:.3f}",
+            f"{t_cold / t_cached:.1f}x",
+            cold_scored,
+            res.evaluations,
+            res.memo_hits,
+            f"{100 * hit_rate:.0f}",
+            "yes" if same else "NO",
+        )
+    table.add_note(
+        "cold: per-candidate insert_repeaters, no memo, recurring "
+        "candidates re-scored; cached: canonical-edge-set score memo + "
+        "shared MSRICache (quantize_bound) via objective='msri'."
+    )
+    return table.render()
+
+
 def test_topology_synthesis(benchmark):
     tech = paper_technology()
     table = Table(
         "ARD-driven topology synthesis vs MST topology (8-pin nets)",
-        ["seed", "MST diam", "synth diam", "gain %", "MST WL", "synth WL"],
+        [
+            "seed",
+            "MST diam",
+            "synth diam",
+            "gain %",
+            "MST WL",
+            "synth WL",
+            "evals",
+            "memo hits",
+        ],
     )
     gains = []
     for seed in range(6):
@@ -61,10 +188,12 @@ def test_topology_synthesis(benchmark):
             f"{100 * gain:.1f}",
             mst_tree.total_wire_length(),
             res.wirelength,
+            res.evaluations,
+            res.memo_hits,
         )
 
     assert sum(gains) / len(gains) > 0.02  # consistent average improvement
-    out = table.render()
+    out = table.render() + "\n\n" + msri_section()
     print("\n" + out)
     save_text("topology_synthesis.txt", out)
 

@@ -77,10 +77,17 @@ class CampaignConfig:
 
     ``msri`` optionally carries pruning-knob overrides applied to every
     job (``prefilter``, ``max_front_width``, ``max_pwl_segments``,
-    ``lossy``, ``spec`` — validated through
+    ``lossy``, ``spec``, ``quantize_bound`` — validated through
     :func:`repro.core.msri.validate_msri_overrides`); ``None`` sweeps with
     the exact defaults.  The dict is part of the campaign's provenance
     record, so an archived sweep states which pruning regime produced it.
+
+    ``use_msri_cache`` routes every job's two optimizations through a
+    worker-process-local subtree-front cache
+    (:class:`~repro.core.msri_cache.MSRICache`): bit-identical results,
+    with repeats across the spacing axis (and, under ``quantize_bound``,
+    across nearby seeds) answered from memo.  Part of the provenance
+    record like ``msri``.
     """
 
     seeds: Tuple[int, ...] = (0, 1, 2)
@@ -89,6 +96,7 @@ class CampaignConfig:
     label: str = "default"
     spacings: Tuple[float, ...] = ()
     msri: Optional[Dict] = None
+    use_msri_cache: bool = False
 
     def __post_init__(self) -> None:
         if not self.seeds or not self.sizes:
@@ -244,14 +252,21 @@ def run_campaign(
             f"unknown engine {engine!r}; available: "
             f"{', '.join(engine_names())}"
         )
+    if config.use_msri_cache and job_fn is not None:
+        raise ValueError(
+            "config.use_msri_cache composes with the default job only; "
+            "a custom job_fn must manage its own cache"
+        )
     fn = job_fn if job_fn is not None else run_instance
-    if engine is not None or config.msri is not None:
+    if engine is not None or config.msri is not None or config.use_msri_cache:
         # module-level function + keyword partial: picklable for workers>=1
         kwargs: Dict = {}
         if engine is not None:
             kwargs["engine"] = engine
         if config.msri is not None:
             kwargs["msri"] = dict(config.msri)
+        if config.use_msri_cache:
+            kwargs["use_msri_cache"] = True
         fn = functools.partial(run_instance, **kwargs)
     keys = config.jobs()
     jobs = [Job(key=key, args=key) for key in keys]

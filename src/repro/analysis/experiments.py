@@ -83,6 +83,24 @@ def verify_engine_agreement(tree, tech, engine: str) -> None:
         )
 
 
+#: Worker-process-local subtree-front cache for ``use_msri_cache`` runs.
+#: One per process: campaign jobs land on a pool worker repeatedly, and
+#: consecutive jobs (same topology swept over spacings, or neighboring
+#: seeds in the same ``c_max`` bucket under ``quantize_bound``) share
+#: subtree fronts.  Process-local state never crosses the executor
+#: boundary, so results stay independent of the worker schedule.
+_WORKER_MSRI_CACHE = None
+
+
+def _worker_msri_cache():
+    global _WORKER_MSRI_CACHE
+    if _WORKER_MSRI_CACHE is None:
+        from ..core.msri_cache import MSRICache
+
+        _WORKER_MSRI_CACHE = MSRICache()
+    return _WORKER_MSRI_CACHE
+
+
 def run_instance(
     seed: int,
     n_pins: int,
@@ -90,6 +108,7 @@ def run_instance(
     *,
     engine: Optional[str] = None,
     msri: Optional[dict] = None,
+    use_msri_cache: bool = False,
 ) -> InstanceResult:
     """Evaluate one net in both optimization modes.
 
@@ -97,9 +116,12 @@ def run_instance(
     the reference pass on this instance's net (a per-job bit-identity
     guard for campaigns run with ``--engine``).  ``msri`` optionally
     carries pruning-knob overrides (``prefilter``, ``max_front_width``,
-    ``max_pwl_segments``, ``lossy``, ``spec`` — see
+    ``max_pwl_segments``, ``lossy``, ``spec``, ``quantize_bound`` — see
     :func:`repro.core.msri.validate_msri_overrides`) applied to *both*
-    optimization modes.
+    optimization modes.  ``use_msri_cache`` routes both optimizations
+    through a worker-process-local subtree-front cache
+    (:class:`~repro.core.msri_cache.MSRICache`) — bit-identical results,
+    cheaper repeats; pair with ``quantize_bound`` for cross-net hits.
     """
     tech = paper_technology()
     tree = paper_instance(seed, n_pins, spacing)
@@ -107,10 +129,23 @@ def run_instance(
         verify_engine_agreement(tree, tech, engine)
 
     overrides = validate_msri_overrides(msri)
-    sizing = insert_repeaters(tree, tech, driver_sizing_options(**overrides))
-    repeater = insert_repeaters(
-        tree, tech, repeater_insertion_options(**overrides)
-    )
+    if use_msri_cache:
+        from ..core.msri_engine import insert_repeaters_cached
+
+        cache = _worker_msri_cache()
+        sizing = insert_repeaters_cached(
+            tree, tech, driver_sizing_options(**overrides), cache=cache
+        )
+        repeater = insert_repeaters_cached(
+            tree, tech, repeater_insertion_options(**overrides), cache=cache
+        )
+    else:
+        sizing = insert_repeaters(
+            tree, tech, driver_sizing_options(**overrides)
+        )
+        repeater = insert_repeaters(
+            tree, tech, repeater_insertion_options(**overrides)
+        )
 
     base = repeater.min_cost()  # no repeaters, 1X terminals
     sizing_best = sizing.min_ard()

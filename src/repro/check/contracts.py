@@ -41,6 +41,8 @@ __all__ = [
     "verify_msri_node_conservation",
     "verify_pareto",
     "verify_front_equivalence",
+    "verify_front_values",
+    "verify_msri_equivalence",
     "verify_root_front",
     "verify_ard_consistency",
     "verify_incremental_consistency",
@@ -225,6 +227,84 @@ def verify_front_equivalence(
                 f"{label}: solution mismatch — fast uid={sa.uid} "
                 f"({sa.describe()}) vs baseline uid={sb.uid} "
                 f"({sb.describe()})"
+            )
+
+
+def _solution_value_key(s):
+    """A total order on solutions by *content*, ignoring the ``uid``.
+
+    Used where two fronts computed by different paths (cold DP versus a
+    cache/incremental reuse) must be compared: uids are process-local
+    tie-breaks and legitimately differ, but every value-bearing field must
+    be bitwise equal.  ``None`` functions sort before any segment tuple.
+    """
+    dom = tuple((iv.lo, iv.hi) for iv in s.domain.intervals)
+    arr = (
+        (0, ())
+        if s.arr is None
+        else (1, tuple((g.lo, g.hi, g.intercept, g.slope) for g in s.arr.segments))
+    )
+    diam = (
+        (0, ())
+        if s.diam is None
+        else (1, tuple((g.lo, g.hi, g.intercept, g.slope) for g in s.diam.segments))
+    )
+    return (s.parity, s.cost, s.cap, s.q, dom, arr, diam)
+
+
+def verify_front_values(
+    front: Sequence, baseline: Sequence, *, context: str = ""
+) -> None:
+    """Two fronts are bit-identical in every value-bearing field.
+
+    The uid-agnostic sibling of :func:`verify_front_equivalence`: the
+    memoized/incremental MSRI paths rebuild solutions with fresh uids, so
+    uids may not be compared — but parity, cost, cap, q, the surviving
+    domain, and the PWL coordinates of ``arr``/``diam`` must all match the
+    cold DP exactly (no tolerance: reuse replays stored bits, so any drift
+    is a caching bug, never float noise).
+    """
+    label = context or "front values"
+    a = sorted(front, key=_solution_value_key)
+    b = sorted(baseline, key=_solution_value_key)
+    if len(a) != len(b):
+        raise ContractViolation(
+            f"{label}: reused front has {len(a)} solutions, "
+            f"cold baseline {len(b)}"
+        )
+    for sa, sb in zip(a, b):
+        if _solution_value_key(sa) != _solution_value_key(sb):
+            raise ContractViolation(
+                f"{label}: solution value mismatch — reused "
+                f"{sa.describe()} vs cold {sb.describe()}"
+            )
+
+
+def verify_msri_equivalence(result, baseline, *, context: str = "") -> None:
+    """A reused/incremental MSRI result equals the cold DP — *bit for bit*.
+
+    Compares the root (cost, ARD) suites exactly and every solution's
+    reconstructed assignment (node index -> placed object; repeaters and
+    driver options are value-equal frozen dataclasses).  uids and trace
+    shapes may differ; the answers may not.
+    """
+    label = context or "MSRI equivalence"
+    a, b = result.solutions, baseline.solutions
+    if len(a) != len(b):
+        raise ContractViolation(
+            f"{label}: reused suite has {len(a)} solutions, cold has {len(b)}"
+        )
+    for sa, sb in zip(a, b):
+        # exact comparison is the contract (see docstring)
+        if sa.cost != sb.cost or sa.ard != sb.ard:  # repro: noqa[R001]
+            raise ContractViolation(
+                f"{label}: root solution mismatch — reused (cost={sa.cost!r}, "
+                f"ard={sa.ard!r}) vs cold (cost={sb.cost!r}, ard={sb.ard!r})"
+            )
+        if sa.assignment() != sb.assignment():
+            raise ContractViolation(
+                f"{label}: assignment mismatch at cost={sa.cost!r} — "
+                f"reused {sa.assignment()!r} vs cold {sb.assignment()!r}"
             )
 
 

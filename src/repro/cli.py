@@ -105,6 +105,14 @@ def _add_pruning_args(p: argparse.ArgumentParser) -> None:
         help="allow the caps to change results (deterministic thinning / "
         "upper-bound simplification); requires a cap",
     )
+    grp.add_argument(
+        "--quantize-bound",
+        action="store_true",
+        help="round the DP's capacitance domain bound up to a power of two "
+        "so similar nets share subtree-front cache entries "
+        "(docs/ALGORITHMS.md section 13); self-consistent but low bits "
+        "differ from unquantized runs",
+    )
 
 
 def _pruning_overrides(args, spec: Optional[float] = None) -> dict:
@@ -118,6 +126,8 @@ def _pruning_overrides(args, spec: Optional[float] = None) -> dict:
         ov["max_pwl_segments"] = args.max_pwl_segments
     if args.lossy:
         ov["lossy"] = True
+    if args.quantize_bound:
+        ov["quantize_bound"] = True
     if spec is not None:
         ov["spec"] = spec
     return ov
@@ -213,7 +223,15 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(engine_names()),
         default="incremental",
         help="timing engine scoring candidate topologies "
-        "(default: incremental)",
+        "(default: incremental; ignored with --objective msri)",
+    )
+    s.add_argument(
+        "--objective",
+        choices=["ard", "msri"],
+        default="ard",
+        help="candidate score: bare-tree diameter ('ard', default) or the "
+        "minimum diameter after optimal repeater insertion ('msri', "
+        "scored through the subtree-front cache)",
     )
     s.add_argument("--output", "-o", required=True, help="output net JSON path")
     s.add_argument(
@@ -296,6 +314,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(engine_names()),
         help="bit-identity-check this registry engine against the "
         "reference pass on every job's net",
+    )
+    c.add_argument(
+        "--msri-cache",
+        action="store_true",
+        help="route every job's optimizations through a worker-local "
+        "subtree-front cache (bit-identical results; pair with "
+        "--quantize-bound for cross-net hits)",
     )
     _add_pruning_args(c)
 
@@ -555,19 +580,33 @@ def _cmd_synthesize(args) -> int:
         )
         for i, (x, y) in enumerate(points)
     ]
-    result = synthesize_topology(
-        terminals,
-        paper_technology(),
-        wirelength_weight=args.wirelength_weight,
-        engine=args.engine,
-    )
+    if args.objective == "msri":
+        # score candidates by the optimized net; quantize_bound makes the
+        # shared cache hit across the sibling candidate trees
+        msri_overrides = dict(_pruning_overrides(args))
+        msri_overrides.setdefault("quantize_bound", True)
+        result = synthesize_topology(
+            terminals,
+            paper_technology(),
+            wirelength_weight=args.wirelength_weight,
+            objective="msri",
+            msri_options=repeater_insertion_options(**msri_overrides),
+        )
+    else:
+        result = synthesize_topology(
+            terminals,
+            paper_technology(),
+            wirelength_weight=args.wirelength_weight,
+            engine=args.engine,
+        )
     tree = result.tree
     if args.spacing:
         tree = add_insertion_points(tree, args.spacing)
     save_tree(tree, args.output)
     print(
         f"synthesized topology: diameter {result.ard:.0f} ps, wirelength "
-        f"{result.wirelength:.0f} um ({result.iterations} iterations); "
+        f"{result.wirelength:.0f} um ({result.iterations} iterations, "
+        f"{result.evaluations} scored, {result.memo_hits} memo hits); "
         f"wrote {args.output}"
     )
     overrides = _pruning_overrides(args, spec=args.spec)
@@ -663,6 +702,7 @@ def _cmd_campaign(args) -> int:
         label=args.label,
         spacings=tuple(args.spacings) if args.spacings else (),
         msri=_pruning_overrides(args) or None,
+        use_msri_cache=args.msri_cache,
     )
     checkpoint = args.checkpoint or (args.output + ".checkpoint.jsonl")
 

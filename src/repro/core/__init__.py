@@ -5,6 +5,8 @@ from .driver_sizing import DriverOption, make_driver_options
 from .intervals import Interval, IntervalSet
 from .mfs import mfs, mfs_pairwise, prune_one
 from .msri import MSRIOptions, MSRIResult, MSRIStats, insert_repeaters
+from .msri_cache import MSRICache
+from .msri_engine import IncrementalMSRI, insert_repeaters_cached
 from .pwl import PWL, Segment, maximum_all
 from .solution import (
     Placement,
@@ -34,6 +36,9 @@ __all__ = [
     "MSRIResult",
     "MSRIStats",
     "insert_repeaters",
+    "MSRICache",
+    "IncrementalMSRI",
+    "insert_repeaters_cached",
     "PWL",
     "Segment",
     "maximum_all",

@@ -87,6 +87,7 @@ _OVERRIDE_KEYS = (
     "max_pwl_segments",
     "lossy",
     "spec",
+    "quantize_bound",
 )
 
 
@@ -112,7 +113,7 @@ def validate_msri_overrides(overrides: Optional[Dict]) -> Dict[str, object]:
             f"expected a subset of {', '.join(_OVERRIDE_KEYS)}"
         )
     out: Dict[str, object] = {}
-    for key in ("prefilter", "lossy"):
+    for key in ("prefilter", "lossy", "quantize_bound"):
         if key in overrides:
             out[key] = bool(overrides[key])
     for key in ("max_front_width", "max_pwl_segments"):
@@ -164,6 +165,19 @@ class MSRIOptions:
       the exact cap's certificate (and the CLI's solution query).
     * ``lossy`` — opt-in: allow the caps to change results.  Requires at
       least one cap to act on.
+
+    ``quantize_bound`` rounds the DP's external-capacitance domain bound
+    ``c_max`` up to the next power of two.  The bound only needs to be an
+    upper bound (any value at or above the net's total capacitance yields
+    the same optimizer answers at the root), but it appears in every
+    solution's domain, so two nets that differ anywhere get bit-different
+    fronts everywhere.  Quantizing makes ``c_max`` a step function of net
+    size: nets in the same bucket share subtree fronts, which is what lets
+    :class:`~repro.core.msri_engine.IncrementalMSRI`'s content cache hit
+    *across* trees (docs/ALGORITHMS.md §13).  Results under a quantized
+    bound are self-consistent — a cold run with the same knob is
+    bit-identical — but differ in the low bits from ``quantize_bound=False``
+    runs because domain endpoints move.
     """
 
     library: Optional[RepeaterLibrary] = None
@@ -177,6 +191,7 @@ class MSRIOptions:
     max_pwl_segments: Optional[int] = None
     spec: Optional[float] = None
     lossy: bool = False
+    quantize_bound: bool = False
 
     def __post_init__(self) -> None:
         if (
@@ -219,6 +234,13 @@ class MSRIStats:
     max_segments: int = 0
     runtime_seconds: float = 0.0
     set_sizes: Dict[int, int] = field(default_factory=dict)
+    #: Fronts installed from a cross-tree content cache (msri_cache hits).
+    cache_hits: int = 0
+    #: DP vertices skipped because a front was reused (cache hits count
+    #: their whole subtree; engine-retained fronts likewise).  Reuse is
+    #: reported separately from the generated/kept totals, so the
+    #: conservation contract keeps holding per *computed* node.
+    nodes_reused: int = 0
 
     def record(self, node: int, before: int, after: List[Solution]) -> Dict[str, int]:
         """Fold one node's prune into the totals; return its count record.
@@ -244,6 +266,23 @@ class MSRIStats:
             "kept": kept,
             "pruned": before - kept,
         }
+
+    def record_reused(
+        self, node: int, kept: int, skipped: int, *, from_cache: bool
+    ) -> None:
+        """Fold one reused front into the totals.
+
+        Deliberately does *not* touch ``solutions_generated`` /
+        ``solutions_after_pruning``: those count only candidates the run
+        actually constructed, so ``verify_msri_node_conservation`` stays
+        valid per computed node.  ``skipped`` is the number of DP vertices
+        the reuse made unnecessary (the whole subtree for a cache hit).
+        """
+        if from_cache:
+            self.cache_hits += 1
+        self.nodes_reused += skipped
+        self.max_set_size = max(self.max_set_size, kept)
+        self.set_sizes[node] = kept
 
     def front_width_p95(self) -> int:
         """95th percentile of the per-node surviving-front widths."""
@@ -306,24 +345,7 @@ def insert_repeaters(
     companion-capacitance model is rejected — the DP derives the assignment
     itself and prices repeaters under the paper's Fig. 8 model.
     """
-    widths: Dict[int, float] = {}
-    if context is not None:
-        if context.assignment:
-            raise ValueError(
-                "insert_repeaters derives the repeater assignment; "
-                "context.assignment must be empty"
-            )
-        if context.include_companion_cap:
-            raise ValueError(
-                "insert_repeaters prices repeaters under the paper's "
-                "decoupled model; include_companion_cap is not supported"
-            )
-        for idx, w in dict(context.wire_widths or {}).items():
-            if not (0 <= idx < len(tree)) or tree.parent(idx) is None:
-                raise ValueError(f"context.wire_widths[{idx}] does not name an edge")
-            if w <= 0.0:
-                raise ValueError(f"wire width factor must be positive, got {w}")
-            widths[idx] = float(w)
+    widths = _context_widths(tree, context)
     t0 = time.perf_counter()  # repro: noqa[R009] wall-clock feeds stats only, never the result
     stats = MSRIStats()
     c_max = _domain_bound(tree, tech, options, widths)
@@ -337,16 +359,8 @@ def insert_repeaters(
         for v in tree.dfs_postorder():
             if v == root:
                 continue
-            node = tree.node(v)
             with obs.trace("msri.prune", node=v) if observing else obs.NULL_SPAN:
-                if node.kind is NodeKind.TERMINAL:
-                    raw = _leaf_set(node, v, c_max, options)
-                elif node.kind is NodeKind.STEINER:
-                    raw = _branch_set(
-                        tree, tech, v, sets, c_max, prune, options, widths
-                    )
-                else:  # insertion point
-                    raw = _insertion_set(tree, tech, v, sets, c_max, options, widths)
+                raw = _raw_set(tree, tech, v, sets, c_max, prune, options, widths)
                 generated = len(raw)
                 pruned = prune(raw)
             # one count record drives the contract, the stats totals and
@@ -383,6 +397,30 @@ def insert_repeaters(
 
 
 # -- per-kind solution set construction ------------------------------------------
+
+
+def _raw_set(
+    tree: RoutingTree,
+    tech: Technology,
+    v: int,
+    sets: Dict[int, List[Solution]],
+    c_max: float,
+    prune,
+    options: MSRIOptions,
+    widths: Optional[Dict[int, float]] = None,
+) -> List[Solution]:
+    """The Fig. 5 per-kind candidate construction for one non-root vertex.
+
+    Shared by :func:`insert_repeaters` and the incremental/parallel paths
+    in :mod:`repro.core.msri_engine`, so every solver runs the exact same
+    arithmetic per node.
+    """
+    node = tree.node(v)
+    if node.kind is NodeKind.TERMINAL:
+        return _leaf_set(node, v, c_max, options)
+    if node.kind is NodeKind.STEINER:
+        return _branch_set(tree, tech, v, sets, c_max, prune, options, widths)
+    return _insertion_set(tree, tech, v, sets, c_max, options, widths)
 
 
 def _leaf_set(node, v: int, c_max: float, options: MSRIOptions) -> List[Solution]:
@@ -564,6 +602,36 @@ def _pareto_root(candidates: List[RootSolution]) -> List[RootSolution]:
 # -- helpers ---------------------------------------------------------------------
 
 
+def _context_widths(
+    tree: RoutingTree, context: Optional[EvalContext]
+) -> Dict[int, float]:
+    """Validate an evaluation context and extract its fixed edge widths.
+
+    Shared by :func:`insert_repeaters` and
+    :class:`~repro.core.msri_engine.IncrementalMSRI` so both reject the
+    same context knobs for the same reasons.
+    """
+    widths: Dict[int, float] = {}
+    if context is not None:
+        if context.assignment:
+            raise ValueError(
+                "insert_repeaters derives the repeater assignment; "
+                "context.assignment must be empty"
+            )
+        if context.include_companion_cap:
+            raise ValueError(
+                "insert_repeaters prices repeaters under the paper's "
+                "decoupled model; include_companion_cap is not supported"
+            )
+        for idx, w in dict(context.wire_widths or {}).items():
+            if not (0 <= idx < len(tree)) or tree.parent(idx) is None:
+                raise ValueError(f"context.wire_widths[{idx}] does not name an edge")
+            if w <= 0.0:
+                raise ValueError(f"wire width factor must be positive, got {w}")
+            widths[idx] = float(w)
+    return widths
+
+
 def _domain_bound(
     tree: RoutingTree,
     tech: Technology,
@@ -586,7 +654,12 @@ def _domain_bound(
         extra = max(
             extra, max(opt.net_capacitance for opt in options.driver_options)
         )
-    return wires + pins + extra + 1.0
+    bound = wires + pins + extra + 1.0
+    if options.quantize_bound:
+        # next power of two: a step function of net size, so nets in the
+        # same bucket share the domain bound (and hence cacheable fronts)
+        bound = float(2.0 ** math.ceil(math.log2(bound)))
+    return bound
 
 
 def _make_pruner(options: MSRIOptions):

@@ -512,6 +512,7 @@ def campaign_from_dict(data: Dict[str, Any]) -> "Campaign":
         label=cfg.get("label", "default"),
         spacings=tuple(float(s) for s in cfg.get("spacings", ())),
         msri=cfg.get("msri"),
+        use_msri_cache=bool(cfg.get("use_msri_cache", False)),
     )
     results = [
         instance_result_from_dict(r, default_spacing=config.spacing)

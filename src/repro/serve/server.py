@@ -374,8 +374,14 @@ class TimingServer:
         (cost, ARD) trade-off frontier and the DP statistics; with a
         ``spec`` (here or in the knobs) the cheapest solution meeting it
         is additionally resolved (Problem 2.1).
+
+        Requests run through the manager-wide subtree-front cache
+        (:class:`~repro.core.msri_cache.MSRICache`): a repeated optimize on
+        an unchanged net, or one that shares subtrees with an earlier
+        request, reuses stored fronts bit-identically; ``stats`` reports
+        ``cache_hits`` / ``nodes_reused`` alongside the DP counters.
         """
-        from ..core.msri import insert_repeaters
+        from ..core.msri_engine import insert_repeaters_cached
         from ..netgen.workloads import (
             driver_sizing_options,
             repeater_insertion_options,
@@ -406,7 +412,12 @@ class TimingServer:
         options = build(**overrides)
 
         def work():
-            return insert_repeaters(session.tree, session.tech, options)
+            return insert_repeaters_cached(
+                session.tree,
+                session.tech,
+                options,
+                cache=self.sessions.msri_cache,
+            )
 
         loop = asyncio.get_running_loop()
         async with session.lock:
@@ -425,6 +436,8 @@ class TimingServer:
                 "max_set_size": result.stats.max_set_size,
                 "front_width_p95": result.stats.front_width_p95(),
                 "runtime_s": result.stats.runtime_seconds,
+                "cache_hits": result.stats.cache_hits,
+                "nodes_reused": result.stats.nodes_reused,
             },
         }
         if options.spec is not None:

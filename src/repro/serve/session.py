@@ -160,6 +160,13 @@ class SessionManager:
         self.default_engine = default_engine
         self._sessions: Dict[str, Session] = {}
         self._ids = itertools.count(1)
+        # one subtree-front cache across all sessions: repeated `optimize`
+        # frames on the same (or an edited) net reuse fronts bit-identically
+        # (docs/ALGORITHMS.md §13); the cache itself is thread-safe for the
+        # daemon's concurrent thread-pool evaluations
+        from ..core.msri_cache import MSRICache
+
+        self.msri_cache = MSRICache()
 
     def __len__(self) -> int:
         return len(self._sessions)

@@ -42,7 +42,13 @@ Edge = Tuple[int, int]
 
 @dataclass(frozen=True)
 class SynthesisResult:
-    """Outcome of an ARD-driven topology search."""
+    """Outcome of an ARD-driven topology search.
+
+    ``evaluations`` counts oracle calls actually made; ``memo_hits`` counts
+    candidate scorings answered from the canonical edge-set memo (the same
+    terminal pair reappears across edge-scan rounds, and the post-move
+    re-score is always a hit).
+    """
 
     tree: RoutingTree
     terminal_edges: Tuple[Edge, ...]
@@ -51,6 +57,8 @@ class SynthesisResult:
     score: float
     iterations: int
     history: Tuple[float, ...]  # best score after each accepted move
+    evaluations: int = 0
+    memo_hits: int = 0
 
 
 def tree_from_terminal_edges(
@@ -74,6 +82,21 @@ def tree_from_terminal_edges(
     return builder.build(root=handles[root])
 
 
+def _canonical_edges(edge_list: Sequence[Edge]) -> Tuple[Edge, ...]:
+    """The canonical form of a terminal spanning tree: each edge as
+    ``(min, max)``, the list sorted.
+
+    Two candidate lists describing the same edge *set* reduce to the same
+    tuple, which serves both as the score-memo key and as the edge order
+    actually steinerized — :func:`steinerize`'s realization can depend on
+    input order, so scoring the canonical form and building anything else
+    would let a memo hit report a score the built tree doesn't have.
+    """
+    return tuple(
+        sorted((a, b) if a <= b else (b, a) for a, b in edge_list)
+    )
+
+
 def synthesize_topology(
     terminals: Sequence[Terminal],
     tech: Technology,
@@ -83,6 +106,10 @@ def synthesize_topology(
     root: int = 0,
     engine_factory: Optional[Callable[[RoutingTree], TimingEngine]] = None,
     engine: Optional[str] = None,
+    objective: str = "ard",
+    msri_options=None,
+    msri_cache=None,
+    msri_workers: int = 0,
 ) -> SynthesisResult:
     """Search terminal spanning trees for low ARD (plus optional WL term).
 
@@ -97,33 +124,96 @@ def synthesize_topology(
     full ``ard()`` would also materialize.  ``engine`` names a registered
     engine (:func:`repro.rctree.registry.engine_names`) as a convenience —
     pass one or the other, not both.
+
+    ``objective="msri"`` scores each candidate by the *optimized* net
+    instead of the bare topology: the minimum achievable ARD after optimal
+    repeater insertion (``msri_options``, a
+    :class:`~repro.core.msri.MSRIOptions`, is required).  Candidates run
+    through :func:`~repro.core.msri_engine.insert_repeaters_cached`, so
+    sibling candidates — trees differing from the incumbent by one edge —
+    reuse each other's subtree fronts via ``msri_cache`` (a shared
+    :class:`~repro.core.msri_cache.MSRICache`; one is created per search
+    when omitted).  ``msri_options.quantize_bound=True`` is what makes
+    cross-candidate hits possible — without it every candidate's ``c_max``
+    differs and the cache only helps on exact re-scores.  ``msri_workers``
+    forwards to the engine's parallel subtree solver.
+
+    Candidate scorings are memoized on the canonical edge set, so the same
+    reconnection pair reappearing across edge-scan rounds is never
+    re-scored (``SynthesisResult.evaluations`` / ``memo_hits``).
     """
     if len(terminals) < 2:
         raise ValueError("topology synthesis needs at least two terminals")
     if wirelength_weight < 0.0:
         raise ValueError("wirelength_weight must be non-negative")
+    if objective not in ("ard", "msri"):
+        raise ValueError(
+            f"unknown objective {objective!r}; expected 'ard' or 'msri'"
+        )
 
-    if engine is not None:
-        if engine_factory is not None:
+    if objective == "msri":
+        if engine is not None or engine_factory is not None:
             raise TypeError(
-                "synthesize_topology: pass either engine= (a registry name) "
-                "or engine_factory=, not both"
+                "synthesize_topology: objective='msri' scores through the "
+                "MSRI optimizer; engine=/engine_factory= do not apply"
             )
-        from ..rctree.registry import resolve_engine_factory
+        if msri_options is None:
+            raise ValueError(
+                "objective='msri' requires msri_options (an MSRIOptions)"
+            )
+        from ..core.msri_cache import MSRICache
+        from ..core.msri_engine import insert_repeaters_cached
 
-        engine_factory = resolve_engine_factory(engine, tech)
-    if engine_factory is None:
-        def engine_factory(tree: RoutingTree) -> TimingEngine:
-            return IncrementalARD(tree, tech)
+        if msri_cache is None:
+            msri_cache = MSRICache()
+
+        def evaluate(tree: RoutingTree) -> float:
+            result = insert_repeaters_cached(
+                tree, tech, msri_options, cache=msri_cache,
+                workers=msri_workers,
+            )
+            return result.min_ard().ard
+    else:
+        if msri_options is not None or msri_cache is not None:
+            raise TypeError(
+                "synthesize_topology: msri_options/msri_cache require "
+                "objective='msri'"
+            )
+        if engine is not None:
+            if engine_factory is not None:
+                raise TypeError(
+                    "synthesize_topology: pass either engine= (a registry "
+                    "name) or engine_factory=, not both"
+                )
+            from ..rctree.registry import resolve_engine_factory
+
+            engine_factory = resolve_engine_factory(engine, tech)
+        if engine_factory is None:
+            def engine_factory(tree: RoutingTree) -> TimingEngine:
+                return IncrementalARD(tree, tech)
+
+        def evaluate(tree: RoutingTree) -> float:
+            return engine_factory(tree).evaluate(tree).value
 
     points = [(t.x, t.y) for t in terminals]
     edges: List[Edge] = list(rectilinear_mst(points))
 
+    memo: dict = {}
+    counts = {"evaluations": 0, "memo_hits": 0}
+
     def score_of(edge_list: Sequence[Edge]) -> Tuple[float, float, float]:
-        tree = tree_from_terminal_edges(terminals, edge_list, root=root)
-        value = engine_factory(tree).evaluate(tree).value
+        key = _canonical_edges(edge_list)
+        hit = memo.get(key)
+        if hit is not None:
+            counts["memo_hits"] += 1
+            return hit
+        tree = tree_from_terminal_edges(terminals, key, root=root)
+        value = evaluate(tree)
         wl = tree.total_wire_length()
-        return value + wirelength_weight * wl, value, wl
+        out = (value + wirelength_weight * wl, value, wl)
+        memo[key] = out
+        counts["evaluations"] += 1
+        return out
 
     best_score, best_ard, best_wl = score_of(edges)
     history = [best_score]
@@ -131,7 +221,7 @@ def synthesize_topology(
 
     while iterations < max_iterations:
         iterations += 1
-        move: Optional[Tuple[float, int, Edge]] = None
+        move: Optional[Tuple[float, float, float, int, Edge]] = None
         for k, removed in enumerate(edges):
             remaining = edges[:k] + edges[k + 1:]
             side_a = _component(len(terminals), remaining, removed[0])
@@ -142,27 +232,31 @@ def synthesize_topology(
                     if (i, j) == removed or (j, i) == removed:
                         continue
                     candidate = remaining + [(i, j)]
-                    score, _, _ = score_of(candidate)
+                    score, value, wl = score_of(candidate)
                     if score < best_score - 1e-9 and (
                         move is None or score < move[0]
                     ):
-                        move = (score, k, (i, j))
+                        move = (score, value, wl, k, (i, j))
         if move is None:
             break
-        _, k, new_edge = move
+        # the chosen move's scores were already computed during the scan —
+        # carry them instead of re-scoring the edge list
+        best_score, best_ard, best_wl, k, new_edge = move
         edges = edges[:k] + edges[k + 1:] + [new_edge]
-        best_score, best_ard, best_wl = score_of(edges)
         history.append(best_score)
 
-    tree = tree_from_terminal_edges(terminals, edges, root=root)
+    final_edges = _canonical_edges(edges)
+    tree = tree_from_terminal_edges(terminals, final_edges, root=root)
     return SynthesisResult(
         tree=tree,
-        terminal_edges=tuple(edges),
+        terminal_edges=final_edges,
         ard=best_ard,
         wirelength=best_wl,
         score=best_score,
         iterations=iterations,
         history=tuple(history),
+        evaluations=counts["evaluations"],
+        memo_hits=counts["memo_hits"],
     )
 
 

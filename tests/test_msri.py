@@ -284,3 +284,56 @@ class TestStatsAndResultHelpers:
         t = random_topology(rng, n_terminals=12, p_insertion=1.0)
         with pytest.raises(ValueError, match="cap"):
             enumerate_assignments(t, TECH, MULTI_LIB)
+
+
+class TestResultSelectors:
+    """Direct coverage of the MSRIResult query methods on a synthetic
+    frontier — the cheapest-first (cost, ARD) suite the DP contractually
+    returns, here with known repeater counts per solution."""
+
+    @staticmethod
+    def make_result(specs):
+        """An MSRIResult from (cost, ard, n_repeaters) triples."""
+        from repro.core.msri import MSRIResult, MSRIStats
+        from repro.core.solution import Placement, RootSolution, Trace
+
+        tree = two_pin_net(length=1000.0)
+        node = tree.insertion_indices()[0]
+        sols = []
+        for cost, ard_value, reps in specs:
+            trace = Trace()
+            for _ in range(reps):
+                trace = trace.extended(Placement(node, REP))
+            sols.append(RootSolution(cost=cost, ard=ard_value, trace=trace))
+        return MSRIResult(solutions=tuple(sols), stats=MSRIStats(), tree=tree)
+
+    def test_min_cost_meeting(self):
+        res = self.make_result([(1.0, 50.0, 0), (2.0, 30.0, 1), (4.0, 20.0, 2)])
+        assert res.min_cost_meeting(60.0).cost == 1.0
+        assert res.min_cost_meeting(35.0).cost == 2.0
+        assert res.min_cost_meeting(20.0).cost == 4.0
+        assert res.min_cost_meeting(10.0) is None  # unachievable spec
+
+    def test_min_ard_and_min_cost(self):
+        res = self.make_result([(1.0, 50.0, 0), (2.0, 30.0, 1), (4.0, 20.0, 2)])
+        assert res.min_ard().ard == 20.0
+        assert res.min_cost().cost == 1.0
+
+    def test_tradeoff_order(self):
+        res = self.make_result([(1.0, 50.0, 0), (2.0, 30.0, 1)])
+        assert res.tradeoff() == [(1.0, 50.0), (2.0, 30.0)]
+
+    def test_with_repeater_count_picks_fastest(self):
+        res = self.make_result(
+            [(1.0, 50.0, 1), (2.0, 30.0, 1), (4.0, 20.0, 2)]
+        )
+        one = res.with_repeater_count(1)
+        assert one.ard == 30.0  # fastest among the count-1 solutions
+        assert res.with_repeater_count(0) is None
+        assert res.with_repeater_count(3) is None
+
+    def test_single_solution_frontier(self):
+        res = self.make_result([(1.0, 50.0, 0)])
+        assert res.min_cost() is res.min_ard()
+        assert res.min_cost_meeting(50.0) is res.solutions[0]
+        assert res.tradeoff() == [(1.0, 50.0)]

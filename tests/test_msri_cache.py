@@ -1,0 +1,403 @@
+"""Tests for memoized/incremental/parallel MSRI (docs/ALGORITHMS.md §13).
+
+The decisive check is differential: every cached, incrementally re-solved,
+or parallel-solved result must be **bit-identical** to a cold
+:func:`repro.core.msri.insert_repeaters` run — root (cost, ARD) suites,
+chosen assignments, and per-node fronts — with the REPRO_CHECK contracts
+active so the engine's own differential verification runs as well.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.check import contracts
+from repro.core.msri import MSRIOptions, _domain_bound, insert_repeaters
+from repro.core.msri_cache import (
+    MSRICache,
+    front_key,
+    options_fingerprint,
+    pack_front,
+    subtree_signatures,
+    unpack_front,
+)
+from repro.core.msri_engine import IncrementalMSRI, insert_repeaters_cached
+from repro.rctree import EvalContext
+from repro.tech import Buffer, Repeater, RepeaterLibrary, Technology
+
+from .conftest import random_topology, two_pin_net, y_net
+
+TECH = Technology(unit_resistance=0.1, unit_capacitance=0.01, name="test")
+REP = Repeater.from_buffer_pair(
+    Buffer("b", intrinsic_delay=20.0, output_resistance=50.0, input_capacitance=0.25),
+    name="rep",
+)
+BIG = Repeater.from_buffer_pair(Buffer("B", 20.0, 25.0, 0.5, cost=2.0), name="big")
+LIB = RepeaterLibrary([REP])
+MULTI_LIB = RepeaterLibrary([REP, BIG])
+OPTS = MSRIOptions(library=LIB)
+
+
+def root_suite(result):
+    """The value-bearing content of a root suite: scalars + assignments."""
+    return [(s.cost, s.ard, s.assignment()) for s in result.solutions]
+
+
+def assert_identical(a, b):
+    """Exact equality of two MSRI results in every value-bearing field."""
+    assert root_suite(a) == root_suite(b)
+
+
+class TestSubtreeSignatures:
+    def test_names_do_not_enter(self):
+        t = y_net()
+        renamed = [
+            n
+            if n.terminal is None
+            else dataclasses.replace(
+                n, terminal=dataclasses.replace(n.terminal, name=f"x{n.index}")
+            )
+            for n in t.nodes
+        ]
+        t2 = type(t)(
+            renamed,
+            [t.parent(i) for i in range(len(t))],
+            [t.edge_length(i) for i in range(len(t))],
+        )
+        assert subtree_signatures(t) == subtree_signatures(t2)
+
+    def test_edge_length_changes_signature_on_root_path_only(self):
+        t = random_topology(np.random.default_rng(0), n_terminals=5)
+        child = [i for i in range(len(t)) if t.parent(i) is not None][-1]
+        lengths = [t.edge_length(i) for i in range(len(t))]
+        lengths[child] = lengths[child] + 1.0
+        t2 = type(t)(t.nodes, [t.parent(i) for i in range(len(t))], lengths)
+        s1, s2 = subtree_signatures(t), subtree_signatures(t2)
+        path = set()
+        v = t.parent(child)
+        while v is not None:
+            path.add(v)
+            v = t.parent(v)
+        for i in range(len(t)):
+            if i in path:
+                assert s1[i] != s2[i], f"root-path node {i} must change"
+            else:
+                # the edge above a node is the *parent's* content
+                assert s1[i] == s2[i], f"off-path node {i} must not change"
+
+    def test_terminal_params_enter(self):
+        t = y_net()
+        ti = [i for i in t.terminal_indices() if i != t.root][0]
+        term = t.node(ti).terminal
+        nodes = list(t.nodes)
+        nodes[ti] = dataclasses.replace(
+            nodes[ti],
+            terminal=dataclasses.replace(term, capacitance=term.capacitance * 2),
+        )
+        t2 = type(t)(
+            nodes,
+            [t.parent(i) for i in range(len(t))],
+            [t.edge_length(i) for i in range(len(t))],
+        )
+        assert subtree_signatures(t)[ti] != subtree_signatures(t2)[ti]
+
+    def test_widths_enter_parent_signature(self):
+        t = y_net()
+        child = [i for i in range(len(t)) if t.parent(i) is not None][0]
+        s1 = subtree_signatures(t)
+        s2 = subtree_signatures(t, {child: 2.0})
+        assert s1[t.parent(child)] != s2[t.parent(child)]
+        assert s1[child] == s2[child]
+
+
+class TestFingerprintAndKey:
+    def test_options_knobs_enter(self):
+        base = options_fingerprint(TECH, OPTS)
+        assert base != options_fingerprint(TECH, MSRIOptions(library=MULTI_LIB))
+        assert base != options_fingerprint(
+            TECH, MSRIOptions(library=LIB, prefilter=False)
+        )
+        assert base != options_fingerprint(
+            TECH, MSRIOptions(library=LIB, spec=100.0)
+        )
+        assert base != options_fingerprint(
+            Technology(unit_resistance=0.2, unit_capacitance=0.01, name="t2"),
+            OPTS,
+        )
+
+    def test_c_max_enters_key(self):
+        sig = subtree_signatures(y_net())[1]
+        fp = options_fingerprint(TECH, OPTS)
+        assert front_key(sig, fp, 10.0) != front_key(sig, fp, 20.0)
+
+
+class TestPackUnpack:
+    def test_round_trip_values_and_assignments(self):
+        t = two_pin_net(length=4000.0)
+        c_max = _domain_bound(t, TECH, OPTS)
+        # prime an engine to get real fronts
+        eng = IncrementalMSRI(t, TECH, OPTS)
+        eng.solve()
+        (child,) = t.children(t.root)
+        front = eng._fronts[child]
+        rebuilt = unpack_front(t, child, pack_front(t, child, front))
+        contracts.verify_front_values(rebuilt, front, context="round trip")
+        # collect() order (duplicate-node dict winner) must survive
+        for a, b in zip(front, rebuilt):
+            assert [(p.node, p.what) for p in a.trace.collect()] == [
+                (p.node, p.what) for p in b.trace.collect()
+            ]
+
+    def test_fresh_uids(self):
+        t = two_pin_net(length=2000.0)
+        eng = IncrementalMSRI(t, TECH, OPTS)
+        eng.solve()
+        (child,) = t.children(t.root)
+        front = eng._fronts[child]
+        rebuilt = unpack_front(t, child, pack_front(t, child, front))
+        assert {s.uid for s in rebuilt}.isdisjoint({s.uid for s in front})
+
+
+class TestMSRICacheLRU:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MSRICache(maxsize=0)
+
+    def test_hit_miss_store_counters(self):
+        cache = MSRICache(maxsize=4)
+        assert cache.get(b"a") is None
+        cache.put(b"a", ((1.0,),))
+        assert cache.get(b"a") == ((1.0,),)
+        assert cache.stats() == {
+            "size": 1, "hits": 1, "misses": 1, "stores": 1, "evictions": 0,
+        }
+
+    def test_lru_eviction_order(self):
+        cache = MSRICache(maxsize=2)
+        cache.put(b"a", (1,))
+        cache.put(b"b", (2,))
+        cache.get(b"a")  # refresh a: b is now the LRU entry
+        cache.put(b"c", (3,))
+        assert cache.get(b"b") is None
+        assert cache.get(b"a") == (1,)
+        assert cache.get(b"c") == (3,)
+        assert cache.evictions == 1
+
+    def test_clear(self):
+        cache = MSRICache()
+        cache.put(b"a", (1,))
+        cache.clear()
+        assert len(cache) == 0 and cache.get(b"a") is None
+
+
+class TestDifferentialSuite:
+    """≥200 randomized nets: warm path bit-identical to cold, REPRO_CHECK on."""
+
+    def test_200_net_cached_identity(self):
+        cache = MSRICache(maxsize=16384)
+        with contracts.checking():
+            for seed in range(200):
+                rng = np.random.default_rng(seed)
+                t = random_topology(
+                    rng,
+                    n_terminals=int(rng.integers(3, 6)),
+                    p_insertion=float(rng.uniform(0.3, 1.0)),
+                )
+                opts = (
+                    MSRIOptions(library=LIB, quantize_bound=bool(seed % 2))
+                    if seed % 3
+                    else MSRIOptions(library=MULTI_LIB)
+                )
+                cold = insert_repeaters(t, TECH, opts)
+                insert_repeaters_cached(t, TECH, opts, cache=cache)  # prime
+                warm = insert_repeaters_cached(t, TECH, opts, cache=cache)
+                assert_identical(warm, cold)
+                assert warm.stats.cache_hits >= 1
+                assert warm.stats.nodes_processed == 0
+        assert cache.hits >= 200
+
+    def test_front_values_per_node(self):
+        """Cold vs cache-primed engines agree front-by-front, not just at root."""
+        t = random_topology(np.random.default_rng(7), n_terminals=6)
+        cache = MSRICache()
+        with contracts.checking():
+            a = IncrementalMSRI(t, TECH, OPTS, cache=cache)
+            a.solve()
+            b = IncrementalMSRI(t, TECH, OPTS, cache=cache)
+            b.solve()
+            for v in a._fronts:
+                if v in b._fronts:
+                    contracts.verify_front_values(
+                        b._fronts[v], a._fronts[v], context=f"node {v}"
+                    )
+
+
+class TestIncrementalEdits:
+    def test_set_terminal_recomputes_root_path_only(self):
+        t = random_topology(np.random.default_rng(3), n_terminals=6)
+        with contracts.checking():
+            eng = IncrementalMSRI(t, TECH, OPTS)
+            full = eng.solve().stats.nodes_processed
+            ti = [i for i in t.terminal_indices() if i != t.root][0]
+            term = t.node(ti).terminal
+            eng.set_terminal(
+                ti,
+                dataclasses.replace(
+                    term, downstream_delay=term.downstream_delay + 3.0
+                ),
+            )
+            r = eng.solve()
+            assert 0 < r.stats.nodes_processed < full
+            assert_identical(r, insert_repeaters(eng.tree, TECH, OPTS))
+
+    def test_capacitance_edit_flushes_without_quantize(self):
+        t = random_topology(np.random.default_rng(4), n_terminals=5)
+        eng = IncrementalMSRI(t, TECH, OPTS)
+        full = eng.solve().stats.nodes_processed
+        ti = [i for i in t.terminal_indices() if i != t.root][0]
+        term = t.node(ti).terminal
+        eng.set_terminal(
+            ti, dataclasses.replace(term, capacitance=term.capacitance * 1.5)
+        )
+        # c_max moved: every retained front embeds the old bound
+        assert eng.solve().stats.nodes_processed == full
+
+    def test_capacitance_edit_retains_with_quantize(self):
+        t = random_topology(np.random.default_rng(4), n_terminals=5)
+        opts = MSRIOptions(library=LIB, quantize_bound=True)
+        with contracts.checking():
+            eng = IncrementalMSRI(t, TECH, opts)
+            full = eng.solve().stats.nodes_processed
+            ti = [i for i in t.terminal_indices() if i != t.root][0]
+            term = t.node(ti).terminal
+            eng.set_terminal(
+                ti,
+                dataclasses.replace(
+                    term, capacitance=term.capacitance * 1.0001
+                ),
+            )
+            r = eng.solve()
+            assert r.stats.nodes_processed < full
+            assert_identical(r, insert_repeaters(eng.tree, TECH, opts))
+
+    def test_set_edge_length(self):
+        t = random_topology(np.random.default_rng(5), n_terminals=6)
+        with contracts.checking():
+            eng = IncrementalMSRI(t, TECH, OPTS)
+            eng.solve()
+            ei = [i for i in range(len(t)) if t.parent(i) is not None][-1]
+            eng.set_edge_length(ei, t.edge_length(ei) + 100.0)
+            r = eng.solve()
+            assert_identical(r, insert_repeaters(eng.tree, TECH, OPTS))
+
+    def test_set_wire_width(self):
+        t = random_topology(np.random.default_rng(6), n_terminals=5)
+        with contracts.checking():
+            eng = IncrementalMSRI(t, TECH, OPTS)
+            eng.solve()
+            ei = [i for i in range(len(t)) if t.parent(i) is not None][0]
+            eng.set_wire_width(ei, 1.7)
+            r = eng.solve()
+            cold = insert_repeaters(
+                eng.tree, TECH, OPTS, context=EvalContext(wire_widths={ei: 1.7})
+            )
+            assert_identical(r, cold)
+
+    def test_edit_validation(self):
+        t = y_net()
+        eng = IncrementalMSRI(t, TECH, OPTS)
+        steiner = t.steiner_indices()[0]
+        term = t.node(t.root).terminal
+        with pytest.raises(ValueError):
+            eng.set_terminal(steiner, term)
+        with pytest.raises(ValueError):
+            eng.set_edge_length(t.root, 10.0)
+        with pytest.raises(ValueError):
+            eng.set_wire_width(t.root, 1.0)
+        child = t.children(t.root)[0]
+        with pytest.raises(ValueError):
+            eng.set_wire_width(child, 0.0)
+        with pytest.raises(ValueError):
+            eng.set_edge_length(child, -1.0)
+        with pytest.raises(ValueError):
+            IncrementalMSRI(t, TECH, OPTS, workers=-1)
+
+    def test_solve_tree_switches_nets(self):
+        t1 = random_topology(np.random.default_rng(8), n_terminals=5)
+        t2 = random_topology(np.random.default_rng(9), n_terminals=6)
+        cache = MSRICache()
+        with contracts.checking():
+            eng = IncrementalMSRI(t1, TECH, OPTS, cache=cache)
+            eng.solve()
+            r2 = eng.solve_tree(t2)
+            assert_identical(r2, insert_repeaters(t2, TECH, OPTS))
+            # returning to an already-seen tree hits the cross-tree cache
+            r1 = eng.solve_tree(t1)
+            assert r1.stats.cache_hits >= 1
+            assert_identical(r1, insert_repeaters(t1, TECH, OPTS))
+
+
+class TestCacheSemantics:
+    def test_lossy_bypasses_global_cache(self):
+        t = random_topology(np.random.default_rng(10), n_terminals=6)
+        opts = MSRIOptions(library=LIB, lossy=True, max_front_width=3)
+        cache = MSRICache()
+        a = insert_repeaters_cached(t, TECH, opts, cache=cache)
+        b = insert_repeaters_cached(t, TECH, opts, cache=cache)
+        assert cache.stats()["stores"] == 0 and cache.stats()["hits"] == 0
+        # lossy runs are still deterministic, just uncached
+        assert root_suite(a) == root_suite(b)
+
+    def test_lossy_engine_still_retains_own_fronts(self):
+        t = random_topology(np.random.default_rng(10), n_terminals=6)
+        opts = MSRIOptions(library=LIB, lossy=True, max_front_width=3)
+        eng = IncrementalMSRI(t, TECH, opts)
+        eng.solve()
+        assert eng.solve().stats.nodes_processed == 0  # dirty-path reuse
+
+    def test_quantize_bound_is_power_of_two(self):
+        t = y_net()
+        plain = _domain_bound(t, TECH, OPTS)
+        q = _domain_bound(t, TECH, MSRIOptions(library=LIB, quantize_bound=True))
+        assert q >= plain
+        m, e = np.frexp(q)
+        assert m == 0.5  # exactly a power of two
+
+    def test_quantized_cold_runs_self_consistent(self):
+        t = random_topology(np.random.default_rng(11), n_terminals=5)
+        opts = MSRIOptions(library=LIB, quantize_bound=True)
+        assert root_suite(insert_repeaters(t, TECH, opts)) == root_suite(
+            insert_repeaters(t, TECH, opts)
+        )
+
+    def test_stats_reuse_accounting(self):
+        """Reused fronts never inflate generated/kept (conservation holds)."""
+        t = random_topology(np.random.default_rng(12), n_terminals=6)
+        cache = MSRICache()
+        insert_repeaters_cached(t, TECH, OPTS, cache=cache)
+        warm = insert_repeaters_cached(t, TECH, OPTS, cache=cache)
+        assert warm.stats.solutions_generated == 0
+        assert warm.stats.solutions_after_pruning == 0
+        assert warm.stats.nodes_reused == len(t) - 1
+        assert warm.stats.max_set_size >= 1  # reused widths still reported
+
+
+class TestParallelSolving:
+    def test_workers_bit_identical(self):
+        rng = np.random.default_rng(13)
+        t = random_topology(rng, n_terminals=14, p_insertion=1.0)
+        cold = insert_repeaters(t, TECH, OPTS)
+        par = IncrementalMSRI(t, TECH, OPTS, workers=2).solve()
+        assert_identical(par, cold)
+        # merged stats conserve the cold totals exactly
+        assert par.stats.solutions_generated == cold.stats.solutions_generated
+        assert par.stats.solutions_after_pruning == (
+            cold.stats.solutions_after_pruning
+        )
+        assert par.stats.nodes_processed == cold.stats.nodes_processed
+
+    def test_small_net_stays_serial(self):
+        t = y_net()
+        r = IncrementalMSRI(t, TECH, OPTS, workers=2).solve()
+        assert_identical(r, insert_repeaters(t, TECH, OPTS))

@@ -102,3 +102,73 @@ class TestSynthesis:
         terms = make_terms(4, 7)
         res = synthesize_topology(terms, TECH, max_iterations=1)
         assert res.iterations <= 1
+
+
+class TestScoreMemo:
+    def test_counters_populated(self):
+        terms = make_terms(0, 7)
+        res = synthesize_topology(terms, TECH)
+        assert res.evaluations >= 1
+        # the same reconnection candidates recur across edge-scan rounds,
+        # and the chosen move is never re-scored: hits are guaranteed
+        # whenever the search iterates
+        if res.iterations > 1:
+            assert res.memo_hits >= 1
+
+    def test_memo_does_not_change_outcome(self):
+        # determinism across repeated runs covers the memo: a stale or
+        # mis-keyed entry would make the second run diverge
+        terms = make_terms(5, 8)
+        a = synthesize_topology(terms, TECH)
+        b = synthesize_topology(terms, TECH)
+        assert a.terminal_edges == b.terminal_edges
+        assert a.ard == b.ard and a.evaluations == b.evaluations
+
+    def test_reported_edges_are_canonical(self):
+        terms = make_terms(1, 6)
+        res = synthesize_topology(terms, TECH)
+        assert list(res.terminal_edges) == sorted(
+            (min(a, b), max(a, b)) for a, b in res.terminal_edges
+        )
+
+
+class TestMSRIObjective:
+    def make_options(self, **kw):
+        from repro.netgen import repeater_insertion_options
+
+        return repeater_insertion_options(**kw)
+
+    def test_requires_options(self):
+        with pytest.raises(ValueError, match="msri_options"):
+            synthesize_topology(make_terms(0, 4), TECH, objective="msri")
+
+    def test_rejects_engine_combination(self):
+        opts = self.make_options()
+        with pytest.raises(TypeError):
+            synthesize_topology(
+                make_terms(0, 4), TECH, objective="msri",
+                msri_options=opts, engine="reference",
+            )
+        with pytest.raises(TypeError):
+            synthesize_topology(
+                make_terms(0, 4), TECH, msri_options=opts
+            )
+        with pytest.raises(ValueError, match="objective"):
+            synthesize_topology(make_terms(0, 4), TECH, objective="bogus")
+
+    def test_scores_optimized_net(self):
+        from repro.core import MSRICache, insert_repeaters
+
+        terms = make_terms(2, 5)
+        opts = self.make_options(quantize_bound=True)
+        cache = MSRICache()
+        res = synthesize_topology(
+            terms, TECH, objective="msri", msri_options=opts,
+            msri_cache=cache, max_iterations=2,
+        )
+        # the reported score is the post-insertion min ARD of the tree
+        rebuilt = tree_from_terminal_edges(terms, res.terminal_edges)
+        cold = insert_repeaters(rebuilt, TECH, opts)
+        assert res.ard == pytest.approx(cold.min_ard().ard)
+        # sibling candidates share subtrees: the cache must have hit
+        assert cache.hits >= 1
